@@ -1,0 +1,205 @@
+//! Device specifications (paper Tab. 5) and technology-node scaling.
+
+/// Technology node of a synthesized design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechNode {
+    /// 28 nm (the paper's primary synthesis target).
+    N28,
+    /// 12 nm (DeepScaleTool-scaled).
+    N12,
+    /// 8 nm (DeepScaleTool-scaled; the ONX's node).
+    N8,
+}
+
+impl TechNode {
+    /// Area scaling factor relative to 28 nm (from Tab. 5:
+    /// 28.41 → 6.49 → 2.40 mm²).
+    pub fn area_scale(&self) -> f64 {
+        match self {
+            TechNode::N28 => 1.0,
+            TechNode::N12 => 6.49 / 28.41,
+            TechNode::N8 => 2.40 / 28.41,
+        }
+    }
+
+    /// Power scaling factor relative to 28 nm (from Tab. 5:
+    /// 8.11 → 4.63 → 3.76 W).
+    pub fn power_scale(&self) -> f64 {
+        match self {
+            TechNode::N28 => 1.0,
+            TechNode::N12 => 4.63 / 8.11,
+            TechNode::N8 => 3.76 / 8.11,
+        }
+    }
+}
+
+/// A device row of Tab. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Device name.
+    pub name: &'static str,
+    /// Technology node description.
+    pub technology: &'static str,
+    /// On-chip SRAM in bytes.
+    pub sram_bytes: u64,
+    /// Compute core description.
+    pub cores: &'static str,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Typical power in watts.
+    pub power_w: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Jetson Orin NX (ONX) edge GPU.
+    pub fn onx() -> Self {
+        Self {
+            name: "ONX",
+            technology: "8 nm",
+            sram_bytes: 4 * 1024 * 1024,
+            cores: "512 CUDA cores",
+            area_mm2: 450.0,
+            power_w: 15.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3090.
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "RTX 3090",
+            technology: "8 nm",
+            sram_bytes: (80.25 * 1024.0 * 1024.0) as u64,
+            cores: "5248 CUDA cores",
+            area_mm2: 628.0,
+            power_w: 352.0,
+        }
+    }
+
+    /// GauSPU plug-in (prior work).
+    pub fn gauspu() -> Self {
+        Self {
+            name: "GauSPU",
+            technology: "12 nm",
+            sram_bytes: 560 * 1024,
+            cores: "128 REs / 32 BEs",
+            area_mm2: 30.0,
+            power_w: 9.4,
+        }
+    }
+
+    /// The RTGS plug-in at a given node.
+    pub fn rtgs(node: TechNode) -> Self {
+        let base_area = 28.41;
+        let base_power = 8.11;
+        let (name, technology) = match node {
+            TechNode::N28 => ("RTGS", "28 nm"),
+            TechNode::N12 => ("RTGS-12nm", "12 nm"),
+            TechNode::N8 => ("RTGS-8nm", "8 nm"),
+        };
+        Self {
+            name,
+            technology,
+            sram_bytes: 197 * 1024,
+            cores: "16 REs / 16 PEs",
+            area_mm2: base_area * node.area_scale(),
+            power_w: base_power * node.power_scale(),
+        }
+    }
+
+    /// All rows of Tab. 5 in the paper's order.
+    pub fn table5() -> Vec<DeviceSpec> {
+        vec![
+            Self::onx(),
+            Self::rtx3090(),
+            Self::gauspu(),
+            Self::rtgs(TechNode::N28),
+            Self::rtgs(TechNode::N12),
+            Self::rtgs(TechNode::N8),
+        ]
+    }
+}
+
+/// GPU compute capability used by the cycle model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Warps each SM can overlap effectively.
+    pub warps_per_sm: usize,
+    /// Clock frequency in Hz.
+    pub frequency_hz: u64,
+    /// Peak DRAM bandwidth in bytes/second.
+    pub dram_bandwidth: u64,
+    /// Typical power in watts (for the energy model).
+    pub power_w: f64,
+}
+
+impl GpuSpec {
+    /// The paper's ONX simulation setup (Sec. 6.1): 8 SMs, 32-thread warps,
+    /// 128-bit LPDDR5 @104 GB/s.
+    pub fn onx() -> Self {
+        Self {
+            sms: 8,
+            warp_size: 32,
+            warps_per_sm: 4,
+            frequency_hz: 918_000_000,
+            dram_bandwidth: 104_000_000_000,
+            power_w: 15.0,
+        }
+    }
+
+    /// RTX 3090: 82 SMs, GDDR6X @936 GB/s.
+    pub fn rtx3090() -> Self {
+        Self {
+            sms: 82,
+            warp_size: 32,
+            warps_per_sm: 4,
+            frequency_hz: 1_695_000_000,
+            dram_bandwidth: 936_000_000_000,
+            power_w: 352.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_has_six_rows() {
+        let rows = DeviceSpec::table5();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].name, "ONX");
+        assert_eq!(rows[3].name, "RTGS");
+    }
+
+    #[test]
+    fn node_scaling_matches_table5() {
+        let r12 = DeviceSpec::rtgs(TechNode::N12);
+        assert!((r12.area_mm2 - 6.49).abs() < 0.01);
+        assert!((r12.power_w - 4.63).abs() < 0.01);
+        let r8 = DeviceSpec::rtgs(TechNode::N8);
+        assert!((r8.area_mm2 - 2.40).abs() < 0.01);
+        assert!((r8.power_w - 3.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn rtgs_is_smaller_and_cooler_than_gauspu() {
+        // Tab. 5 comparison the paper highlights: fewer cores, less SRAM,
+        // lower power at comparable capability.
+        let rtgs = DeviceSpec::rtgs(TechNode::N12);
+        let gauspu = DeviceSpec::gauspu();
+        assert!(rtgs.sram_bytes < gauspu.sram_bytes);
+        assert!(rtgs.area_mm2 < gauspu.area_mm2);
+        assert!(rtgs.power_w < gauspu.power_w);
+    }
+
+    #[test]
+    fn gpu_specs_sane() {
+        let onx = GpuSpec::onx();
+        assert_eq!(onx.sms, 8);
+        assert!(GpuSpec::rtx3090().sms > onx.sms);
+    }
+}

@@ -1,0 +1,338 @@
+//! Criterion benchmarks keyed to the paper's tables and figures.
+//!
+//! Each group regenerates the computational core of one evaluation artifact
+//! on real workloads (wall-clock of the Rust implementation, plus the cycle
+//! models for hardware comparisons). Run with:
+//!
+//! ```bash
+//! cargo bench --workspace
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtgs_accel::{
+    plugin_iteration, simulate_run, Aggregation, ArchConfig, DeviceSpec, FrameWorkload, GpuSpec,
+    HardwareModel, PluginConfig, RunWorkload, Scheduling, TechNode,
+};
+use rtgs_core::{AdaptivePruner, PruningConfig, RtgsConfig};
+use rtgs_math::Se3;
+use rtgs_render::{backward, compute_loss, render_frame, LossConfig, WorkloadTrace};
+use rtgs_scene::{DatasetProfile, SyntheticDataset};
+use rtgs_slam::{BaseAlgorithm, SlamConfig, SlamPipeline, SlamReport};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn small_dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(DatasetProfile::tum_analog().small(), 4)
+}
+
+fn to_workload(report: &SlamReport) -> RunWorkload {
+    RunWorkload {
+        frames: report
+            .frames
+            .iter()
+            .map(|f| FrameWorkload {
+                tracking: f.traces.clone(),
+                mapping: f.mapping_traces.clone(),
+                is_keyframe: f.is_keyframe,
+            })
+            .collect(),
+    }
+}
+
+fn traced_run() -> (RunWorkload, Vec<WorkloadTrace>) {
+    let ds = small_dataset();
+    let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(4);
+    cfg.tracking.iterations = 4;
+    cfg.mapping_iterations = 4;
+    cfg.record_traces = true;
+    let report = SlamPipeline::new(cfg, &ds).run();
+    let traces: Vec<WorkloadTrace> = report
+        .frames
+        .iter()
+        .flat_map(|f| f.traces.clone())
+        .collect();
+    (to_workload(&report), traces)
+}
+
+/// Rendering kernels (Steps ❶–❺): the substrate every experiment rests on.
+fn bench_render_kernels(c: &mut Criterion) {
+    let mut group = quick(c).benchmark_group("render_kernels");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let ds = small_dataset();
+    let scene = ds.reference_scene.clone();
+    let w2c = ds.poses_c2w[0].inverse();
+
+    group.bench_function("forward_full_frame", |b| {
+        b.iter(|| render_frame(&scene, &w2c, &ds.camera, None))
+    });
+
+    let ctx = render_frame(&scene, &w2c, &ds.camera, None);
+    let loss = compute_loss(
+        &ctx.output,
+        &ds.frames[0].color,
+        ds.frames[0].depth.as_ref(),
+        &LossConfig::default(),
+    );
+    group.bench_function("backward_full_frame", |b| {
+        b.iter(|| backward(&scene, &ctx.projection, &ctx.tiles, &ds.camera, &w2c, &loss.pixel_grads))
+    });
+    group.finish();
+}
+
+/// Tab. 2: one SLAM frame per base algorithm.
+fn bench_table2_baseline_slams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_baseline_slams");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let ds = small_dataset();
+    for algo in BaseAlgorithm::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
+            b.iter(|| {
+                let mut cfg = SlamConfig::for_algorithm(algo).with_frames(2);
+                cfg.tracking.iterations = 3;
+                cfg.mapping_iterations = 3;
+                SlamPipeline::new(cfg, &ds).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Tab. 6 / Fig. 14: base vs RTGS algorithm wall-clock.
+fn bench_table6_rtgs_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_rtgs_algorithm");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let ds = small_dataset();
+    let mk_cfg = || {
+        let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(3);
+        cfg.tracking.iterations = 4;
+        cfg.mapping_iterations = 4;
+        cfg
+    };
+    group.bench_function("base", |b| {
+        b.iter(|| SlamPipeline::new(mk_cfg(), &ds).run())
+    });
+    group.bench_function("ours_full", |b| {
+        b.iter(|| {
+            SlamPipeline::with_extension(mk_cfg(), &ds, RtgsConfig::full().into_extension()).run()
+        })
+    });
+    group.bench_function("ours_pruning_only", |b| {
+        b.iter(|| {
+            SlamPipeline::with_extension(
+                mk_cfg(),
+                &ds,
+                RtgsConfig::pruning_only().into_extension(),
+            )
+            .run()
+        })
+    });
+    group.bench_function("ours_downsampling_only", |b| {
+        b.iter(|| {
+            SlamPipeline::with_extension(
+                mk_cfg(),
+                &ds,
+                RtgsConfig::downsampling_only().into_extension(),
+            )
+            .run()
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 15 / Tab. 7: hardware model evaluation throughput.
+fn bench_fig15_hardware_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_hardware_fps");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let (run, _) = traced_run();
+    let models: [(&str, HardwareModel); 4] = [
+        ("onx", HardwareModel::onx()),
+        ("onx_distwar", HardwareModel::onx_distwar()),
+        ("rtgs", HardwareModel::rtgs()),
+        ("gauspu", HardwareModel::gauspu()),
+    ];
+    for (name, hw) in models {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &hw, |b, hw| {
+            b.iter(|| simulate_run(&run, hw, true))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 17: plug-in configuration ablations on a real trace.
+fn bench_fig17_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_ablation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let (_, traces) = traced_run();
+    let trace = traces.last().expect("need traces").clone();
+    let prev = traces[traces.len().saturating_sub(2)].clone();
+    let configs: [(&str, PluginConfig); 4] = [
+        ("bare", PluginConfig::bare()),
+        (
+            "gmu",
+            PluginConfig {
+                aggregation: Aggregation::Gmu,
+                ..PluginConfig::bare()
+            },
+        ),
+        (
+            "gmu_rb",
+            PluginConfig {
+                aggregation: Aggregation::Gmu,
+                rb_buffer: true,
+                ..PluginConfig::bare()
+            },
+        ),
+        ("full_rtgs", PluginConfig::rtgs()),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| plugin_iteration(&trace, Some(&prev), cfg))
+        });
+    }
+    // Scheduling ablation (Fig. 17a).
+    for sched in [Scheduling::Static, Scheduling::Streaming, Scheduling::StreamingPaired, Scheduling::Ideal] {
+        let cfg = PluginConfig {
+            arch: ArchConfig::paper(),
+            scheduling: sched,
+            rb_buffer: true,
+            aggregation: Aggregation::Gmu,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("scheduling", format!("{sched:?}")),
+            &cfg,
+            |b, cfg| b.iter(|| plugin_iteration(&trace, Some(&prev), cfg)),
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: pruning-score bookkeeping cost (the paper's "zero overhead"
+/// claim — scoring must be negligible next to a backward pass).
+fn bench_pruning_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pruning_overhead");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let ds = small_dataset();
+    let scene = ds.reference_scene.clone();
+    let w2c = ds.poses_c2w[0].inverse();
+    let ctx = render_frame(&scene, &w2c, &ds.camera, None);
+    let loss = compute_loss(
+        &ctx.output,
+        &ds.frames[0].color,
+        ds.frames[0].depth.as_ref(),
+        &LossConfig::default(),
+    );
+    let grads = backward(&scene, &ctx.projection, &ctx.tiles, &ds.camera, &w2c, &loss.pixel_grads);
+
+    group.bench_function("importance_scoring", |b| {
+        b.iter(|| {
+            grads
+                .gaussians
+                .iter()
+                .map(|g| g.importance_score(0.8))
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("full_prune_step", |b| {
+        let mut pruner = AdaptivePruner::new(
+            PruningConfig {
+                initial_interval: 1,
+                ..Default::default()
+            },
+            scene.len(),
+        );
+        b.iter(|| {
+            let mut mask = vec![true; scene.len()];
+            let artifacts = rtgs_slam::IterationArtifacts {
+                iteration: 0,
+                loss: loss.loss,
+                grads: &grads,
+                tiles: &ctx.tiles,
+                output: &ctx.output,
+            };
+            pruner.begin_frame(scene.len());
+            pruner.observe_iteration(&artifacts, &mut mask);
+            mask
+        })
+    });
+    group.finish();
+}
+
+/// Microbench: device specs and energy tables (Tab. 4/5 accessors used by
+/// the experiment harness; kept here so regressions in the config layer
+/// surface in the bench logs).
+fn bench_config_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("config_layer");
+    group.sample_size(30).measurement_time(Duration::from_secs(1));
+    group.bench_function("table5", |b| b.iter(DeviceSpec::table5));
+    group.bench_function("rtgs_scaled", |b| {
+        b.iter(|| DeviceSpec::rtgs(TechNode::N8))
+    });
+    group.bench_function("gpu_specs", |b| b.iter(GpuSpec::onx));
+    group.finish();
+}
+
+/// Tracking pose-optimization cost per iteration (the unit the paper's
+/// per-frame iteration budgets multiply).
+fn bench_tracking_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking_iteration");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let ds = small_dataset();
+    let scene = ds.reference_scene.clone();
+    use rtgs_slam::{track_frame, NoObserver, StageTimings, TrackingConfig};
+    group.bench_function("track_frame_4_iters", |b| {
+        b.iter(|| {
+            let mut mask = vec![true; scene.len()];
+            let mut t = StageTimings::default();
+            track_frame(
+                &scene,
+                ds.poses_c2w[1].inverse(),
+                &ds.frames[1],
+                &ds.camera,
+                &TrackingConfig {
+                    iterations: 4,
+                    ..Default::default()
+                },
+                &mut mask,
+                &mut NoObserver,
+                &mut t,
+            )
+        })
+    });
+    // With 50% of the map masked (the pruning speedup source).
+    group.bench_function("track_frame_4_iters_half_masked", |b| {
+        b.iter(|| {
+            let mut mask: Vec<bool> = (0..scene.len()).map(|i| i % 2 == 0).collect();
+            let mut t = StageTimings::default();
+            track_frame(
+                &scene,
+                ds.poses_c2w[1].inverse(),
+                &ds.frames[1],
+                &ds.camera,
+                &TrackingConfig {
+                    iterations: 4,
+                    ..Default::default()
+                },
+                &mut mask,
+                &mut NoObserver,
+                &mut t,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_render_kernels,
+    bench_table2_baseline_slams,
+    bench_table6_rtgs_algorithm,
+    bench_fig15_hardware_models,
+    bench_fig17_ablation,
+    bench_pruning_overhead,
+    bench_config_layer,
+    bench_tracking_iteration,
+);
+criterion_main!(benches);

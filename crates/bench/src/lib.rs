@@ -1,0 +1,12 @@
+//! Benchmark harness crate. The Criterion benchmarks live in
+//! `benches/paper_benches.rs`, one group per paper table/figure:
+//!
+//! | group | artifact |
+//! |---|---|
+//! | `render_kernels` | substrate (Steps ❶–❺ wall-clock) |
+//! | `table2_baseline_slams` | Tab. 2 |
+//! | `table6_rtgs_algorithm` | Tab. 6 / Fig. 14 |
+//! | `fig15_hardware_fps` | Fig. 15 / Tab. 7 |
+//! | `fig17_ablation` | Fig. 17(a)/(b) |
+//! | `ablation_pruning_overhead` | the "zero-overhead scoring" claim |
+//! | `tracking_iteration` | per-iteration tracking unit cost |

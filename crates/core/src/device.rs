@@ -1,0 +1,242 @@
+//! The RTGS programming model (paper Sec. 5.5, Listing 1).
+//!
+//! Mirrors the C++ interface `RTGS_execute` / `RTGS_check_status` and the
+//! shared-memory flag handshake between GPU SMs and the RTGS plug-in:
+//! the host polls `Input_done`, RTGS raises `gradient_ready`, the SMs
+//! answer with `pruning_done`, and RTGS writes results back. This module
+//! models that state machine functionally so integration code (and the
+//! experiment harness) can exercise the same control flow the hardware
+//! would.
+
+/// Execution status reported by [`RtgsDevice::check_status`]
+/// (Listing 1: `IDLE`, `EXECUTING`, `WAIT_PRUNING`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtgsStatus {
+    /// No frame in flight.
+    Idle,
+    /// Rendering / backpropagation in progress.
+    Executing,
+    /// Gradients written; waiting for the SMs to finish pruning.
+    WaitPruning,
+}
+
+/// Shared-memory flag buffer of the SM ↔ RTGS handshake.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlagBuffer {
+    /// SMs finished preprocessing + sorting for the current frame.
+    pub input_done: bool,
+    /// RTGS finished backpropagation; gradients are in shared memory.
+    pub gradient_ready: bool,
+    /// SMs finished pruning (non-keyframes only).
+    pub pruning_done: bool,
+}
+
+/// A functional model of the RTGS plug-in's frame-level control interface.
+#[derive(Debug, Clone)]
+pub struct RtgsDevice {
+    flags: FlagBuffer,
+    status: RtgsStatus,
+    current_frame: Option<i32>,
+    current_is_keyframe: bool,
+    frames_completed: u64,
+}
+
+impl RtgsDevice {
+    /// A fresh, idle device.
+    pub fn new() -> Self {
+        Self {
+            flags: FlagBuffer::default(),
+            status: RtgsStatus::Idle,
+            current_frame: None,
+            current_is_keyframe: false,
+            frames_completed: 0,
+        }
+    }
+
+    /// `RTGS_execute`: submits a frame for processing. The SMs must have
+    /// completed preprocessing and sorting (sets `input_done`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a frame is already in flight.
+    pub fn execute(&mut self, frame_id: i32, is_keyframe: bool) -> Result<(), DeviceBusy> {
+        if self.status != RtgsStatus::Idle {
+            return Err(DeviceBusy {
+                in_flight: self.current_frame,
+            });
+        }
+        self.flags = FlagBuffer {
+            input_done: true,
+            ..Default::default()
+        };
+        self.current_frame = Some(frame_id);
+        self.current_is_keyframe = is_keyframe;
+        self.status = RtgsStatus::Executing;
+        Ok(())
+    }
+
+    /// Advances the device model by one phase, as the hardware would on
+    /// completing its current stage. Returns the new status.
+    ///
+    /// `Executing → WaitPruning` (non-keyframes: gradients written, SMs
+    /// prune) or `Executing → Idle` (keyframes skip pruning; RTGS updates
+    /// the Gaussians directly).
+    pub fn advance(&mut self) -> RtgsStatus {
+        match self.status {
+            RtgsStatus::Idle => RtgsStatus::Idle,
+            RtgsStatus::Executing => {
+                self.flags.gradient_ready = true;
+                if self.current_is_keyframe {
+                    self.complete();
+                    RtgsStatus::Idle
+                } else {
+                    self.status = RtgsStatus::WaitPruning;
+                    RtgsStatus::WaitPruning
+                }
+            }
+            RtgsStatus::WaitPruning => {
+                if self.flags.pruning_done {
+                    self.complete();
+                    RtgsStatus::Idle
+                } else {
+                    RtgsStatus::WaitPruning
+                }
+            }
+        }
+    }
+
+    /// The SMs signal that pruning finished (non-keyframes).
+    pub fn signal_pruning_done(&mut self) {
+        self.flags.pruning_done = true;
+    }
+
+    /// `RTGS_check_status`: reports the status for `frame_id`. With
+    /// `blocking`, the model advances until the device is idle (the
+    /// hardware would spin-wait), requiring `pruning_done` to have been
+    /// signalled for non-keyframes.
+    pub fn check_status(&mut self, frame_id: i32, blocking: bool) -> RtgsStatus {
+        if self.current_frame != Some(frame_id) && self.current_frame.is_some() {
+            return self.status;
+        }
+        if blocking {
+            for _ in 0..4 {
+                if self.status == RtgsStatus::Idle {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        self.status
+    }
+
+    /// Flags as visible in shared memory.
+    pub fn flags(&self) -> FlagBuffer {
+        self.flags
+    }
+
+    /// Number of frames fully processed.
+    pub fn frames_completed(&self) -> u64 {
+        self.frames_completed
+    }
+
+    fn complete(&mut self) {
+        self.status = RtgsStatus::Idle;
+        self.current_frame = None;
+        self.frames_completed += 1;
+    }
+}
+
+impl Default for RtgsDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Error returned by [`RtgsDevice::execute`] when a frame is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceBusy {
+    /// The frame currently being processed.
+    pub in_flight: Option<i32>,
+}
+
+impl std::fmt::Display for DeviceBusy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rtgs device busy with frame {:?}", self.in_flight)
+    }
+}
+
+impl std::error::Error for DeviceBusy {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_device_accepts_frames() {
+        let mut dev = RtgsDevice::new();
+        assert_eq!(dev.check_status(0, false), RtgsStatus::Idle);
+        dev.execute(0, false).unwrap();
+        assert_eq!(dev.check_status(0, false), RtgsStatus::Executing);
+        assert!(dev.flags().input_done);
+    }
+
+    #[test]
+    fn busy_device_rejects_overlapping_frames() {
+        let mut dev = RtgsDevice::new();
+        dev.execute(0, false).unwrap();
+        let err = dev.execute(1, false).unwrap_err();
+        assert_eq!(err.in_flight, Some(0));
+    }
+
+    #[test]
+    fn non_keyframe_waits_for_pruning() {
+        let mut dev = RtgsDevice::new();
+        dev.execute(7, false).unwrap();
+        assert_eq!(dev.advance(), RtgsStatus::WaitPruning);
+        assert!(dev.flags().gradient_ready);
+        // Without pruning_done the device stays in WAIT_PRUNING.
+        assert_eq!(dev.advance(), RtgsStatus::WaitPruning);
+        dev.signal_pruning_done();
+        assert_eq!(dev.advance(), RtgsStatus::Idle);
+        assert_eq!(dev.frames_completed(), 1);
+    }
+
+    #[test]
+    fn keyframe_skips_pruning() {
+        let mut dev = RtgsDevice::new();
+        dev.execute(3, true).unwrap();
+        assert_eq!(dev.advance(), RtgsStatus::Idle);
+        assert_eq!(dev.frames_completed(), 1);
+    }
+
+    #[test]
+    fn blocking_check_drains_keyframe() {
+        let mut dev = RtgsDevice::new();
+        dev.execute(1, true).unwrap();
+        assert_eq!(dev.check_status(1, true), RtgsStatus::Idle);
+    }
+
+    #[test]
+    fn blocking_check_requires_pruning_signal() {
+        let mut dev = RtgsDevice::new();
+        dev.execute(1, false).unwrap();
+        assert_eq!(dev.check_status(1, true), RtgsStatus::WaitPruning);
+        dev.signal_pruning_done();
+        assert_eq!(dev.check_status(1, true), RtgsStatus::Idle);
+    }
+
+    #[test]
+    fn sequential_frames_flow() {
+        let mut dev = RtgsDevice::new();
+        for frame in 0..5 {
+            let is_kf = frame % 5 == 0;
+            dev.execute(frame, is_kf).unwrap();
+            if !is_kf {
+                dev.advance();
+                dev.signal_pruning_done();
+            }
+            assert_eq!(dev.check_status(frame, true), RtgsStatus::Idle);
+        }
+        assert_eq!(dev.frames_completed(), 5);
+    }
+}

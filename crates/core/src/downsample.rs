@@ -1,0 +1,120 @@
+//! Dynamic downsampling (paper Sec. 4.2).
+//!
+//! Keyframes run at full resolution `R₀`; the first non-keyframe after a
+//! keyframe runs at `(1/16)·R₀` (pixel count), and each further consecutive
+//! non-keyframe scales resolution up by `m` until the `(1/4)·R₀` ceiling.
+//! The ramp reuses the keyframe identification the pipeline already
+//! performs — no extra analysis.
+
+/// Configuration of the dynamic downsampling schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DownsamplingConfig {
+    /// Linear downsample factor right after a keyframe. The paper's
+    /// `(1/16)·R₀` area ratio corresponds to a linear factor of 4.
+    pub start_factor: usize,
+    /// Minimum linear factor for distant non-keyframes. The paper's
+    /// `(1/4)·R₀` cap corresponds to a linear factor of 2.
+    pub min_factor: usize,
+    /// Resolution scaling factor `m` per consecutive non-keyframe
+    /// (applied to pixel count). Paper default: 2.
+    pub m: f32,
+}
+
+impl Default for DownsamplingConfig {
+    fn default() -> Self {
+        Self {
+            start_factor: 4,
+            min_factor: 2,
+            m: 2.0,
+        }
+    }
+}
+
+impl DownsamplingConfig {
+    /// Linear downsample factor for a frame `frames_since_keyframe` frames
+    /// after the last keyframe (`0` = the keyframe itself → full
+    /// resolution).
+    ///
+    /// Implements `Rₙ = min((1/s²)·R₀·m^(n-1), (1/min²)·R₀)` on pixel
+    /// counts, returned as the nearest integer linear factor.
+    pub fn factor_for(&self, frames_since_keyframe: usize) -> usize {
+        if frames_since_keyframe == 0 {
+            return 1;
+        }
+        let n = frames_since_keyframe as i32;
+        // Pixel-count ratio starts at 1/start², multiplied by m per frame.
+        let start_area = 1.0 / (self.start_factor * self.start_factor) as f32;
+        let cap_area = 1.0 / (self.min_factor * self.min_factor) as f32;
+        let area = (start_area * self.m.powi(n - 1)).min(cap_area);
+        // Linear factor = sqrt(1/area), rounded, at least min_factor.
+        let linear = (1.0 / area).sqrt().round() as usize;
+        linear.clamp(self.min_factor.min(self.start_factor), self.start_factor)
+    }
+
+    /// The full schedule for `horizon` consecutive non-keyframes (index 0 is
+    /// the first non-keyframe).
+    pub fn schedule(&self, horizon: usize) -> Vec<usize> {
+        (1..=horizon).map(|n| self.factor_for(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyframe_runs_at_full_resolution() {
+        assert_eq!(DownsamplingConfig::default().factor_for(0), 1);
+    }
+
+    #[test]
+    fn first_non_keyframe_uses_start_factor() {
+        // 1/16 of the pixels = linear factor 4.
+        assert_eq!(DownsamplingConfig::default().factor_for(1), 4);
+    }
+
+    #[test]
+    fn resolution_ramps_up_with_distance() {
+        let cfg = DownsamplingConfig::default();
+        let schedule = cfg.schedule(5);
+        // Area: 1/16, 1/8, 1/4 (cap), 1/4, ... -> linear 4, 3, 2, 2, 2.
+        assert_eq!(schedule[0], 4);
+        assert!(schedule[1] <= schedule[0]);
+        assert_eq!(schedule[2], 2);
+        assert_eq!(schedule[4], 2);
+        // Monotone non-increasing factors (non-decreasing resolution).
+        for w in schedule.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn cap_at_quarter_resolution() {
+        let cfg = DownsamplingConfig::default();
+        for n in 3..20 {
+            assert_eq!(cfg.factor_for(n), 2, "factor should stay at the cap");
+        }
+    }
+
+    #[test]
+    fn custom_m_changes_ramp_speed() {
+        let slow = DownsamplingConfig {
+            m: 1.3,
+            ..Default::default()
+        };
+        let fast = DownsamplingConfig::default();
+        // With slower m the factor stays higher for longer.
+        assert!(slow.factor_for(3) >= fast.factor_for(3));
+    }
+
+    #[test]
+    fn degenerate_config_is_safe() {
+        let cfg = DownsamplingConfig {
+            start_factor: 2,
+            min_factor: 2,
+            m: 2.0,
+        };
+        assert_eq!(cfg.factor_for(1), 2);
+        assert_eq!(cfg.factor_for(10), 2);
+    }
+}

@@ -1,0 +1,278 @@
+//! Algorithm-side experiments: Tab. 2 (base algorithm comparison), Tab. 6
+//! (main algorithm results), Tab. 7 (GauSPU comparison), Fig. 13
+//! (precision baselines + drift) and Fig. 14 (pruning ablations).
+
+use crate::common::{dataset, f, run_variant, slam_config, to_workload, Scale, Table, Variant};
+use rtgs_accel::{simulate_run, HardwareModel};
+use rtgs_baselines::{BaselineExtension, FlashGsPruner, LightGaussianPruner};
+use rtgs_core::{PruningConfig, RtgsConfig};
+use rtgs_metrics::per_frame_errors;
+use rtgs_scene::DatasetProfile;
+use rtgs_slam::{BaseAlgorithm, SlamPipeline};
+
+/// Tab. 2: accuracy / speed / storage of the four base 3DGS-SLAM
+/// algorithms on the Replica analog, with hardware FPS modeled on the ONX.
+pub fn table2(scale: Scale) -> String {
+    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
+    let mut out = String::from("Tab. 2: base 3DGS-SLAM algorithms on Replica-analog (ONX model)\n");
+    let mut table = Table::new(&[
+        "algorithm", "ATE(cm)", "PSNR(dB)", "trackFPS", "overallFPS", "peakMem(MB)", "mono",
+    ]);
+    for algo in BaseAlgorithm::all() {
+        let report = run_variant(algo, &ds, scale, Variant::Base, true);
+        let cost = simulate_run(&to_workload(&report), &HardwareModel::onx(), true);
+        table.row(vec![
+            algo.name().into(),
+            f(report.ate.rmse_cm(), 2),
+            f(report.mean_psnr, 2),
+            f(cost.tracking_fps, 2),
+            f(cost.overall_fps, 2),
+            f(report.peak_param_bytes as f64 / 1e6, 2),
+            if algo.geometric_tracking() || algo == BaseAlgorithm::MonoGs {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\nExpected shape (paper Tab. 2): SplaTAM slowest overall; Photo-SLAM fastest;\nMonoGS most accurate with the largest map.\n");
+    out
+}
+
+/// Tab. 6: the main algorithm comparison — 3 base algorithms × 4 datasets
+/// × {base, Taming 3DGS, Ours}.
+pub fn table6(scale: Scale) -> String {
+    let mut out =
+        String::from("Tab. 6: algorithm variants across datasets (wall-clock on this CPU)\n");
+    let mut table = Table::new(&[
+        "method", "dataset", "ATE(cm)", "PSNR(dB)", "relFPS", "peakMem(MB)",
+    ]);
+    for profile in DatasetProfile::all_analogs() {
+        let ds = dataset(scale.profile(profile), scale.frames());
+        for algo in BaseAlgorithm::keyframe_based() {
+            let mut base_fps = 0.0;
+            for variant in [Variant::Base, Variant::Taming, Variant::Ours] {
+                let report = run_variant(algo, &ds, scale, variant, false);
+                let fps = report.overall_fps();
+                if variant == Variant::Base {
+                    base_fps = fps;
+                }
+                table.row(vec![
+                    variant.label(algo),
+                    ds.profile.name.clone(),
+                    f(report.ate.rmse_cm(), 2),
+                    f(report.mean_psnr, 2),
+                    f(if base_fps > 0.0 { fps / base_fps } else { 1.0 }, 2) + "x",
+                    f(report.peak_param_bytes as f64 / 1e6, 2),
+                ]);
+            }
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str("\nExpected shape (paper Tab. 6): Ours ~2.5-3.6x base FPS with <~10% ATE/PSNR\ndegradation and lower memory; Taming 3DGS trades more quality for less gain\n(its scores cannot converge within SLAM's iteration budget).\n");
+    out
+}
+
+/// Tab. 7: SplaTAM on the RTX 3090, base vs GauSPU vs Ours.
+pub fn table7(scale: Scale) -> String {
+    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
+    let base = run_variant(BaseAlgorithm::SplaTam, &ds, scale, Variant::Base, true);
+    let ours = run_variant(BaseAlgorithm::SplaTam, &ds, scale, Variant::Ours, true);
+
+    let base_run = to_workload(&base);
+    let ours_run = to_workload(&ours);
+    let rtx = simulate_run(&base_run, &HardwareModel::rtx3090(), true);
+    let gauspu = simulate_run(&base_run, &HardwareModel::gauspu(), true);
+    let ours_hw = simulate_run(&ours_run, &HardwareModel::rtgs_on_rtx3090(), true);
+
+    let mut out = String::from("Tab. 7: SplaTAM on RTX 3090 — base vs GauSPU vs Ours\n");
+    let mut table = Table::new(&[
+        "method", "ATE(cm)", "PSNR(dB)", "trackFPS", "overallFPS", "peakMem(MB)",
+    ]);
+    table.row(vec![
+        "SplaTAM".into(),
+        f(base.ate.rmse_cm(), 2),
+        f(base.mean_psnr, 2),
+        f(rtx.tracking_fps, 1),
+        f(rtx.overall_fps, 1),
+        f(base.peak_param_bytes as f64 / 1e6, 2),
+    ]);
+    table.row(vec![
+        "GauSPU + SplaTAM".into(),
+        f(base.ate.rmse_cm(), 2),
+        f(base.mean_psnr, 2),
+        f(gauspu.tracking_fps, 1),
+        f(gauspu.overall_fps, 1),
+        f(base.peak_param_bytes as f64 / 1e6, 2),
+    ]);
+    table.row(vec![
+        "Ours + SplaTAM".into(),
+        f(ours.ate.rmse_cm(), 2),
+        f(ours.mean_psnr, 2),
+        f(ours_hw.tracking_fps, 1),
+        f(ours_hw.overall_fps, 1),
+        f(ours.peak_param_bytes as f64 / 1e6, 2),
+    ]);
+    out.push_str(&table.render());
+    out.push_str("\nExpected shape (paper Tab. 7): Ours reaches the highest FPS with the lowest\npeak memory at comparable quality.\n");
+    out
+}
+
+/// Fig. 13: (a) accuracy/efficiency trade-off against precision-oriented
+/// pruners at a 50% ratio; (b) cumulative drift for pruning ratios.
+pub fn fig13(scale: Scale) -> String {
+    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
+    let mut out = String::from("Fig. 13(a): 50% pruning — quality vs throughput vs evaluation cost\n");
+    let mut table = Table::new(&["method", "ATE(cm)", "relFPS", "eval overhead (ops)"]);
+
+    let base = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
+    let base_fps = base.overall_fps();
+    table.row(vec![
+        "Baseline (no pruning)".into(),
+        f(base.ate.rmse_cm(), 2),
+        "1.00x".into(),
+        "0".into(),
+    ]);
+
+    let cfg = slam_config(BaseAlgorithm::MonoGs, scale, false);
+    // LightGaussian-style
+    {
+        let ext = BaselineExtension::new(LightGaussianPruner::new(), 0.5);
+        let mut pipe = SlamPipeline::with_extension(cfg, &ds, Box::new(ext));
+        let report = pipe.run();
+        table.row(vec![
+            "LightGaussian".into(),
+            f(report.ate.rmse_cm(), 2),
+            f(report.overall_fps() / base_fps, 2) + "x",
+            "high (global score pass)".into(),
+        ]);
+    }
+    // FlashGS-style
+    {
+        let ext = BaselineExtension::new(FlashGsPruner::new(), 0.5);
+        let mut pipe = SlamPipeline::with_extension(cfg, &ds, Box::new(ext));
+        let report = pipe.run();
+        table.row(vec![
+            "FlashGS".into(),
+            f(report.ate.rmse_cm(), 2),
+            f(report.overall_fps() / base_fps, 2) + "x",
+            "highest (saliency pass)".into(),
+        ]);
+    }
+    // RTGS
+    {
+        let ours = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Ours, false);
+        table.row(vec![
+            "RTGS Algo (ours)".into(),
+            f(ours.ate.rmse_cm(), 2),
+            f(ours.overall_fps() / base_fps, 2) + "x",
+            "zero (gradients reused)".into(),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nFig. 13(b): cumulative drift over frames by pruning ratio\n");
+    let mut table = Table::new(&["prune ratio", "ATE(cm)", "final-frame error (cm)"]);
+    for ratio in [0.0f32, 0.25, 0.5, 0.8] {
+        let report = if ratio == 0.0 {
+            run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false)
+        } else {
+            let rtgs = RtgsConfig {
+                pruning: Some(PruningConfig {
+                    max_prune_ratio: ratio,
+                    prune_step_fraction: (ratio / 2.0).max(0.1),
+                    ..Default::default()
+                }),
+                downsampling: None,
+            };
+            SlamPipeline::with_extension(slam_config(BaseAlgorithm::MonoGs, scale, false), &ds, rtgs.into_extension())
+                .run()
+        };
+        let errors = per_frame_errors(&report.trajectory, &ds.poses_c2w[..report.trajectory.len()]);
+        table.row(vec![
+            format!("{:.0}%", ratio * 100.0),
+            f(report.ate.rmse_cm(), 2),
+            f(errors.last().copied().unwrap_or(0.0) * 100.0, 2),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\nExpected shape (paper Fig. 13/14a): drift comparable to baseline up to 50%\npruning, rising sharply beyond.\n");
+    out
+}
+
+/// Fig. 14: (a) ATE and latency versus pruning ratio; (b) forward/backward
+/// speedup attribution of the two algorithm techniques.
+pub fn fig14(scale: Scale) -> String {
+    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
+    let mut out = String::from("Fig. 14(a): pruning-ratio sweep (MonoGS, Replica-analog)\n");
+    let mut table = Table::new(&["prune ratio", "ATE(cm)", "latency/frame (ms)"]);
+    for ratio in [0.0f32, 0.15, 0.3, 0.5, 0.7] {
+        let report = if ratio == 0.0 {
+            run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false)
+        } else {
+            let rtgs = RtgsConfig {
+                pruning: Some(PruningConfig {
+                    max_prune_ratio: ratio,
+                    prune_step_fraction: (ratio / 2.0).max(0.1),
+                    ..Default::default()
+                }),
+                downsampling: None,
+            };
+            SlamPipeline::with_extension(slam_config(BaseAlgorithm::MonoGs, scale, false), &ds, rtgs.into_extension())
+                .run()
+        };
+        table.row(vec![
+            format!("{:.0}%", ratio * 100.0),
+            f(report.ate.rmse_cm(), 2),
+            f(
+                report.total_wall.as_secs_f64() * 1000.0 / report.frames_processed.max(1) as f64,
+                1,
+            ),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nFig. 14(b): forward/backward work reduction by technique (fragment counts)\n");
+    let mut table = Table::new(&["technique", "FF speedup", "BP speedup"]);
+    let frag_ff = |r: &rtgs_slam::SlamReport| -> f64 {
+        r.frames.iter().map(|fr| fr.tracking_fragments as f64).sum::<f64>().max(1.0)
+    };
+    let frag_bp = |r: &rtgs_slam::SlamReport| -> f64 {
+        r.frames.iter().map(|fr| fr.tracking_grad_events as f64).sum::<f64>().max(1.0)
+    };
+    let base = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
+    for (name, rtgs) in [
+        ("adaptive pruning", RtgsConfig::pruning_only()),
+        ("dynamic downsampling", RtgsConfig::downsampling_only()),
+        ("both", RtgsConfig::full()),
+    ] {
+        let report = SlamPipeline::with_extension(
+            slam_config(BaseAlgorithm::MonoGs, scale, false),
+            &ds,
+            rtgs.into_extension(),
+        )
+        .run();
+        table.row(vec![
+            name.into(),
+            f(frag_ff(&base) / frag_ff(&report), 2) + "x",
+            f(frag_bp(&base) / frag_bp(&report), 2) + "x",
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\nPaper reference (Fig. 14b): pruning 1.53x FF / 1.7x BP;\ndownsampling 2.1x FF / 1.9x BP.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_contains_all_algorithms() {
+        let out = table2(Scale::Quick);
+        for name in ["SplaTAM", "GS-SLAM", "MonoGS", "Photo-SLAM"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment runner binary.
+//!
+//! ```bash
+//! experiments <name>|all [--full]
+//! ```
+
+use rtgs_experiments::{run_experiment, Scale, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let names: Vec<&str> = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(name) if name == "all" => EXPERIMENTS.to_vec(),
+        Some(name) => vec![name.as_str()],
+        None => {
+            eprintln!("usage: experiments <name>|all [--full]");
+            eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+            std::process::exit(2);
+        }
+    };
+    for name in names {
+        println!("================ {name} ================");
+        match run_experiment(name, scale) {
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

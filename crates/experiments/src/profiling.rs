@@ -1,0 +1,216 @@
+//! Profiling experiments: Fig. 3 (latency breakdown), Fig. 4 (gradient
+//! distribution), Fig. 5 (inter-frame similarity) and Fig. 6 (per-pixel
+//! workload distributions) — Sec. 3 of the paper.
+
+use crate::common::{dataset, f, run_variant, Scale, Table, Variant};
+use rtgs_metrics::{rmse, ssim};
+use rtgs_scene::DatasetProfile;
+use rtgs_slam::BaseAlgorithm;
+
+/// Fig. 3: latency breakdown of the SLAM pipeline.
+///
+/// (a) per-stage share of total runtime for the three keyframe algorithms
+/// on TUM- and ScanNet-analogs; (b) per-step share within tracking and
+/// mapping for MonoGS.
+pub fn fig3(scale: Scale) -> String {
+    let mut out = String::from("Fig. 3(a): stage share of total runtime (percent)\n");
+    let mut table = Table::new(&[
+        "algorithm", "dataset", "tracking%", "mapping%", "other%",
+    ]);
+    for profile in [DatasetProfile::tum_analog(), DatasetProfile::scannet_analog()] {
+        let ds = dataset(scale.profile(profile), scale.frames());
+        for algo in BaseAlgorithm::keyframe_based() {
+            let report = run_variant(algo, &ds, scale, Variant::Base, false);
+            let total = report.total_wall.as_secs_f64().max(1e-12);
+            let tracking = report.tracking_wall.as_secs_f64() / total * 100.0;
+            let mapping = report.mapping_wall.as_secs_f64() / total * 100.0;
+            table.row(vec![
+                algo.name().into(),
+                ds.profile.name.clone(),
+                f(tracking, 1),
+                f(mapping, 1),
+                f((100.0 - tracking - mapping).max(0.0), 1),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nFig. 3(b): per-step share within MonoGS tracking/mapping (percent)\n");
+    let ds = dataset(scale.profile(DatasetProfile::tum_analog()), scale.frames());
+    let report = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
+    let mut table = Table::new(&[
+        "stage", "preprocess%", "sorting%", "render%", "render_bp%", "preprocess_bp%", "other%",
+    ]);
+    for (name, t) in [
+        ("tracking", report.tracking_timings),
+        ("mapping", report.mapping_timings),
+    ] {
+        let shares = t.shares();
+        let mut row = vec![name.to_string()];
+        row.extend(shares.iter().map(|s| f(s * 100.0, 1)));
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nPaper reference (Fig. 3b, tracking): rendering 33%, rendering BP 53%,\n\
+         preprocessing 3%, sorting 6%, preprocessing BP 5%.\n",
+    );
+    out
+}
+
+/// Fig. 4: Gaussian gradient (importance) distribution during tracking.
+///
+/// Reports what fraction of the total importance mass the top-k% most
+/// important Gaussians carry; the paper finds the top 14% carry the
+/// majority.
+pub fn fig4(scale: Scale) -> String {
+    let ds = dataset(scale.profile(DatasetProfile::tum_analog()), scale.frames());
+    // Accumulate per-Gaussian importance over the base run's tracking.
+    use rtgs_slam::{track_frame, StageTimings, TrackingConfig};
+    let report = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
+    // Re-track the last frame against the final map, collecting gradients.
+    let scene = {
+        // Rebuild via a short pipeline run is costly; instead track frame 1
+        // against the reference scene (the distribution shape is a property
+        // of the scene structure).
+        ds.reference_scene.clone()
+    };
+    let mut mask = vec![true; scene.len()];
+    let mut timings = StageTimings::default();
+    let mut scores = vec![0.0f64; scene.len()];
+    struct Collect<'a> {
+        scores: &'a mut Vec<f64>,
+    }
+    impl rtgs_slam::TrackingObserver for Collect<'_> {
+        fn after_iteration(
+            &mut self,
+            artifacts: &rtgs_slam::IterationArtifacts<'_>,
+            _mask: &mut [bool],
+        ) {
+            for (i, g) in artifacts.grads.gaussians.iter().enumerate() {
+                self.scores[i] += g.importance_score(0.8) as f64;
+            }
+        }
+    }
+    let mut observer = Collect { scores: &mut scores };
+    let _ = track_frame(
+        &scene,
+        ds.poses_c2w[1].inverse(),
+        &ds.frames[1],
+        &ds.camera,
+        &TrackingConfig {
+            iterations: scale.tracking_iters(),
+            ..Default::default()
+        },
+        &mut mask,
+        &mut observer,
+        &mut timings,
+    );
+
+    let mut sorted = scores.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let total: f64 = sorted.iter().sum::<f64>().max(1e-12);
+    let mut out = String::from("Fig. 4: Gaussian importance distribution during tracking\n");
+    let mut table = Table::new(&["top-k% Gaussians", "share of importance mass"]);
+    for pct in [5usize, 10, 14, 25, 50] {
+        let k = (sorted.len() * pct / 100).max(1);
+        let mass: f64 = sorted[..k].iter().sum();
+        table.row(vec![format!("{pct}%"), f(mass / total * 100.0, 1) + "%"]);
+    }
+    table.row(vec![
+        "(paper: top 14% carry the majority)".into(),
+        String::new(),
+    ]);
+    out.push_str(&table.render());
+    let _ = report;
+    out
+}
+
+/// Fig. 5: pixel-wise (RMSE) and structural (SSIM) similarity of
+/// consecutive frames, with keyframe positions marked.
+pub fn fig5(scale: Scale) -> String {
+    let frames = scale.frames().max(8);
+    let ds = dataset(scale.profile(DatasetProfile::tum_analog()), frames);
+    let report = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
+    let keyframes: Vec<usize> = report
+        .frames
+        .iter()
+        .filter(|fr| fr.is_keyframe)
+        .map(|fr| fr.index)
+        .collect();
+
+    let mut out = String::from("Fig. 5: similarity of consecutive frames\n");
+    let mut table = Table::new(&["frame", "RMSE vs prev", "SSIM vs prev", "keyframe"]);
+    for i in 1..ds.len() {
+        let a = &ds.frames[i - 1].color;
+        let b = &ds.frames[i].color;
+        table.row(vec![
+            i.to_string(),
+            f(rmse(a, b) * 100.0, 2) + " (x100)",
+            f(ssim(a, b), 4),
+            if keyframes.contains(&i) { "KF".into() } else { String::new() },
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\nExpected shape: high SSIM / low RMSE between consecutive non-keyframes\n(Observation 5: non-keyframe content is highly redundant).\n");
+    out
+}
+
+/// Fig. 6: per-pixel workload distributions across frames and across
+/// iterations within one frame.
+pub fn fig6(scale: Scale) -> String {
+    let ds = dataset(scale.profile(DatasetProfile::tum_analog()), scale.frames());
+    let report = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, true);
+    let edges = [2u32, 10, 50, 200];
+
+    let mut out = String::from(
+        "Fig. 6 (top): workload distribution across frames (pixel counts per bucket)\n",
+    );
+    let mut table = Table::new(&["frame", "<2", "2-9", "10-49", "50-199", ">=200", "mean w"]);
+    for fr in report.frames.iter().filter(|fr| !fr.traces.is_empty()) {
+        let t = &fr.traces[0];
+        let h = t.workload_histogram(&edges);
+        let mut row = vec![fr.index.to_string()];
+        row.extend(h.iter().map(|c| c.to_string()));
+        row.push(f(t.mean_pixel_workload(), 1));
+        table.row(row);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nFig. 6 (bottom): distribution across iterations within one frame\n");
+    let mut table = Table::new(&["iteration", "<2", "2-9", "10-49", "50-199", ">=200", "similarity to prev"]);
+    if let Some(fr) = report.frames.iter().find(|fr| fr.traces.len() > 2) {
+        for (i, t) in fr.traces.iter().enumerate() {
+            let h = t.workload_histogram(&edges);
+            let mut row = vec![i.to_string()];
+            row.extend(h.iter().map(|c| c.to_string()));
+            row.push(if i == 0 {
+                "-".into()
+            } else {
+                f(1.0 - t.workload_similarity(&fr.traces[i - 1]), 3)
+            });
+            table.row(row);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str("\nExpected shape: distributions vary across frames but stay nearly identical\nacross iterations (Observation 6) — the WSU reuses the schedule.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_distribution_is_skewed() {
+        let out = fig4(Scale::Quick);
+        assert!(out.contains("14%"));
+    }
+
+    #[test]
+    fn fig5_reports_rows() {
+        let out = fig5(Scale::Quick);
+        assert!(out.contains("SSIM"));
+        assert!(out.lines().count() > 6);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the math primitives.
+
+use proptest::prelude::*;
+use rtgs_math::{Mat3, Quat, Se3, Sym2, Sym3, Vec3};
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    -2.0f32..2.0f32
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (small_f32(), small_f32(), small_f32()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_quat() -> impl Strategy<Value = Quat> {
+    (vec3(), -3.0f32..3.0f32)
+        .prop_filter("non-degenerate axis", |(a, _)| a.norm() > 1e-3)
+        .prop_map(|(axis, angle)| Quat::from_axis_angle(axis, angle))
+}
+
+proptest! {
+    #[test]
+    fn rotation_preserves_norm(q in unit_quat(), v in vec3()) {
+        let rotated = q.rotate(v);
+        prop_assert!((rotated.norm() - v.norm()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rotation_preserves_dot(q in unit_quat(), a in vec3(), b in vec3()) {
+        let da = q.rotate(a).dot(q.rotate(b));
+        prop_assert!((da - a.dot(b)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn quat_matrix_roundtrip(q in unit_quat()) {
+        let q2 = Quat::from_rotation_matrix(&q.to_rotation_matrix());
+        prop_assert!(q.angle_to(q2) < 1e-3);
+    }
+
+    #[test]
+    fn se3_inverse_composition_is_identity(q in unit_quat(), t in vec3()) {
+        let pose = Se3::new(q, t);
+        let id = pose.compose(&pose.inverse());
+        prop_assert!(id.translation.max_abs() < 1e-4);
+        prop_assert!(id.rotation.angle_to(Quat::IDENTITY) < 1e-3);
+    }
+
+    #[test]
+    fn se3_exp_log_roundtrip(
+        rho in prop::array::uniform3(-1.0f32..1.0),
+        phi in prop::array::uniform3(-1.0f32..1.0),
+    ) {
+        let xi = [rho[0], rho[1], rho[2], phi[0], phi[1], phi[2]];
+        let back = Se3::exp(xi).log();
+        for i in 0..6 {
+            prop_assert!((xi[i] - back[i]).abs() < 1e-3,
+                "component {} differs: {} vs {}", i, xi[i], back[i]);
+        }
+    }
+
+    #[test]
+    fn se3_transform_roundtrip(q in unit_quat(), t in vec3(), p in vec3()) {
+        let pose = Se3::new(q, t);
+        let back = pose.inverse().transform_point(pose.transform_point(p));
+        prop_assert!((back - p).max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn sym2_inverse_is_inverse(xx in 0.5f32..3.0, yy in 0.5f32..3.0, xy in -0.4f32..0.4) {
+        let s = Sym2::new(xx, xy, yy);
+        prop_assume!(s.is_positive_definite());
+        let inv = s.inverse().unwrap();
+        let prod = s.to_mat2() * inv.to_mat2();
+        prop_assert!((prod.m[0][0] - 1.0).abs() < 1e-3);
+        prop_assert!((prod.m[1][1] - 1.0).abs() < 1e-3);
+        prop_assert!(prod.m[0][1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn sym2_eigenvalues_bound_quadratic_form(
+        xx in 0.5f32..3.0, yy in 0.5f32..3.0, xy in -0.4f32..0.4,
+        vx in -1.0f32..1.0, vy in -1.0f32..1.0,
+    ) {
+        let s = Sym2::new(xx, xy, yy);
+        let v = rtgs_math::Vec2::new(vx, vy);
+        prop_assume!(v.norm() > 1e-3);
+        let (l1, l2) = s.eigenvalues();
+        let rayleigh = s.quadratic_form(v) / v.norm_squared();
+        prop_assert!(rayleigh <= l1 + 1e-3);
+        prop_assert!(rayleigh >= l2 - 1e-3);
+    }
+
+    #[test]
+    fn sym3_congruence_preserves_psd(q in unit_quat(), d in prop::array::uniform3(0.1f32..2.0)) {
+        // Build a PSD covariance from rotation * diag(d)^2
+        let r = q.to_rotation_matrix();
+        let m = r * Mat3::from_diagonal(Vec3::new(d[0], d[1], d[2]));
+        let cov = Sym3::from_m_mt(&m);
+        let a = Mat3::from_rows([1.0, 0.2, -0.1], [0.0, 0.9, 0.3], [0.1, 0.0, 1.1]);
+        let proj = cov.congruence(&a);
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.5, -0.5, 0.7)] {
+            prop_assert!(v.dot(proj.mul_vec(v)) >= -1e-4);
+        }
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip_for_well_conditioned(
+        q in unit_quat(), d in prop::array::uniform3(0.5f32..2.0)
+    ) {
+        let m = q.to_rotation_matrix() * Mat3::from_diagonal(Vec3::new(d[0], d[1], d[2]));
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((id.m[i][j] - expect).abs() < 1e-3);
+            }
+        }
+    }
+}

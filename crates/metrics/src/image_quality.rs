@@ -1,0 +1,200 @@
+//! Image-quality metrics: PSNR, SSIM, RMSE (paper Sec. 3, Sec. 6.2).
+
+use rtgs_render::Image;
+
+/// Peak Signal-to-Noise Ratio in dB between two images in `[0, 1]`.
+///
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    let mse = mse(a, b);
+    if mse <= 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (1.0 / mse).log10()
+}
+
+/// Mean squared error over all pixels and channels.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "image widths differ");
+    assert_eq!(a.height(), b.height(), "image heights differ");
+    let mut acc = 0.0f64;
+    for (pa, pb) in a.data().iter().zip(b.data().iter()) {
+        let d = *pa - *pb;
+        acc += (d.x as f64).powi(2) + (d.y as f64).powi(2) + (d.z as f64).powi(2);
+    }
+    acc / (a.data().len() as f64 * 3.0)
+}
+
+/// Root-mean-square error over all pixels and channels — the pixel-wise
+/// difference metric of the paper's Fig. 5 (reported there in brightness
+/// units).
+pub fn rmse(a: &Image, b: &Image) -> f64 {
+    mse(a, b).sqrt()
+}
+
+/// Structural Similarity Index (mean over channels) with the standard
+/// Gaussian-free 8×8 block formulation.
+///
+/// Uses the canonical constants `C1 = (0.01)²`, `C2 = (0.03)²` for unit
+/// dynamic range. Values are in `[-1, 1]`; 1 means identical structure.
+///
+/// # Panics
+///
+/// Panics if dimensions differ or images are smaller than one block.
+pub fn ssim(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "image widths differ");
+    assert_eq!(a.height(), b.height(), "image heights differ");
+    const BLOCK: usize = 8;
+    assert!(
+        a.width() >= BLOCK && a.height() >= BLOCK,
+        "images must be at least {BLOCK}x{BLOCK}"
+    );
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+
+    let mut total = 0.0f64;
+    let mut blocks = 0usize;
+    for by in (0..a.height() - BLOCK + 1).step_by(BLOCK) {
+        for bx in (0..a.width() - BLOCK + 1).step_by(BLOCK) {
+            for ch in 0..3 {
+                let mut sum_a = 0.0f64;
+                let mut sum_b = 0.0f64;
+                let mut sum_aa = 0.0f64;
+                let mut sum_bb = 0.0f64;
+                let mut sum_ab = 0.0f64;
+                let n = (BLOCK * BLOCK) as f64;
+                for y in by..by + BLOCK {
+                    for x in bx..bx + BLOCK {
+                        let va = channel(a, x, y, ch);
+                        let vb = channel(b, x, y, ch);
+                        sum_a += va;
+                        sum_b += vb;
+                        sum_aa += va * va;
+                        sum_bb += vb * vb;
+                        sum_ab += va * vb;
+                    }
+                }
+                let mu_a = sum_a / n;
+                let mu_b = sum_b / n;
+                let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
+                let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
+                let cov = sum_ab / n - mu_a * mu_b;
+                let s = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                    / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+                total += s;
+                blocks += 1;
+            }
+        }
+    }
+    total / blocks as f64
+}
+
+#[inline]
+fn channel(img: &Image, x: usize, y: usize, ch: usize) -> f64 {
+    let p = img.pixel(x, y);
+    match ch {
+        0 => p.x as f64,
+        1 => p.y as f64,
+        _ => p.z as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgs_math::Vec3;
+
+    fn constant(w: usize, h: usize, v: f32) -> Image {
+        Image::from_data(w, h, vec![Vec3::splat(v); w * h])
+    }
+
+    fn gradient(w: usize, h: usize) -> Image {
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set_pixel(x, y, Vec3::splat(x as f32 / w as f32));
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let img = gradient(16, 16);
+        assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_of_known_mse() {
+        // constant difference of 0.1 -> MSE = 0.01 -> PSNR = 20 dB
+        let a = constant(16, 16, 0.5);
+        let b = constant(16, 16, 0.6);
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = gradient(16, 16);
+        let b = constant(16, 16, 0.52);
+        let c = constant(16, 16, 0.9);
+        // b is closer to the gradient's mean than c.
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let a = constant(8, 8, 0.2);
+        let b = constant(8, 8, 0.5);
+        assert!((rmse(&a, &b) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let img = gradient(16, 16);
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_detects_structural_difference() {
+        let a = gradient(16, 16);
+        let mut b = gradient(16, 16);
+        // Transpose the structure.
+        for y in 0..16 {
+            for x in 0..16 {
+                b.set_pixel(x, y, Vec3::splat(y as f32 / 16.0));
+            }
+        }
+        let s_same = ssim(&a, &a);
+        let s_diff = ssim(&a, &b);
+        assert!(s_diff < s_same);
+        assert!(s_diff < 0.9);
+    }
+
+    #[test]
+    fn ssim_brightness_shift_scores_higher_than_structure_change() {
+        let a = gradient(16, 16);
+        let mut shifted = Image::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = a.pixel(x, y) + Vec3::splat(0.05);
+                shifted.set_pixel(x, y, v);
+            }
+        }
+        let noise = constant(16, 16, 0.5);
+        assert!(ssim(&a, &shifted) > ssim(&a, &noise));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_dims_panic() {
+        let _ = psnr(&constant(8, 8, 0.0), &constant(9, 8, 0.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! Quality metrics for SLAM and rendering evaluation.
+//!
+//! - [`psnr`], [`ssim`], [`rmse`], [`mse`] — rendering fidelity and the
+//!   inter-frame similarity measures of the paper's Fig. 5.
+//! - [`absolute_trajectory_error`] — tracking accuracy (ATE with Umeyama
+//!   alignment), the `ATE (cm)` column of every results table.
+//!
+//! # Example
+//!
+//! ```
+//! use rtgs_metrics::psnr;
+//! use rtgs_render::Image;
+//!
+//! let a = Image::new(16, 16);
+//! let b = Image::new(16, 16);
+//! assert!(psnr(&a, &b).is_infinite()); // identical images
+//! ```
+
+mod image_quality;
+mod trajectory;
+
+pub use image_quality::{mse, psnr, rmse, ssim};
+pub use trajectory::{absolute_trajectory_error, per_frame_errors, AteResult};

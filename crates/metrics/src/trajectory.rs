@@ -1,0 +1,324 @@
+//! Trajectory accuracy: Absolute Trajectory Error (ATE) with Umeyama
+//! alignment — the tracking-accuracy metric of every table in the paper.
+
+use rtgs_math::{Mat3, Se3, Vec3};
+
+/// Result of evaluating an estimated trajectory against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AteResult {
+    /// RMSE of aligned translational errors, in the trajectory's units.
+    pub rmse: f64,
+    /// Mean translational error.
+    pub mean: f64,
+    /// Maximum translational error.
+    pub max: f64,
+}
+
+impl AteResult {
+    /// ATE RMSE converted to centimeters assuming meter-unit trajectories
+    /// (the unit of the paper's tables).
+    pub fn rmse_cm(&self) -> f64 {
+        self.rmse * 100.0
+    }
+}
+
+/// Computes ATE between estimated and ground-truth camera-to-world poses.
+///
+/// The estimated trajectory is first rigidly aligned (rotation +
+/// translation, no scale) to the ground truth with the Umeyama/Kabsch
+/// algorithm, as done by the standard TUM evaluation script, then the RMSE
+/// of the residual translation errors is reported.
+///
+/// # Panics
+///
+/// Panics if the trajectories have different lengths or are empty.
+pub fn absolute_trajectory_error(estimated: &[Se3], ground_truth: &[Se3]) -> AteResult {
+    assert_eq!(
+        estimated.len(),
+        ground_truth.len(),
+        "trajectory lengths differ"
+    );
+    assert!(!estimated.is_empty(), "trajectories must be non-empty");
+
+    let est: Vec<Vec3> = estimated.iter().map(|p| p.translation).collect();
+    let gt: Vec<Vec3> = ground_truth.iter().map(|p| p.translation).collect();
+    let (r, t) = umeyama_alignment(&est, &gt);
+
+    let mut sum_sq = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    for (e, g) in est.iter().zip(gt.iter()) {
+        let aligned = r.mul_vec(*e) + t;
+        let err = (aligned - *g).norm() as f64;
+        sum_sq += err * err;
+        sum += err;
+        max = max.max(err);
+    }
+    let n = est.len() as f64;
+    AteResult {
+        rmse: (sum_sq / n).sqrt(),
+        mean: sum / n,
+        max,
+    }
+}
+
+/// Per-frame translational errors after alignment; the cumulative-drift
+/// curve of the paper's Fig. 13(b).
+pub fn per_frame_errors(estimated: &[Se3], ground_truth: &[Se3]) -> Vec<f64> {
+    assert_eq!(estimated.len(), ground_truth.len());
+    if estimated.is_empty() {
+        return Vec::new();
+    }
+    let est: Vec<Vec3> = estimated.iter().map(|p| p.translation).collect();
+    let gt: Vec<Vec3> = ground_truth.iter().map(|p| p.translation).collect();
+    let (r, t) = umeyama_alignment(&est, &gt);
+    est.iter()
+        .zip(gt.iter())
+        .map(|(e, g)| ((r.mul_vec(*e) + t) - *g).norm() as f64)
+        .collect()
+}
+
+/// Finds the rigid transform `(R, t)` minimizing `Σ ‖R·src + t − dst‖²`
+/// (no scale), via the SVD-free Kabsch formulation using Jacobi eigen
+/// decomposition of the cross-covariance.
+fn umeyama_alignment(src: &[Vec3], dst: &[Vec3]) -> (Mat3, Vec3) {
+    let n = src.len() as f32;
+    let mean_src = src.iter().fold(Vec3::ZERO, |a, &v| a + v) / n;
+    let mean_dst = dst.iter().fold(Vec3::ZERO, |a, &v| a + v) / n;
+
+    // Cross-covariance H = Σ (src - μs)(dst - μd)ᵀ.
+    let mut hm = Mat3::default();
+    for (s, d) in src.iter().zip(dst.iter()) {
+        let a = *s - mean_src;
+        let b = *d - mean_dst;
+        let outer = Mat3::outer(a, b);
+        hm = hm + outer;
+    }
+
+    let r = kabsch_rotation(&hm);
+    let t = mean_dst - r.mul_vec(mean_src);
+    (r, t)
+}
+
+/// Computes the optimal rotation `R = V Uᵀ` (with reflection fix) from the
+/// cross-covariance `H = U Σ Vᵀ`, using an SVD built from the symmetric
+/// eigen decompositions of `HᵀH`.
+fn kabsch_rotation(h: &Mat3) -> Mat3 {
+    // Handle the degenerate case (e.g. single point / collinear) by
+    // falling back to identity, which leaves errors unchanged.
+    let hth = h.transpose() * *h;
+    let (vals, vecs) = jacobi_eigen(&hth);
+    // Guard against rank deficiency.
+    if vals[0].abs() < 1e-12 {
+        return Mat3::IDENTITY;
+    }
+    // Columns of V are eigenvectors of HᵀH; U = H V Σ⁻¹.
+    let mut u_cols = [Vec3::ZERO; 3];
+    let mut v_cols = [Vec3::ZERO; 3];
+    for i in 0..3 {
+        let v = vecs.col(i);
+        v_cols[i] = v;
+        let sigma = vals[i].max(1e-20).sqrt();
+        u_cols[i] = h.mul_vec(v) / sigma;
+    }
+    // Orthonormalize U (rank-deficient singular directions need repair).
+    u_cols[0] = u_cols[0].normalized();
+    u_cols[1] = (u_cols[1] - u_cols[0] * u_cols[1].dot(u_cols[0])).normalized();
+    let mut c2 = u_cols[0].cross(u_cols[1]);
+    if c2.norm() < 1e-9 {
+        c2 = Vec3::Z;
+    }
+    u_cols[2] = c2.normalized();
+    if v_cols[2].norm() < 1e-9 {
+        v_cols[2] = v_cols[0].cross(v_cols[1]);
+    }
+
+    let u = mat_from_cols(u_cols);
+    let v = mat_from_cols(v_cols);
+    // R maps src to dst: R = U_dst * V_srcᵀ with H = Σ src dstᵀ ⇒ R = V Uᵀ
+    // in the convention below; fix a possible reflection via the det sign.
+    let mut r = u * v.transpose();
+    if r.det() < 0.0 {
+        // Flip the singular direction with the smallest singular value.
+        let mut u_fixed = u_cols;
+        u_fixed[2] = -u_fixed[2];
+        r = mat_from_cols(u_fixed) * v.transpose();
+    }
+    r.transpose()
+}
+
+fn mat_from_cols(c: [Vec3; 3]) -> Mat3 {
+    Mat3::from_rows(
+        [c[0].x, c[1].x, c[2].x],
+        [c[0].y, c[1].y, c[2].y],
+        [c[0].z, c[1].z, c[2].z],
+    )
+}
+
+/// Jacobi eigenvalue iteration for a symmetric 3×3 matrix. Returns
+/// eigenvalues (descending) and the matrix whose columns are the matching
+/// eigenvectors.
+fn jacobi_eigen(m: &Mat3) -> ([f32; 3], Mat3) {
+    let mut a = *m;
+    let mut v = Mat3::IDENTITY;
+    for _ in 0..30 {
+        // Find largest off-diagonal element.
+        let (mut p, mut q, mut max) = (0usize, 1usize, a.m[0][1].abs());
+        if a.m[0][2].abs() > max {
+            p = 0;
+            q = 2;
+            max = a.m[0][2].abs();
+        }
+        if a.m[1][2].abs() > max {
+            p = 1;
+            q = 2;
+            max = a.m[1][2].abs();
+        }
+        if max < 1e-12 {
+            break;
+        }
+        let app = a.m[p][p];
+        let aqq = a.m[q][q];
+        let apq = a.m[p][q];
+        let theta = 0.5 * (aqq - app) / apq;
+        let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+        let c = 1.0 / (t * t + 1.0).sqrt();
+        let s = t * c;
+        // Build rotation and apply: A <- Gᵀ A G, V <- V G.
+        let mut g = Mat3::IDENTITY;
+        g.m[p][p] = c;
+        g.m[q][q] = c;
+        g.m[p][q] = s;
+        g.m[q][p] = -s;
+        a = g.transpose() * a * g;
+        v = v * g;
+    }
+    let mut order = [0usize, 1, 2];
+    order.sort_by(|&i, &j| a.m[j][j].partial_cmp(&a.m[i][i]).unwrap());
+    let vals = [
+        a.m[order[0]][order[0]],
+        a.m[order[1]][order[1]],
+        a.m[order[2]][order[2]],
+    ];
+    let vecs = mat_from_cols([v.col(order[0]), v.col(order[1]), v.col(order[2])]);
+    (vals, vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgs_math::Quat;
+
+    fn trajectory() -> Vec<Se3> {
+        (0..20)
+            .map(|i| {
+                let t = i as f32 * 0.1;
+                Se3::new(
+                    Quat::from_axis_angle(Vec3::Y, 0.05 * t),
+                    Vec3::new(t.sin(), 0.2 * t, t.cos()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_ate() {
+        let traj = trajectory();
+        let r = absolute_trajectory_error(&traj, &traj);
+        assert!(r.rmse < 1e-6, "rmse = {}", r.rmse);
+        assert!(r.max < 1e-6);
+    }
+
+    #[test]
+    fn rigidly_transformed_trajectory_aligns_to_zero() {
+        let gt = trajectory();
+        let offset = Se3::new(
+            Quat::from_axis_angle(Vec3::new(0.2, 1.0, 0.1), 0.7),
+            Vec3::new(3.0, -1.0, 2.0),
+        );
+        let est: Vec<Se3> = gt.iter().map(|p| offset.compose(p)).collect();
+        let r = absolute_trajectory_error(&est, &gt);
+        assert!(r.rmse < 1e-4, "alignment should absorb rigid offset, rmse = {}", r.rmse);
+    }
+
+    #[test]
+    fn noise_produces_proportional_ate() {
+        let gt = trajectory();
+        let est: Vec<Se3> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let n = if i % 2 == 0 { 0.01 } else { -0.01 };
+                Se3::new(p.rotation, p.translation + Vec3::new(n, 0.0, 0.0))
+            })
+            .collect();
+        let r = absolute_trajectory_error(&est, &gt);
+        assert!(r.rmse > 0.004 && r.rmse < 0.02, "rmse = {}", r.rmse);
+        assert!((r.rmse_cm() - r.rmse * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_noise_gives_larger_ate() {
+        let gt = trajectory();
+        let noisy = |amp: f32| -> Vec<Se3> {
+            gt.iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let s = if i % 2 == 0 { amp } else { -amp };
+                    Se3::new(p.rotation, p.translation + Vec3::new(s, -s, s))
+                })
+                .collect()
+        };
+        let small = absolute_trajectory_error(&noisy(0.005), &gt);
+        let large = absolute_trajectory_error(&noisy(0.05), &gt);
+        assert!(large.rmse > 5.0 * small.rmse);
+    }
+
+    #[test]
+    fn per_frame_errors_match_ate() {
+        let gt = trajectory();
+        let est: Vec<Se3> = gt
+            .iter()
+            .map(|p| Se3::new(p.rotation, p.translation + Vec3::new(0.01, 0.0, 0.0)))
+            .collect();
+        let errors = per_frame_errors(&est, &gt);
+        assert_eq!(errors.len(), gt.len());
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / errors.len() as f64).sqrt();
+        let ate = absolute_trajectory_error(&est, &gt);
+        assert!((rmse - ate.rmse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_not_larger_than_max() {
+        let gt = trajectory();
+        let est: Vec<Se3> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Se3::new(
+                    p.rotation,
+                    p.translation + Vec3::new(0.002 * i as f32, 0.0, 0.0),
+                )
+            })
+            .collect();
+        let r = absolute_trajectory_error(&est, &gt);
+        assert!(r.mean <= r.max + 1e-12);
+        assert!(r.mean <= r.rmse + 1e-12); // RMSE >= mean by Jensen
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn length_mismatch_panics() {
+        let gt = trajectory();
+        let _ = absolute_trajectory_error(&gt[..5], &gt);
+    }
+
+    #[test]
+    fn single_pose_trajectory() {
+        let a = [Se3::from_translation(Vec3::new(1.0, 0.0, 0.0))];
+        let b = [Se3::from_translation(Vec3::new(2.0, 0.0, 0.0))];
+        // Single point: translation aligns perfectly.
+        let r = absolute_trajectory_error(&a, &b);
+        assert!(r.rmse < 1e-6);
+    }
+}

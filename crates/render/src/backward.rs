@@ -1,0 +1,492 @@
+//! Steps ❹–❺: Rendering backpropagation and preprocessing backpropagation
+//! (paper Sec. 2.2, Eqs. 4–5).
+//!
+//! Step ❹ propagates per-pixel color/depth loss gradients to per-fragment
+//! 2D Gaussian gradients, aggregated per Gaussian (the aggregation the GMU
+//! accelerates in hardware). Step ❺ chains 2D gradients to the 3D Gaussian
+//! parameters and — during tracking — to the camera pose tangent.
+//!
+//! The implementation mirrors the reference CUDA rasterizer: the backward
+//! pass re-walks each pixel's fragment list in forward order (recomputing
+//! alpha and transmittance), then runs the reverse recursion of Eq. 4 with
+//! suffix accumulators. Analytic gradients are verified against central
+//! finite differences in `tests/grad_check.rs`.
+
+use crate::camera::PinholeCamera;
+use crate::forward::{fragment_alpha, pixel_center, ALPHA_MAX, ALPHA_MIN, TERMINATION_THRESHOLD};
+use crate::gaussian::{GaussianGrad, GaussianScene};
+use crate::project::{jacobian_with_clamp, Projected2d, Projection};
+use crate::tiles::TileAssignment;
+use rtgs_math::{Mat3, Se3, Sym2, Sym3, Vec2, Vec3};
+
+/// Per-pixel upstream gradients, produced by the loss module.
+#[derive(Debug, Clone)]
+pub struct PixelGrads {
+    /// `dL/dC` per pixel (row-major).
+    pub color: Vec<Vec3>,
+    /// `dL/dD` per pixel (row-major); zero where depth carries no loss.
+    pub depth: Vec<f32>,
+}
+
+impl PixelGrads {
+    /// Zeroed gradients for an image of the given size.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self {
+            color: vec![Vec3::ZERO; width * height],
+            depth: vec![0.0; width * height],
+        }
+    }
+}
+
+/// Counters from one backward pass, consumed by the hardware model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackwardStats {
+    /// Fragment-level gradient contributions (each is one atomic-add burst
+    /// on a GPU; the paper's Observation 4 bottleneck).
+    pub fragment_grad_events: u64,
+    /// Number of distinct Gaussians that received gradient.
+    pub gaussians_touched: usize,
+    /// Wall-clock nanoseconds spent in Step ❹ Rendering BP.
+    pub rendering_bp_nanos: u64,
+    /// Wall-clock nanoseconds spent in Step ❺ Preprocessing BP.
+    pub preprocessing_bp_nanos: u64,
+}
+
+/// Full gradient set from one backward pass.
+#[derive(Debug, Clone)]
+pub struct BackwardOutput {
+    /// Per-Gaussian parameter gradients (Step ❺ output, mapping).
+    pub gaussians: Vec<GaussianGrad>,
+    /// Camera-pose gradient in the left tangent space of the world-to-camera
+    /// pose: `(ρ, φ)` ordered translation-then-rotation, for
+    /// [`rtgs_math::Se3::retract`] (Step ❺ output, tracking).
+    pub pose: [f32; 6],
+    /// Aggregate counters.
+    pub stats: BackwardStats,
+}
+
+/// Per-Gaussian accumulator of 2D (image-plane) gradients — the data the
+/// hardware's Stage Buffer holds between GMU and PE.
+#[derive(Debug, Clone, Copy, Default)]
+struct Accum2d {
+    /// `dL/dμ★` (2D mean).
+    mean: Vec2,
+    /// `dL/d conic` in full-matrix convention (`xy` is the gradient of each
+    /// off-diagonal entry).
+    conic: Sym2,
+    /// `dL/d color`.
+    color: Vec3,
+    /// `dL/d o` (activated opacity).
+    opacity: f32,
+    /// `dL/d t_z` via the blended depth map.
+    depth: f32,
+    /// Whether any fragment touched this Gaussian.
+    hit: bool,
+}
+
+/// One recomputed fragment during the backward re-walk.
+struct FragmentRecord<'a> {
+    splat: &'a Projected2d,
+    alpha: f32,
+    weight: f32,
+    t_before: f32,
+}
+
+/// Runs Steps ❹ and ❺: computes gradients of the loss with respect to all
+/// Gaussian parameters and the camera pose.
+///
+/// `pixel_grads` must match the camera resolution.
+///
+/// # Panics
+///
+/// Panics if the gradient buffers do not match `camera`'s pixel count.
+pub fn backward(
+    scene: &GaussianScene,
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    w2c: &Se3,
+    pixel_grads: &PixelGrads,
+) -> BackwardOutput {
+    assert_eq!(pixel_grads.color.len(), camera.pixel_count());
+    assert_eq!(pixel_grads.depth.len(), camera.pixel_count());
+
+    let mut accum = vec![Accum2d::default(); scene.len()];
+    let mut stats = BackwardStats::default();
+    let mut fragments: Vec<FragmentRecord> = Vec::with_capacity(64);
+    let t_start = std::time::Instant::now();
+
+    // ---- Step ❹: Rendering BP -------------------------------------------
+    for ty in 0..tiles.tiles_y {
+        for tx in 0..tiles.tiles_x {
+            let list = &tiles.tile_lists[ty * tiles.tiles_x + tx];
+            if list.is_empty() {
+                continue;
+            }
+            let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let idx = y * camera.width + x;
+                    let g_color = pixel_grads.color[idx];
+                    let g_depth = pixel_grads.depth[idx];
+                    if g_color == Vec3::ZERO && g_depth == 0.0 {
+                        continue;
+                    }
+                    let p = pixel_center(x, y);
+
+                    // Re-walk forward to reconstruct the fragment sequence.
+                    fragments.clear();
+                    let mut t = 1.0f32;
+                    for &id in list {
+                        let Some(splat) = projection.splats[id as usize].as_ref() else {
+                            continue;
+                        };
+                        let (alpha, weight) = fragment_alpha(splat, p);
+                        if alpha < ALPHA_MIN {
+                            continue;
+                        }
+                        fragments.push(FragmentRecord {
+                            splat,
+                            alpha,
+                            weight,
+                            t_before: t,
+                        });
+                        t *= 1.0 - alpha;
+                        if t < TERMINATION_THRESHOLD {
+                            break;
+                        }
+                    }
+
+                    // Reverse recursion (Eq. 4) with suffix accumulators.
+                    let mut suffix_color = Vec3::ZERO;
+                    let mut suffix_depth = 0.0f32;
+                    for frag in fragments.iter().rev() {
+                        let s = frag.splat;
+                        let t_k = frag.t_before;
+                        let alpha = frag.alpha;
+                        let w = t_k * alpha;
+                        let one_minus = 1.0 - alpha;
+
+                        let dc_dalpha = s.color * t_k - suffix_color / one_minus;
+                        let dd_dalpha = s.depth * t_k - suffix_depth / one_minus;
+                        let dl_dalpha = g_color.dot(dc_dalpha) + g_depth * dd_dalpha;
+
+                        let a = &mut accum[s.id as usize];
+                        a.hit = true;
+                        a.color += g_color * w;
+                        a.depth += g_depth * w;
+
+                        // Alpha clamping (Eq. 2 output capped at ALPHA_MAX)
+                        // zeroes the parameter gradient at the cap.
+                        if alpha < ALPHA_MAX {
+                            a.opacity += dl_dalpha * frag.weight;
+                            let dl_dq = -0.5 * dl_dalpha * s.opacity * frag.weight;
+                            let delta = p - s.mean;
+                            let conic_delta = s.conic.mul_vec(delta);
+                            a.mean += conic_delta * (-2.0 * dl_dq);
+                            a.conic = a.conic
+                                + Sym2::new(
+                                    delta.x * delta.x,
+                                    delta.x * delta.y,
+                                    delta.y * delta.y,
+                                ) * dl_dq;
+                        }
+                        stats.fragment_grad_events += 1;
+
+                        suffix_color += s.color * w;
+                        suffix_depth += s.depth * w;
+                    }
+                }
+            }
+        }
+    }
+
+    stats.rendering_bp_nanos = t_start.elapsed().as_nanos() as u64;
+    let t_phase2 = std::time::Instant::now();
+
+    // ---- Step ❺: Preprocessing BP ----------------------------------------
+    let rot_w2c = w2c.rotation_matrix();
+    let mut gaussian_grads = scene.zero_grads();
+    let mut pose = [0.0f32; 6];
+
+    for (id, a) in accum.iter().enumerate() {
+        if !a.hit {
+            continue;
+        }
+        let Some(splat) = projection.splats[id].as_ref() else {
+            continue;
+        };
+        stats.gaussians_touched += 1;
+        let g = &scene.gaussians[id];
+        let t_cam = splat.t_cam;
+
+        // conic = cov⁻¹  ⇒  dL/dcov = -conic · dL/dconic · conic.
+        let conic_m = splat.conic.to_mat2();
+        let dconic = a.conic.to_mat2();
+        let dcov_m = (conic_m * dconic * conic_m).m;
+        // Embed into 3×3 (row/col 2 are zero because M's third row is zero).
+        let dcov3 = Mat3::from_rows(
+            [-dcov_m[0][0], -dcov_m[0][1], 0.0],
+            [-dcov_m[1][0], -dcov_m[1][1], 0.0],
+            [0.0, 0.0, 0.0],
+        );
+
+        let (j, clamped_x, clamped_y) = jacobian_with_clamp(camera, t_cam);
+        let m = j * rot_w2c;
+        let sigma3 = g.covariance().to_mat3();
+
+        // cov2d = M Σ Mᵀ:
+        let dl_dsigma = m.transpose() * dcov3 * m;
+        let dl_dm = (dcov3 * (m * sigma3)).scale(2.0);
+        let dl_dj = dl_dm * rot_w2c.transpose();
+        let dl_dw_cov = j.transpose() * dl_dm;
+
+        // dL/dt_cam: mean2d chain (J is its Jacobian), J-in-cov chain, and
+        // the blended-depth chain (d = t_z).
+        let mut dl_dt = j.transpose().mul_vec(Vec3::new(a.mean.x, a.mean.y, 0.0));
+        let inv_z = 1.0 / t_cam.z;
+        let inv_z2 = inv_z * inv_z;
+        let inv_z3 = inv_z2 * inv_z;
+        // J-through-t chain. Where the off-axis ratio was clamped, J no
+        // longer depends on that coordinate (reference kernel zeroes the
+        // corresponding gradient) and the tz-dependence of the off-axis
+        // entry changes order: J02 = -fx·lim·sign/tz ⇒ ∂J02/∂tz = -J02/tz.
+        if clamped_x {
+            dl_dt.z += dl_dj.m[0][2] * (-j.m[0][2] * inv_z);
+        } else {
+            dl_dt.x += dl_dj.m[0][2] * (-camera.fx * inv_z2);
+            dl_dt.z += dl_dj.m[0][2] * (2.0 * camera.fx * t_cam.x * inv_z3);
+        }
+        if clamped_y {
+            dl_dt.z += dl_dj.m[1][2] * (-j.m[1][2] * inv_z);
+        } else {
+            dl_dt.y += dl_dj.m[1][2] * (-camera.fy * inv_z2);
+            dl_dt.z += dl_dj.m[1][2] * (2.0 * camera.fy * t_cam.y * inv_z3);
+        }
+        dl_dt.z += dl_dj.m[0][0] * (-camera.fx * inv_z2)
+            + dl_dj.m[1][1] * (-camera.fy * inv_z2);
+        dl_dt.z += a.depth;
+
+        let out = &mut gaussian_grads[id];
+        out.position = rot_w2c.transpose().mul_vec(dl_dt);
+        out.color = a.color;
+        let o = splat.opacity;
+        out.opacity = a.opacity * o * (1.0 - o);
+        out.cov_frobenius = sym_from_full(&dl_dsigma).frobenius_norm();
+
+        // Σ = N Nᵀ with N = R diag(s):
+        let r = g.rotation.to_rotation_matrix();
+        let s = g.scale();
+        let n = r * Mat3::from_diagonal(s);
+        let dl_dn = (dl_dsigma * n).scale(2.0);
+        for i in 0..3 {
+            let ds_i: f32 = (0..3).map(|row| dl_dn.m[row][i] * r.m[row][i]).sum();
+            out.log_scale[i] = ds_i * s[i];
+        }
+        let dl_dr = dl_dn * Mat3::from_diagonal(s);
+        out.rotation = quat_backward(g.rotation, &dl_dr);
+
+        // Camera-pose tangent (left retraction of the w2c pose):
+        //   t_cam(δ) ≈ t_cam + φ × t_cam + ρ,  W(δ) ≈ exp(φ̂) W.
+        pose[0] += dl_dt.x;
+        pose[1] += dl_dt.y;
+        pose[2] += dl_dt.z;
+        let torque = t_cam.cross(dl_dt);
+        pose[3] += torque.x;
+        pose[4] += torque.y;
+        pose[5] += torque.z;
+        for axis in 0..3 {
+            let mut e = Vec3::ZERO;
+            e[axis] = 1.0;
+            let dw = Mat3::skew(e) * rot_w2c;
+            let mut contrib = 0.0;
+            for r_ in 0..3 {
+                for c_ in 0..3 {
+                    contrib += dl_dw_cov.m[r_][c_] * dw.m[r_][c_];
+                }
+            }
+            pose[3 + axis] += contrib;
+        }
+    }
+
+    stats.preprocessing_bp_nanos = t_phase2.elapsed().as_nanos() as u64;
+
+    BackwardOutput {
+        gaussians: gaussian_grads,
+        pose,
+        stats,
+    }
+}
+
+/// Extracts the symmetric compact form from a (numerically symmetric) full
+/// 3×3 matrix.
+fn sym_from_full(m: &Mat3) -> Sym3 {
+    Sym3::new(
+        m.m[0][0],
+        0.5 * (m.m[0][1] + m.m[1][0]),
+        0.5 * (m.m[0][2] + m.m[2][0]),
+        m.m[1][1],
+        0.5 * (m.m[1][2] + m.m[2][1]),
+        m.m[2][2],
+    )
+}
+
+/// Backpropagates `dL/dR` through `R = rot(normalize(q))` to the raw
+/// quaternion parameters.
+fn quat_backward(q_raw: rtgs_math::Quat, dl_dr: &Mat3) -> [f32; 4] {
+    let norm = q_raw.norm();
+    if norm < 1e-12 {
+        return [0.0; 4];
+    }
+    let q = q_raw.normalized();
+    let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+
+    let dr_dw = Mat3::from_rows([0.0, -2.0 * z, 2.0 * y], [2.0 * z, 0.0, -2.0 * x], [
+        -2.0 * y,
+        2.0 * x,
+        0.0,
+    ]);
+    let dr_dx = Mat3::from_rows([0.0, 2.0 * y, 2.0 * z], [2.0 * y, -4.0 * x, -2.0 * w], [
+        2.0 * z,
+        2.0 * w,
+        -4.0 * x,
+    ]);
+    let dr_dy = Mat3::from_rows([-4.0 * y, 2.0 * x, 2.0 * w], [2.0 * x, 0.0, 2.0 * z], [
+        -2.0 * w,
+        2.0 * z,
+        -4.0 * y,
+    ]);
+    let dr_dz = Mat3::from_rows([-4.0 * z, -2.0 * w, 2.0 * x], [2.0 * w, -4.0 * z, 2.0 * y], [
+        2.0 * x,
+        2.0 * y,
+        0.0,
+    ]);
+
+    let inner = |d: &Mat3| -> f32 {
+        let mut acc = 0.0;
+        for r in 0..3 {
+            for c in 0..3 {
+                acc += dl_dr.m[r][c] * d.m[r][c];
+            }
+        }
+        acc
+    };
+    let g_unit = [inner(&dr_dw), inner(&dr_dx), inner(&dr_dy), inner(&dr_dz)];
+
+    // Chain through normalization: dq̂/dq = (I - q̂ q̂ᵀ) / |q|.
+    let qv = [w, x, y, z];
+    let dot: f32 = g_unit.iter().zip(qv.iter()).map(|(a, b)| a * b).sum();
+    let mut out = [0.0f32; 4];
+    for i in 0..4 {
+        out[i] = (g_unit[i] - dot * qv[i]) / norm;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::render;
+    use crate::gaussian::Gaussian3d;
+    use crate::project::project_scene;
+    use rtgs_math::Quat;
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::from_fov(32, 32, 1.2)
+    }
+
+    fn setup(scene: &GaussianScene) -> (Projection, TileAssignment) {
+        let cam = camera();
+        let proj = project_scene(scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        (proj, tiles)
+    }
+
+    fn one_gaussian_scene() -> GaussianScene {
+        GaussianScene::from_gaussians(vec![Gaussian3d::from_activated(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::splat(0.5),
+            Quat::from_axis_angle(Vec3::new(0.2, 0.5, 0.1), 0.4),
+            0.6,
+            Vec3::new(0.8, 0.3, 0.2),
+        )])
+    }
+
+    #[test]
+    fn zero_pixel_grads_produce_zero_output() {
+        let scene = one_gaussian_scene();
+        let (proj, tiles) = setup(&scene);
+        let cam = camera();
+        let grads = PixelGrads::zeros(cam.width, cam.height);
+        let out = backward(&scene, &proj, &tiles, &cam, &Se3::IDENTITY, &grads);
+        assert_eq!(out.pose, [0.0; 6]);
+        assert_eq!(out.gaussians[0].position, Vec3::ZERO);
+        assert_eq!(out.stats.fragment_grad_events, 0);
+    }
+
+    #[test]
+    fn color_gradient_is_positive_where_gaussian_renders() {
+        let scene = one_gaussian_scene();
+        let (proj, tiles) = setup(&scene);
+        let cam = camera();
+        let fwd = render(&proj, &tiles, &cam);
+        // dL/dC = 1 everywhere the Gaussian contributed.
+        let mut grads = PixelGrads::zeros(cam.width, cam.height);
+        for (i, c) in fwd.image.data().iter().enumerate() {
+            if c.x > 0.0 {
+                grads.color[i] = Vec3::splat(1.0);
+            }
+        }
+        let out = backward(&scene, &proj, &tiles, &cam, &Se3::IDENTITY, &grads);
+        // Increasing the color increases the output everywhere it renders.
+        assert!(out.gaussians[0].color.x > 0.0);
+        assert!(out.stats.gaussians_touched == 1);
+        assert!(out.stats.fragment_grad_events > 0);
+    }
+
+    #[test]
+    fn opacity_gradient_sign_matches_color_gradient() {
+        // If dL/dC is positive and the Gaussian is the only contributor,
+        // raising opacity raises C, so dL/d(opacity) must be positive.
+        let scene = one_gaussian_scene();
+        let (proj, tiles) = setup(&scene);
+        let cam = camera();
+        let mut grads = PixelGrads::zeros(cam.width, cam.height);
+        for g in &mut grads.color {
+            *g = Vec3::splat(1.0);
+        }
+        let out = backward(&scene, &proj, &tiles, &cam, &Se3::IDENTITY, &grads);
+        assert!(out.gaussians[0].opacity > 0.0);
+    }
+
+    #[test]
+    fn masked_gaussians_receive_no_gradient() {
+        let mut gaussians = one_gaussian_scene().gaussians;
+        gaussians.push(gaussians[0]);
+        let scene = GaussianScene::from_gaussians(gaussians);
+        let cam = camera();
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, Some(&[true, false]));
+        let tiles = TileAssignment::build(&proj, &cam);
+        let mut grads = PixelGrads::zeros(cam.width, cam.height);
+        for g in &mut grads.color {
+            *g = Vec3::splat(1.0);
+        }
+        let out = backward(&scene, &proj, &tiles, &cam, &Se3::IDENTITY, &grads);
+        assert!(out.gaussians[0].color.norm() > 0.0);
+        assert_eq!(out.gaussians[1].color, Vec3::ZERO);
+    }
+
+    #[test]
+    fn cov_frobenius_recorded_for_importance_score() {
+        let scene = one_gaussian_scene();
+        let (proj, tiles) = setup(&scene);
+        let cam = camera();
+        let mut grads = PixelGrads::zeros(cam.width, cam.height);
+        for g in &mut grads.color {
+            *g = Vec3::new(1.0, -0.5, 0.25);
+        }
+        let out = backward(&scene, &proj, &tiles, &cam, &Se3::IDENTITY, &grads);
+        assert!(out.gaussians[0].cov_frobenius > 0.0);
+        assert!(out.gaussians[0].importance_score(0.8) > 0.0);
+    }
+}

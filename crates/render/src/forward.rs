@@ -1,0 +1,273 @@
+//! Step ❸ Rendering: per-pixel alpha computing and alpha blending
+//! (paper Eqs. 2–3) with early ray termination.
+
+use crate::camera::{DepthImage, Image, PinholeCamera};
+use crate::project::Projection;
+use crate::tiles::TileAssignment;
+use rtgs_math::{Vec2, Vec3};
+
+/// Transmittance threshold below which a ray terminates early (full
+/// occlusion for everything behind), matching the reference rasterizer.
+pub const TERMINATION_THRESHOLD: f32 = 1e-4;
+
+/// Minimum alpha for a fragment to contribute (1/255 in the reference
+/// implementation).
+pub const ALPHA_MIN: f32 = 1.0 / 255.0;
+
+/// Maximum alpha per fragment; keeps `1 - α` bounded away from zero so the
+/// backward transmittance recursion stays finite.
+pub const ALPHA_MAX: f32 = 0.99;
+
+/// Aggregate counters from one forward pass, consumed by the hardware
+/// workload model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenderStats {
+    /// Alpha computations executed (fragments inspected before termination).
+    pub fragments_processed: u64,
+    /// Fragments that passed the `ALPHA_MIN` test and were blended.
+    pub fragments_blended: u64,
+    /// Pixels whose ray terminated early (T below threshold).
+    pub early_terminated_pixels: u64,
+}
+
+/// Result of a forward render.
+#[derive(Debug, Clone)]
+pub struct RenderOutput {
+    /// Blended RGB image, `C_P` of Eq. 3.
+    pub image: Image,
+    /// Alpha-blended depth map (`Σ T α d` per pixel).
+    pub depth: DepthImage,
+    /// Final transmittance per pixel (row-major).
+    pub final_transmittance: Vec<f32>,
+    /// Fragments *processed* per pixel — the per-pixel workload of the
+    /// paper's Fig. 6 and the input to the WSU scheduling model.
+    pub pixel_workloads: Vec<u32>,
+    /// Aggregate counters.
+    pub stats: RenderStats,
+}
+
+impl RenderOutput {
+    /// Accumulated alpha (opacity coverage) at a pixel: `1 - T_final`.
+    pub fn coverage(&self, x: usize, y: usize) -> f32 {
+        1.0 - self.final_transmittance[y * self.image.width() + x]
+    }
+}
+
+/// Center of pixel `(x, y)` in continuous pixel coordinates.
+#[inline]
+pub(crate) fn pixel_center(x: usize, y: usize) -> Vec2 {
+    Vec2::new(x as f32 + 0.5, y as f32 + 0.5)
+}
+
+/// Evaluates the alpha of splat `s` at pixel position `p` (Eq. 2), returning
+/// `(alpha_clamped, gaussian_weight)`. The weight `G = exp(-q/2)` is
+/// returned separately because backpropagation needs it.
+#[inline]
+pub(crate) fn fragment_alpha(s: &crate::project::Projected2d, p: Vec2) -> (f32, f32) {
+    let d = p - s.mean;
+    let q = s.conic.quadratic_form(d);
+    if q < 0.0 {
+        // Numerically indefinite conic; treat as no contribution.
+        return (0.0, 0.0);
+    }
+    let g = (-0.5 * q).exp();
+    ((s.opacity * g).min(ALPHA_MAX), g)
+}
+
+/// Renders the projected splats into an image (Step ❸).
+///
+/// Iterates tiles, then pixels within each tile, walking the tile's
+/// depth-sorted splat list front-to-back and terminating each ray when the
+/// transmittance drops below [`TERMINATION_THRESHOLD`].
+pub fn render(
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+) -> RenderOutput {
+    let mut image = Image::new(camera.width, camera.height);
+    let mut depth = DepthImage::new(camera.width, camera.height);
+    let mut final_t = vec![1.0f32; camera.pixel_count()];
+    let mut workloads = vec![0u32; camera.pixel_count()];
+    let mut stats = RenderStats::default();
+
+    for ty in 0..tiles.tiles_y {
+        for tx in 0..tiles.tiles_x {
+            let list = &tiles.tile_lists[ty * tiles.tiles_x + tx];
+            if list.is_empty() {
+                continue;
+            }
+            let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let p = pixel_center(x, y);
+                    let mut color = Vec3::ZERO;
+                    let mut d_acc = 0.0f32;
+                    let mut t = 1.0f32;
+                    let mut processed = 0u32;
+                    for &id in list {
+                        let Some(splat) = projection.splats[id as usize].as_ref() else {
+                            continue;
+                        };
+                        processed += 1;
+                        stats.fragments_processed += 1;
+                        let (alpha, _) = fragment_alpha(splat, p);
+                        if alpha < ALPHA_MIN {
+                            continue;
+                        }
+                        stats.fragments_blended += 1;
+                        color += splat.color * (t * alpha);
+                        d_acc += splat.depth * (t * alpha);
+                        t *= 1.0 - alpha;
+                        if t < TERMINATION_THRESHOLD {
+                            stats.early_terminated_pixels += 1;
+                            break;
+                        }
+                    }
+                    let idx = y * camera.width + x;
+                    image.data_mut()[idx] = color;
+                    depth.set_depth(x, y, d_acc);
+                    final_t[idx] = t;
+                    workloads[idx] = processed;
+                }
+            }
+        }
+    }
+
+    RenderOutput {
+        image,
+        depth,
+        final_transmittance: final_t,
+        pixel_workloads: workloads,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{Gaussian3d, GaussianScene};
+    use crate::project::project_scene;
+    use rtgs_math::{Quat, Se3};
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::from_fov(32, 32, 1.2)
+    }
+
+    fn render_scene(scene: &GaussianScene) -> (RenderOutput, Projection) {
+        let cam = camera();
+        let proj = project_scene(scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        (render(&proj, &tiles, &cam), proj)
+    }
+
+    fn big_gaussian(z: f32, opacity: f32, color: Vec3) -> Gaussian3d {
+        Gaussian3d::from_activated(
+            Vec3::new(0.0, 0.0, z),
+            Vec3::splat(2.0),
+            Quat::IDENTITY,
+            opacity,
+            color,
+        )
+    }
+
+    #[test]
+    fn empty_scene_renders_black() {
+        let (out, _) = render_scene(&GaussianScene::new());
+        assert_eq!(out.image.pixel(16, 16), Vec3::ZERO);
+        assert_eq!(out.final_transmittance[0], 1.0);
+        assert_eq!(out.stats.fragments_processed, 0);
+    }
+
+    #[test]
+    fn single_opaque_gaussian_dominates_center_pixel() {
+        let scene = GaussianScene::from_gaussians(vec![big_gaussian(2.0, 0.95, Vec3::X)]);
+        let (out, _) = render_scene(&scene);
+        let c = out.image.pixel(16, 16);
+        assert!(c.x > 0.9, "center should be strongly red, got {c}");
+        assert!(c.y < 1e-3 && c.z < 1e-3);
+        assert!(out.coverage(16, 16) > 0.9);
+    }
+
+    #[test]
+    fn front_gaussian_occludes_back() {
+        let scene = GaussianScene::from_gaussians(vec![
+            big_gaussian(4.0, 0.99, Vec3::new(0.0, 1.0, 0.0)), // green behind
+            big_gaussian(1.0, 0.99, Vec3::X),                  // red in front
+        ]);
+        let (out, _) = render_scene(&scene);
+        let c = out.image.pixel(16, 16);
+        assert!(c.x > 0.9 && c.y < 0.1, "front red must occlude green, got {c}");
+    }
+
+    #[test]
+    fn blending_order_independent_of_insertion_order() {
+        let a = vec![
+            big_gaussian(1.0, 0.6, Vec3::X),
+            big_gaussian(3.0, 0.6, Vec3::new(0.0, 0.0, 1.0)),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        let (out_a, _) = render_scene(&GaussianScene::from_gaussians(a));
+        let (out_b, _) = render_scene(&GaussianScene::from_gaussians(b));
+        assert!((out_a.image.pixel(16, 16) - out_b.image.pixel(16, 16)).max_abs() < 1e-5);
+    }
+
+    #[test]
+    fn depth_map_reflects_front_surface() {
+        let scene = GaussianScene::from_gaussians(vec![big_gaussian(2.0, 0.99, Vec3::X)]);
+        let (out, _) = render_scene(&scene);
+        let d = out.depth.depth(16, 16);
+        assert!((d - 2.0).abs() < 0.25, "expected depth near 2.0, got {d}");
+    }
+
+    #[test]
+    fn early_termination_skips_occluded_fragments() {
+        // Many opaque layers: workload per center pixel should be far less
+        // than the number of Gaussians.
+        let layers: Vec<_> = (0..50)
+            .map(|i| big_gaussian(1.0 + i as f32 * 0.1, 0.95, Vec3::X))
+            .collect();
+        let n = layers.len();
+        let (out, _) = render_scene(&GaussianScene::from_gaussians(layers));
+        let w = out.pixel_workloads[16 * 32 + 16];
+        assert!(w < n as u32 / 2, "expected early termination, workload {w}");
+        assert!(out.stats.early_terminated_pixels > 0);
+    }
+
+    #[test]
+    fn transparent_gaussians_accumulate() {
+        let scene = GaussianScene::from_gaussians(vec![
+            big_gaussian(2.0, 0.3, Vec3::X),
+            big_gaussian(3.0, 0.3, Vec3::X),
+        ]);
+        let (out, _) = render_scene(&scene);
+        let single = render_scene(&GaussianScene::from_gaussians(vec![big_gaussian(
+            2.0,
+            0.3,
+            Vec3::X,
+        )]))
+        .0;
+        assert!(out.image.pixel(16, 16).x > single.image.pixel(16, 16).x);
+    }
+
+    #[test]
+    fn workload_matches_stats_total() {
+        let scene = GaussianScene::from_gaussians(vec![
+            big_gaussian(2.0, 0.4, Vec3::X),
+            big_gaussian(3.0, 0.4, Vec3::Y),
+        ]);
+        let (out, _) = render_scene(&scene);
+        let total: u64 = out.pixel_workloads.iter().map(|&w| w as u64).sum();
+        assert_eq!(total, out.stats.fragments_processed);
+    }
+
+    #[test]
+    fn alpha_never_exceeds_max() {
+        let scene = GaussianScene::from_gaussians(vec![big_gaussian(2.0, 0.9999, Vec3::X)]);
+        let cam = camera();
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let splat = proj.splats[0].unwrap();
+        let (alpha, _) = fragment_alpha(&splat, splat.mean);
+        assert!(alpha <= ALPHA_MAX);
+    }
+}

@@ -1,0 +1,308 @@
+//! Step ❶ Preprocessing: projection of 3D Gaussians to 2D splats
+//! (paper Fig. 1, Step ❶-1) via EWA splatting.
+
+use crate::camera::PinholeCamera;
+use crate::gaussian::GaussianScene;
+use rtgs_math::{Mat3, Se3, Sym2, Vec2, Vec3};
+
+/// Near-plane cull distance in meters (0.2 in the reference rasterizer).
+pub const NEAR_PLANE: f32 = 0.2;
+
+/// Guard-band factor for the EWA frustum clamp: `t_x/t_z` is clamped to
+/// ±`FRUSTUM_CLAMP`·tan(fov/2) before the projection Jacobian is evaluated,
+/// matching the reference rasterizer. Without it, Gaussians barely in front
+/// of the near plane but far off-axis get numerically exploded 2D
+/// covariances that cover the whole image.
+pub const FRUSTUM_CLAMP: f32 = 1.3;
+
+/// Low-pass filter added to the 2D covariance diagonal, matching the
+/// reference 3DGS rasterizer (ensures every splat covers at least ~1 pixel).
+pub const COV2D_BLUR: f32 = 0.3;
+
+/// A 3D Gaussian projected onto the image plane (a 2D splat).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projected2d {
+    /// ID (index) of the source Gaussian in the scene.
+    pub id: u32,
+    /// 2D mean in pixel coordinates, `μ★` in the paper.
+    pub mean: Vec2,
+    /// 2D covariance (with low-pass blur), `Σ★`.
+    pub cov: Sym2,
+    /// Inverse of [`Self::cov`] ("conic"), used by alpha computing (Eq. 2).
+    pub conic: Sym2,
+    /// View-independent RGB color.
+    pub color: Vec3,
+    /// Activated opacity `o`.
+    pub opacity: f32,
+    /// Camera-frame depth `t_z`, the sorting key.
+    pub depth: f32,
+    /// Bounding radius in pixels (3σ of the major axis).
+    pub radius: f32,
+    /// Camera-frame position of the mean (kept for backpropagation).
+    pub t_cam: Vec3,
+}
+
+/// Output of the preprocessing step: one optional splat per scene Gaussian
+/// (`None` when culled or masked) plus counts for the trace model.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// Per-Gaussian projection results, indexed by Gaussian ID.
+    pub splats: Vec<Option<Projected2d>>,
+    /// Number of Gaussians culled by the near plane or out-of-frustum test.
+    pub culled: usize,
+    /// Number of Gaussians skipped because the active mask excluded them.
+    pub masked: usize,
+}
+
+impl Projection {
+    /// Number of visible splats.
+    pub fn visible_count(&self) -> usize {
+        self.splats.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Projects every active Gaussian into the image plane of `camera` under the
+/// world-to-camera pose `w2c`.
+///
+/// `active` is the paper's pruning mask: `None` renders everything;
+/// `Some(mask)` (one flag per Gaussian) skips masked-out Gaussians before
+/// any math runs, which is exactly where the adaptive pruning of Sec. 4.1
+/// saves its work.
+///
+/// # Panics
+///
+/// Panics if `active` is provided with a length different from the scene.
+pub fn project_scene(
+    scene: &GaussianScene,
+    w2c: &Se3,
+    camera: &PinholeCamera,
+    active: Option<&[bool]>,
+) -> Projection {
+    if let Some(mask) = active {
+        assert_eq!(
+            mask.len(),
+            scene.len(),
+            "active mask length must match scene size"
+        );
+    }
+    let rot = w2c.rotation_matrix();
+    let mut splats = Vec::with_capacity(scene.len());
+    let mut culled = 0usize;
+    let mut masked = 0usize;
+
+    for (id, g) in scene.gaussians.iter().enumerate() {
+        if let Some(mask) = active {
+            if !mask[id] {
+                masked += 1;
+                splats.push(None);
+                continue;
+            }
+        }
+        let t_cam = rot.mul_vec(g.position) + w2c.translation;
+        if t_cam.z < NEAR_PLANE {
+            culled += 1;
+            splats.push(None);
+            continue;
+        }
+        let mean = camera.project(t_cam);
+
+        // EWA: cov2d = J W Σ Wᵀ Jᵀ where J is the projection Jacobian.
+        let j = projection_jacobian(camera, t_cam);
+        let m = j * rot;
+        let cov3d = g.covariance();
+        let full = cov3d.congruence(&m);
+        let cov = Sym2::new(full.xx + COV2D_BLUR, full.xy, full.yy + COV2D_BLUR);
+        let Some(conic) = cov.inverse() else {
+            culled += 1;
+            splats.push(None);
+            continue;
+        };
+        let (l1, _) = cov.eigenvalues();
+        let radius = 3.0 * l1.max(0.0).sqrt();
+
+        // Frustum cull with the splat's own extent.
+        if mean.x + radius < 0.0
+            || mean.y + radius < 0.0
+            || mean.x - radius >= camera.width as f32
+            || mean.y - radius >= camera.height as f32
+        {
+            culled += 1;
+            splats.push(None);
+            continue;
+        }
+
+        splats.push(Some(Projected2d {
+            id: id as u32,
+            mean,
+            cov,
+            conic,
+            color: g.color,
+            opacity: g.opacity_activated(),
+            depth: t_cam.z,
+            radius,
+            t_cam,
+        }));
+    }
+
+    Projection {
+        splats,
+        culled,
+        masked,
+    }
+}
+
+/// Jacobian of the pinhole projection at camera-frame point `t`, embedded in
+/// a 3×3 matrix (third row zero) so it composes with rotations.
+///
+/// ```text
+/// J = | fx/tz   0     -fx·tx/tz² |
+///     |  0     fy/tz  -fy·ty/tz² |
+///     |  0      0          0     |
+/// ```
+///
+/// `t_x/t_z` and `t_y/t_z` are clamped into the guard-band frustum
+/// ([`FRUSTUM_CLAMP`]) before evaluation, following the reference
+/// rasterizer; see [`jacobian_with_clamp`] for the clamp flags needed by
+/// backpropagation.
+pub fn projection_jacobian(camera: &PinholeCamera, t: Vec3) -> Mat3 {
+    jacobian_with_clamp(camera, t).0
+}
+
+/// [`projection_jacobian`] plus flags telling whether the x / y off-axis
+/// ratios were clamped (their position gradients are zeroed when so, as in
+/// the reference backward kernel).
+pub fn jacobian_with_clamp(camera: &PinholeCamera, t: Vec3) -> (Mat3, bool, bool) {
+    let lim_x = FRUSTUM_CLAMP * (0.5 * camera.width as f32 / camera.fx);
+    let lim_y = FRUSTUM_CLAMP * (0.5 * camera.height as f32 / camera.fy);
+    let ratio_x = t.x / t.z;
+    let ratio_y = t.y / t.z;
+    let clamped_x = !(-lim_x..=lim_x).contains(&ratio_x);
+    let clamped_y = !(-lim_y..=lim_y).contains(&ratio_y);
+    let tx = ratio_x.clamp(-lim_x, lim_x) * t.z;
+    let ty = ratio_y.clamp(-lim_y, lim_y) * t.z;
+    let inv_z = 1.0 / t.z;
+    let inv_z2 = inv_z * inv_z;
+    let j = Mat3::from_rows(
+        [camera.fx * inv_z, 0.0, -camera.fx * tx * inv_z2],
+        [0.0, camera.fy * inv_z, -camera.fy * ty * inv_z2],
+        [0.0, 0.0, 0.0],
+    );
+    (j, clamped_x, clamped_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Gaussian3d;
+    use rtgs_math::Quat;
+
+    fn test_camera() -> PinholeCamera {
+        PinholeCamera::from_fov(64, 48, 1.2)
+    }
+
+    fn centered_gaussian(z: f32) -> Gaussian3d {
+        Gaussian3d::from_activated(
+            Vec3::new(0.0, 0.0, z),
+            Vec3::splat(0.05),
+            Quat::IDENTITY,
+            0.8,
+            Vec3::new(1.0, 0.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn projects_centered_gaussian_to_image_center() {
+        let scene = GaussianScene::from_gaussians(vec![centered_gaussian(2.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
+        let splat = proj.splats[0].expect("should be visible");
+        assert!((splat.mean - Vec2::new(32.0, 24.0)).max_abs() < 1e-4);
+        assert!((splat.depth - 2.0).abs() < 1e-6);
+        assert!(splat.radius > 0.0);
+        assert_eq!(proj.visible_count(), 1);
+    }
+
+    #[test]
+    fn culls_behind_camera() {
+        let scene = GaussianScene::from_gaussians(vec![centered_gaussian(-1.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
+        assert!(proj.splats[0].is_none());
+        assert_eq!(proj.culled, 1);
+    }
+
+    #[test]
+    fn culls_out_of_frustum() {
+        let g = Gaussian3d::from_activated(
+            Vec3::new(100.0, 0.0, 2.0),
+            Vec3::splat(0.01),
+            Quat::IDENTITY,
+            0.8,
+            Vec3::X,
+        );
+        let scene = GaussianScene::from_gaussians(vec![g]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
+        assert!(proj.splats[0].is_none());
+    }
+
+    #[test]
+    fn mask_skips_gaussians() {
+        let scene =
+            GaussianScene::from_gaussians(vec![centered_gaussian(2.0), centered_gaussian(3.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), Some(&[false, true]));
+        assert!(proj.splats[0].is_none());
+        assert!(proj.splats[1].is_some());
+        assert_eq!(proj.masked, 1);
+    }
+
+    #[test]
+    fn conic_is_inverse_of_cov() {
+        let scene = GaussianScene::from_gaussians(vec![centered_gaussian(2.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
+        let s = proj.splats[0].unwrap();
+        let prod = s.cov.to_mat2() * s.conic.to_mat2();
+        assert!((prod.m[0][0] - 1.0).abs() < 1e-4);
+        assert!(prod.m[0][1].abs() < 1e-4);
+    }
+
+    #[test]
+    fn closer_gaussian_has_larger_radius() {
+        let scene =
+            GaussianScene::from_gaussians(vec![centered_gaussian(1.0), centered_gaussian(4.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
+        let near = proj.splats[0].unwrap();
+        let far = proj.splats[1].unwrap();
+        assert!(near.radius > far.radius);
+    }
+
+    #[test]
+    fn pose_translation_shifts_projection() {
+        let scene = GaussianScene::from_gaussians(vec![centered_gaussian(2.0)]);
+        let cam = test_camera();
+        // Move the camera left: the point should appear to move right.
+        let w2c = Se3::from_translation(Vec3::new(0.5, 0.0, 0.0));
+        let proj = project_scene(&scene, &w2c, &cam, None);
+        let splat = proj.splats[0].unwrap();
+        assert!(splat.mean.x > 32.0);
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference() {
+        let cam = test_camera();
+        let t = Vec3::new(0.3, -0.2, 1.7);
+        let j = projection_jacobian(&cam, t);
+        let eps = 1e-3;
+        for axis in 0..3 {
+            let mut tp = t;
+            let mut tm = t;
+            tp[axis] += eps;
+            tm[axis] -= eps;
+            let num = (cam.project(tp) - cam.project(tm)) / (2.0 * eps);
+            assert!(
+                (j.m[0][axis] - num.x).abs() < 1e-2,
+                "dx/daxis{axis}: {} vs {}",
+                j.m[0][axis],
+                num.x
+            );
+            assert!((j.m[1][axis] - num.y).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Step ❶-2 Tile intersection and Step ❷ Sorting.
+//!
+//! The image is partitioned into 16×16-pixel tiles, each subdivided into
+//! 4×4-pixel subtiles — the tile/subtile geometry of the RTGS architecture
+//! (paper Sec. 5.1). Each tile holds a depth-sorted list of the splats that
+//! overlap it.
+
+use crate::camera::PinholeCamera;
+use crate::project::{Projected2d, Projection};
+
+/// Tile edge length in pixels (16×16 tiles, paper convention).
+pub const TILE_SIZE: usize = 16;
+/// Subtile edge length in pixels (4×4 subtiles; 16 subtiles per tile).
+pub const SUBTILE_SIZE: usize = 4;
+/// Number of subtiles per tile.
+pub const SUBTILES_PER_TILE: usize = (TILE_SIZE / SUBTILE_SIZE) * (TILE_SIZE / SUBTILE_SIZE);
+
+/// Per-tile, depth-sorted splat lists covering one image.
+#[derive(Debug, Clone)]
+pub struct TileAssignment {
+    /// Number of tiles along x.
+    pub tiles_x: usize,
+    /// Number of tiles along y.
+    pub tiles_y: usize,
+    /// For each tile (row-major), the IDs of intersecting Gaussians sorted
+    /// by ascending depth (front to back).
+    pub tile_lists: Vec<Vec<u32>>,
+}
+
+impl TileAssignment {
+    /// Builds tile lists from a projection: assigns each visible splat to
+    /// every tile its 3σ bounding square overlaps, then sorts each tile's
+    /// list front-to-back.
+    pub fn build(projection: &Projection, camera: &PinholeCamera) -> Self {
+        let tiles_x = camera.width.div_ceil(TILE_SIZE);
+        let tiles_y = camera.height.div_ceil(TILE_SIZE);
+        let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); tiles_x * tiles_y];
+
+        for splat in projection.splats.iter().flatten() {
+            let (tx0, tx1, ty0, ty1) = tile_range(splat, tiles_x, tiles_y);
+            for ty in ty0..=ty1 {
+                for tx in tx0..=tx1 {
+                    tile_lists[ty * tiles_x + tx].push(splat.id);
+                }
+            }
+        }
+
+        // Sort each tile front-to-back by depth. Splat lookup goes through
+        // the projection (IDs index `projection.splats`).
+        for list in &mut tile_lists {
+            list.sort_by(|&a, &b| {
+                let da = projection.splats[a as usize].as_ref().map(|s| s.depth);
+                let db = projection.splats[b as usize].as_ref().map(|s| s.depth);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+
+        Self {
+            tiles_x,
+            tiles_y,
+            tile_lists,
+        }
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn tile_count(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// Total number of (tile, Gaussian) intersection pairs — the statistic
+    /// whose inter-iteration change ratio drives the adaptive pruning
+    /// interval (paper Sec. 4.1).
+    pub fn intersection_count(&self) -> usize {
+        self.tile_lists.iter().map(Vec::len).sum()
+    }
+
+    /// Relative change in tile–Gaussian intersections versus a previous
+    /// assignment, computed per tile as symmetric set difference over the
+    /// union. Returns 0.0 when both are empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignments have different tile grids.
+    pub fn change_ratio(&self, prev: &TileAssignment) -> f32 {
+        assert_eq!(self.tiles_x, prev.tiles_x, "tile grids must match");
+        assert_eq!(self.tiles_y, prev.tiles_y, "tile grids must match");
+        let mut differing = 0usize;
+        let mut union = 0usize;
+        for (now, before) in self.tile_lists.iter().zip(prev.tile_lists.iter()) {
+            let a: std::collections::HashSet<u32> = now.iter().copied().collect();
+            let b: std::collections::HashSet<u32> = before.iter().copied().collect();
+            union += a.union(&b).count();
+            differing += a.symmetric_difference(&b).count();
+        }
+        if union == 0 {
+            0.0
+        } else {
+            differing as f32 / union as f32
+        }
+    }
+
+    /// The pixel rectangle `(x0, y0, x1_exclusive, y1_exclusive)` of tile
+    /// `(tx, ty)` clamped to the image bounds.
+    pub fn tile_pixel_rect(
+        &self,
+        tx: usize,
+        ty: usize,
+        camera: &PinholeCamera,
+    ) -> (usize, usize, usize, usize) {
+        let x0 = tx * TILE_SIZE;
+        let y0 = ty * TILE_SIZE;
+        (
+            x0,
+            y0,
+            (x0 + TILE_SIZE).min(camera.width),
+            (y0 + TILE_SIZE).min(camera.height),
+        )
+    }
+}
+
+fn tile_range(
+    splat: &Projected2d,
+    tiles_x: usize,
+    tiles_y: usize,
+) -> (usize, usize, usize, usize) {
+    let x0 = ((splat.mean.x - splat.radius) / TILE_SIZE as f32).floor().max(0.0) as usize;
+    let y0 = ((splat.mean.y - splat.radius) / TILE_SIZE as f32).floor().max(0.0) as usize;
+    let x1 = (((splat.mean.x + splat.radius) / TILE_SIZE as f32).floor() as isize)
+        .clamp(0, tiles_x as isize - 1) as usize;
+    let y1 = (((splat.mean.y + splat.radius) / TILE_SIZE as f32).floor() as isize)
+        .clamp(0, tiles_y as isize - 1) as usize;
+    (x0.min(tiles_x - 1), x1, y0.min(tiles_y - 1), y1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{Gaussian3d, GaussianScene};
+    use crate::project::project_scene;
+    use rtgs_math::{Quat, Se3, Vec3};
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::from_fov(64, 32, 1.2)
+    }
+
+    fn scene_with(points: &[(f32, f32, f32)]) -> GaussianScene {
+        points
+            .iter()
+            .map(|&(x, y, z)| {
+                Gaussian3d::from_activated(
+                    Vec3::new(x, y, z),
+                    Vec3::splat(0.02),
+                    Quat::IDENTITY,
+                    0.9,
+                    Vec3::X,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_dimensions_cover_image() {
+        let cam = camera();
+        let scene = scene_with(&[(0.0, 0.0, 2.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        assert_eq!(tiles.tiles_x, 4); // 64/16
+        assert_eq!(tiles.tiles_y, 2); // 32/16
+        assert_eq!(tiles.tile_count(), 8);
+    }
+
+    #[test]
+    fn small_central_gaussian_lands_in_central_tiles_only(){
+        let cam = camera();
+        let scene = scene_with(&[(0.0, 0.0, 4.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        let total = tiles.intersection_count();
+        assert!(total >= 1, "splat must land somewhere");
+        assert!(total <= 4, "tiny splat should not cover many tiles, got {total}");
+    }
+
+    #[test]
+    fn tiles_sorted_front_to_back() {
+        let cam = camera();
+        // Two Gaussians on the same ray, different depths, inserted far-first.
+        let scene = scene_with(&[(0.0, 0.0, 5.0), (0.0, 0.0, 1.5)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        for list in &tiles.tile_lists {
+            if list.len() == 2 {
+                let d0 = proj.splats[list[0] as usize].unwrap().depth;
+                let d1 = proj.splats[list[1] as usize].unwrap().depth;
+                assert!(d0 <= d1, "tile list not depth sorted");
+                return;
+            }
+        }
+        panic!("expected a tile containing both splats");
+    }
+
+    #[test]
+    fn change_ratio_zero_for_identical() {
+        let cam = camera();
+        let scene = scene_with(&[(0.0, 0.0, 2.0), (0.2, 0.1, 3.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        assert_eq!(tiles.change_ratio(&tiles.clone()), 0.0);
+    }
+
+    #[test]
+    fn change_ratio_one_for_disjoint() {
+        let cam = camera();
+        let scene = scene_with(&[(0.0, 0.0, 2.0), (0.0, 0.0, 2.0)]);
+        let pa = project_scene(&scene, &Se3::IDENTITY, &cam, Some(&[true, false]));
+        let pb = project_scene(&scene, &Se3::IDENTITY, &cam, Some(&[false, true]));
+        let ta = TileAssignment::build(&pa, &cam);
+        let tb = TileAssignment::build(&pb, &cam);
+        // Same tiles, but the IDs differ everywhere they appear.
+        assert!((ta.change_ratio(&tb) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn change_ratio_empty_scenes() {
+        let cam = camera();
+        let scene = GaussianScene::new();
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        assert_eq!(tiles.change_ratio(&tiles.clone()), 0.0);
+    }
+
+    #[test]
+    fn tile_pixel_rect_clamps_to_image() {
+        let cam = camera();
+        let scene = scene_with(&[(0.0, 0.0, 2.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        let (x0, y0, x1, y1) = tiles.tile_pixel_rect(3, 1, &cam);
+        assert_eq!((x0, y0), (48, 16));
+        assert_eq!((x1, y1), (64, 32));
+    }
+
+    #[test]
+    fn subtile_constants_consistent() {
+        assert_eq!(TILE_SIZE % SUBTILE_SIZE, 0);
+        assert_eq!(SUBTILES_PER_TILE, 16);
+    }
+}

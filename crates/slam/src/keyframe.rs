@@ -1,0 +1,180 @@
+//! Keyframe selection policies.
+//!
+//! Each base algorithm in the paper uses a distinct policy (Sec. 6.1):
+//! GS-SLAM keys on scene change (pose distance), MonoGS on fixed intervals,
+//! Photo-SLAM on photometric change, and SplaTAM maps every frame.
+
+use rtgs_math::Se3;
+use rtgs_render::Image;
+
+/// Keyframe selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyframePolicy {
+    /// Every `interval`-th frame is a keyframe (MonoGS).
+    Interval {
+        /// Keyframe spacing in frames.
+        interval: usize,
+    },
+    /// Keyframe when the pose moved far enough from the last keyframe
+    /// (GS-SLAM's scene-change criterion).
+    PoseDistance {
+        /// Translation threshold in meters.
+        translation: f32,
+        /// Rotation threshold in radians.
+        rotation: f32,
+    },
+    /// Keyframe when the mean absolute image difference to the last
+    /// keyframe exceeds a threshold (Photo-SLAM's photometric criterion).
+    Photometric {
+        /// Mean-absolute-difference threshold in color units.
+        threshold: f32,
+    },
+    /// Every frame is a keyframe (SplaTAM's per-frame mapping).
+    Always,
+}
+
+/// Inputs available to the keyframe decision for the current frame.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyframeContext<'a> {
+    /// Index of the current frame.
+    pub frame_index: usize,
+    /// Index of the most recent keyframe (`None` before the first).
+    pub last_keyframe_index: Option<usize>,
+    /// Estimated pose of the current frame (camera-to-world).
+    pub pose: &'a Se3,
+    /// Estimated pose of the last keyframe.
+    pub last_keyframe_pose: Option<&'a Se3>,
+    /// Current observation.
+    pub image: &'a Image,
+    /// Observation at the last keyframe.
+    pub last_keyframe_image: Option<&'a Image>,
+}
+
+impl KeyframePolicy {
+    /// Decides whether the current frame is a keyframe. Frame 0 is always a
+    /// keyframe (it seeds the map).
+    pub fn is_keyframe(&self, ctx: &KeyframeContext<'_>) -> bool {
+        let Some(last_idx) = ctx.last_keyframe_index else {
+            return true;
+        };
+        match *self {
+            KeyframePolicy::Always => true,
+            KeyframePolicy::Interval { interval } => {
+                ctx.frame_index >= last_idx + interval.max(1)
+            }
+            KeyframePolicy::PoseDistance {
+                translation,
+                rotation,
+            } => match ctx.last_keyframe_pose {
+                Some(kf_pose) => {
+                    ctx.pose.translation_distance(kf_pose) > translation
+                        || ctx.pose.rotation_distance(kf_pose) > rotation
+                }
+                None => true,
+            },
+            KeyframePolicy::Photometric { threshold } => match ctx.last_keyframe_image {
+                Some(kf_img) if kf_img.width() == ctx.image.width() => {
+                    ctx.image.mean_abs_diff(kf_img) > threshold
+                }
+                _ => true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgs_math::{Quat, Vec3};
+
+    fn ctx<'a>(
+        frame: usize,
+        last: Option<usize>,
+        pose: &'a Se3,
+        kf_pose: Option<&'a Se3>,
+        img: &'a Image,
+        kf_img: Option<&'a Image>,
+    ) -> KeyframeContext<'a> {
+        KeyframeContext {
+            frame_index: frame,
+            last_keyframe_index: last,
+            pose,
+            last_keyframe_pose: kf_pose,
+            image: img,
+            last_keyframe_image: kf_img,
+        }
+    }
+
+    #[test]
+    fn first_frame_is_always_keyframe() {
+        let pose = Se3::IDENTITY;
+        let img = Image::new(4, 4);
+        for policy in [
+            KeyframePolicy::Interval { interval: 10 },
+            KeyframePolicy::PoseDistance {
+                translation: 1.0,
+                rotation: 1.0,
+            },
+            KeyframePolicy::Photometric { threshold: 0.5 },
+            KeyframePolicy::Always,
+        ] {
+            assert!(policy.is_keyframe(&ctx(0, None, &pose, None, &img, None)));
+        }
+    }
+
+    #[test]
+    fn interval_policy_spacing() {
+        let p = KeyframePolicy::Interval { interval: 5 };
+        let pose = Se3::IDENTITY;
+        let img = Image::new(4, 4);
+        assert!(!p.is_keyframe(&ctx(4, Some(0), &pose, Some(&pose), &img, Some(&img))));
+        assert!(p.is_keyframe(&ctx(5, Some(0), &pose, Some(&pose), &img, Some(&img))));
+        assert!(p.is_keyframe(&ctx(9, Some(0), &pose, Some(&pose), &img, Some(&img))));
+    }
+
+    #[test]
+    fn pose_distance_policy_triggers_on_translation() {
+        let p = KeyframePolicy::PoseDistance {
+            translation: 0.1,
+            rotation: 10.0,
+        };
+        let kf = Se3::IDENTITY;
+        let near = Se3::from_translation(Vec3::new(0.05, 0.0, 0.0));
+        let far = Se3::from_translation(Vec3::new(0.5, 0.0, 0.0));
+        let img = Image::new(4, 4);
+        assert!(!p.is_keyframe(&ctx(1, Some(0), &near, Some(&kf), &img, Some(&img))));
+        assert!(p.is_keyframe(&ctx(2, Some(0), &far, Some(&kf), &img, Some(&img))));
+    }
+
+    #[test]
+    fn pose_distance_policy_triggers_on_rotation() {
+        let p = KeyframePolicy::PoseDistance {
+            translation: 10.0,
+            rotation: 0.2,
+        };
+        let kf = Se3::IDENTITY;
+        let rotated = Se3::from_rotation(Quat::from_axis_angle(Vec3::Y, 0.5));
+        let img = Image::new(4, 4);
+        assert!(p.is_keyframe(&ctx(1, Some(0), &rotated, Some(&kf), &img, Some(&img))));
+    }
+
+    #[test]
+    fn photometric_policy_triggers_on_image_change() {
+        let p = KeyframePolicy::Photometric { threshold: 0.1 };
+        let pose = Se3::IDENTITY;
+        let dark = Image::new(4, 4);
+        let bright = Image::from_data(4, 4, vec![Vec3::splat(0.8); 16]);
+        assert!(!p.is_keyframe(&ctx(1, Some(0), &pose, Some(&pose), &dark, Some(&dark))));
+        assert!(p.is_keyframe(&ctx(1, Some(0), &pose, Some(&pose), &bright, Some(&dark))));
+    }
+
+    #[test]
+    fn always_policy_keys_everything() {
+        let p = KeyframePolicy::Always;
+        let pose = Se3::IDENTITY;
+        let img = Image::new(4, 4);
+        for frame in 1..5 {
+            assert!(p.is_keyframe(&ctx(frame, Some(frame - 1), &pose, Some(&pose), &img, Some(&img))));
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Map management: seeding from RGB-D observations, densification at
+//! high-error regions, and low-opacity cleanup.
+
+use crate::optimizer::MapOptimizer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtgs_math::{Quat, Se3, Vec3};
+use rtgs_render::{Gaussian3d, GaussianScene, Image, PinholeCamera, RenderOutput};
+use rtgs_scene::RgbdFrame;
+
+/// Map management parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapConfig {
+    /// Pixel stride when seeding from a frame (one Gaussian per
+    /// `stride × stride` block).
+    pub seed_stride: usize,
+    /// Scale multiplier relating seeded Gaussian size to pixel footprint.
+    pub seed_scale: f32,
+    /// Initial opacity of seeded Gaussians.
+    pub seed_opacity: f32,
+    /// Photometric error (mean abs per channel) above which a pixel spawns
+    /// a densification candidate.
+    pub densify_error_threshold: f32,
+    /// Maximum Gaussians added per densification pass.
+    pub densify_max_per_pass: usize,
+    /// Activated opacity below which a Gaussian is removed during cleanup.
+    pub prune_opacity_threshold: f32,
+    /// Hard cap on the map size (memory budget).
+    pub max_gaussians: usize,
+    /// Depth assumed for monocular seeding when no depth image exists.
+    pub mono_depth_prior: f32,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        Self {
+            seed_stride: 2,
+            seed_scale: 0.9,
+            seed_opacity: 0.65,
+            densify_error_threshold: 0.08,
+            densify_max_per_pass: 200,
+            prune_opacity_threshold: 0.02,
+            max_gaussians: 60_000,
+            mono_depth_prior: 2.5,
+        }
+    }
+}
+
+/// Seeds Gaussians from an observation by backprojecting a strided pixel
+/// grid (the standard RGB-D initialization of SplaTAM/MonoGS).
+///
+/// `c2w` is the camera-to-world pose of the frame. Pixels without valid
+/// depth fall back to `mono_depth_prior` with jitter (monocular seeding).
+pub fn seed_from_frame(
+    frame: &RgbdFrame,
+    camera: &PinholeCamera,
+    c2w: &Se3,
+    config: &MapConfig,
+    seed: u64,
+) -> GaussianScene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stride = config.seed_stride.max(1);
+    let mut gaussians = Vec::new();
+    for y in (0..camera.height).step_by(stride) {
+        for x in (0..camera.width).step_by(stride) {
+            let depth = frame
+                .depth
+                .as_ref()
+                .map(|d| d.depth(x, y))
+                .filter(|&d| d > 0.0)
+                .unwrap_or_else(|| config.mono_depth_prior * rng.gen_range(0.7..1.3));
+            let p_cam = Vec3::new(
+                (x as f32 + 0.5 - camera.cx) * depth / camera.fx,
+                (y as f32 + 0.5 - camera.cy) * depth / camera.fy,
+                depth,
+            );
+            let position = c2w.transform_point(p_cam);
+            // Pixel footprint at this depth defines the Gaussian's extent.
+            let extent = config.seed_scale * depth * stride as f32 / camera.fx;
+            gaussians.push(Gaussian3d::from_activated(
+                position,
+                Vec3::splat(extent.max(1e-3)),
+                Quat::IDENTITY,
+                config.seed_opacity,
+                frame.color.pixel(x, y),
+            ));
+        }
+    }
+    GaussianScene::from_gaussians(gaussians)
+}
+
+/// Adds Gaussians at high-photometric-error pixels with valid depth
+/// (densification), growing the optimizer state alongside. Returns the
+/// number added.
+pub fn densify(
+    scene: &mut GaussianScene,
+    optimizer: &mut MapOptimizer,
+    rendered: &RenderOutput,
+    frame: &RgbdFrame,
+    camera: &PinholeCamera,
+    c2w: &Se3,
+    config: &MapConfig,
+    seed: u64,
+) -> usize {
+    if scene.len() >= config.max_gaussians {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Collect candidate pixels by error.
+    let mut candidates: Vec<(f32, usize, usize)> = Vec::new();
+    for y in 0..camera.height {
+        for x in 0..camera.width {
+            let err = pixel_error(&rendered.image, &frame.color, x, y);
+            if err > config.densify_error_threshold {
+                candidates.push((err, x, y));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let budget = config
+        .densify_max_per_pass
+        .min(config.max_gaussians - scene.len());
+
+    let mut added = 0;
+    for &(_, x, y) in candidates.iter().take(budget) {
+        let depth = match frame.depth.as_ref().map(|d| d.depth(x, y)) {
+            Some(d) if d > 0.0 => d,
+            // Fall back to the rendered depth if the model already covers
+            // the pixel, otherwise the monocular prior.
+            _ => {
+                let rd = rendered.depth.depth(x, y);
+                if rd > 0.0 {
+                    rd
+                } else {
+                    config.mono_depth_prior * rng.gen_range(0.8..1.2)
+                }
+            }
+        };
+        let p_cam = Vec3::new(
+            (x as f32 + 0.5 - camera.cx) * depth / camera.fx,
+            (y as f32 + 0.5 - camera.cy) * depth / camera.fy,
+            depth,
+        );
+        let extent = config.seed_scale * depth / camera.fx;
+        scene.gaussians.push(Gaussian3d::from_activated(
+            c2w.transform_point(p_cam),
+            Vec3::splat(extent.max(1e-3)),
+            Quat::IDENTITY,
+            config.seed_opacity,
+            frame.color.pixel(x, y),
+        ));
+        added += 1;
+    }
+    optimizer.grow(added);
+    added
+}
+
+/// Removes Gaussians whose activated opacity dropped below the cleanup
+/// threshold, compacting the optimizer alongside. Returns the number
+/// removed.
+///
+/// This is the standard 3DGS housekeeping pass, distinct from RTGS's
+/// gradient-based adaptive pruning (`rtgs-core`).
+pub fn prune_transparent(
+    scene: &mut GaussianScene,
+    optimizer: &mut MapOptimizer,
+    config: &MapConfig,
+) -> usize {
+    let keep: Vec<bool> = scene
+        .gaussians
+        .iter()
+        .map(|g| g.opacity_activated() >= config.prune_opacity_threshold)
+        .collect();
+    let removed = keep.iter().filter(|&&k| !k).count();
+    if removed == 0 {
+        return 0;
+    }
+    let mut idx = 0;
+    scene.gaussians.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    optimizer.compact(&keep);
+    removed
+}
+
+fn pixel_error(rendered: &Image, gt: &Image, x: usize, y: usize) -> f32 {
+    let d = rendered.pixel(x, y) - gt.pixel(x, y);
+    (d.x.abs() + d.y.abs() + d.z.abs()) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::MapLearningRates;
+    use rtgs_render::DepthImage;
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::from_fov(16, 12, 1.2)
+    }
+
+    fn frame_with_depth(depth: f32) -> RgbdFrame {
+        let cam = camera();
+        RgbdFrame {
+            index: 0,
+            color: Image::from_data(
+                cam.width,
+                cam.height,
+                vec![Vec3::new(0.8, 0.4, 0.2); cam.pixel_count()],
+            ),
+            depth: Some(DepthImage::from_data(
+                cam.width,
+                cam.height,
+                vec![depth; cam.pixel_count()],
+            )),
+        }
+    }
+
+    #[test]
+    fn seeding_covers_strided_grid() {
+        let cam = camera();
+        let frame = frame_with_depth(2.0);
+        let cfg = MapConfig {
+            seed_stride: 2,
+            ..Default::default()
+        };
+        let scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &cfg, 1);
+        assert_eq!(scene.len(), (16 / 2) * (12 / 2));
+        // All seeds sit at depth 2 in front of the camera.
+        for g in &scene.gaussians {
+            assert!((g.position.z - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn seeded_colors_match_observation() {
+        let cam = camera();
+        let frame = frame_with_depth(1.5);
+        let scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        for g in &scene.gaussians {
+            assert!((g.color - Vec3::new(0.8, 0.4, 0.2)).max_abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn seeding_respects_pose() {
+        let cam = camera();
+        let frame = frame_with_depth(2.0);
+        let c2w = Se3::from_translation(Vec3::new(5.0, 0.0, 0.0));
+        let scene = seed_from_frame(&frame, &cam, &c2w, &MapConfig::default(), 1);
+        let mean_x = scene
+            .gaussians
+            .iter()
+            .map(|g| g.position.x)
+            .sum::<f32>()
+            / scene.len() as f32;
+        assert!((mean_x - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn monocular_seeding_uses_prior() {
+        let cam = camera();
+        let mut frame = frame_with_depth(2.0);
+        frame.depth = None;
+        let cfg = MapConfig {
+            mono_depth_prior: 3.0,
+            ..Default::default()
+        };
+        let scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &cfg, 1);
+        for g in &scene.gaussians {
+            assert!(g.position.z > 3.0 * 0.6 && g.position.z < 3.0 * 1.4);
+        }
+    }
+
+    #[test]
+    fn densify_adds_where_error_is_high() {
+        let cam = camera();
+        let frame = frame_with_depth(2.0);
+        let mut scene = GaussianScene::new();
+        let mut opt = MapOptimizer::new(0, MapLearningRates::default());
+        // Rendered output is black everywhere -> every pixel is high-error.
+        let rendered = RenderOutput {
+            image: Image::new(cam.width, cam.height),
+            depth: DepthImage::new(cam.width, cam.height),
+            final_transmittance: vec![1.0; cam.pixel_count()],
+            pixel_workloads: vec![0; cam.pixel_count()],
+            stats: Default::default(),
+        };
+        let cfg = MapConfig {
+            densify_max_per_pass: 10,
+            ..Default::default()
+        };
+        let added = densify(&mut scene, &mut opt, &rendered, &frame, &cam, &Se3::IDENTITY, &cfg, 2);
+        assert_eq!(added, 10);
+        assert_eq!(scene.len(), 10);
+        assert_eq!(opt.len(), 10);
+    }
+
+    #[test]
+    fn densify_respects_budget_cap() {
+        let cam = camera();
+        let frame = frame_with_depth(2.0);
+        let mut scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        let n = scene.len();
+        let mut opt = MapOptimizer::new(n, MapLearningRates::default());
+        let rendered = RenderOutput {
+            image: Image::new(cam.width, cam.height),
+            depth: DepthImage::new(cam.width, cam.height),
+            final_transmittance: vec![1.0; cam.pixel_count()],
+            pixel_workloads: vec![0; cam.pixel_count()],
+            stats: Default::default(),
+        };
+        let cfg = MapConfig {
+            max_gaussians: n + 3,
+            densify_max_per_pass: 100,
+            ..Default::default()
+        };
+        let added = densify(&mut scene, &mut opt, &rendered, &frame, &cam, &Se3::IDENTITY, &cfg, 2);
+        assert_eq!(added, 3);
+    }
+
+    #[test]
+    fn prune_removes_transparent_gaussians() {
+        let cam = camera();
+        let frame = frame_with_depth(2.0);
+        let mut scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        let n = scene.len();
+        let mut opt = MapOptimizer::new(n, MapLearningRates::default());
+        // Make half the map transparent.
+        for g in scene.gaussians.iter_mut().take(n / 2) {
+            g.opacity = rtgs_math::logit(0.001);
+        }
+        let removed = prune_transparent(&mut scene, &mut opt, &MapConfig::default());
+        assert_eq!(removed, n / 2);
+        assert_eq!(scene.len(), n - n / 2);
+        assert_eq!(opt.len(), scene.len());
+    }
+
+    #[test]
+    fn prune_noop_when_all_opaque() {
+        let cam = camera();
+        let frame = frame_with_depth(2.0);
+        let mut scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        let mut opt = MapOptimizer::new(scene.len(), MapLearningRates::default());
+        assert_eq!(prune_transparent(&mut scene, &mut opt, &MapConfig::default()), 0);
+    }
+}

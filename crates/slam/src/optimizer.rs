@@ -1,0 +1,382 @@
+//! Optimizers for mapping (Adam over Gaussian parameters) and tracking
+//! (Adam over the 6-dof camera-pose tangent).
+
+use rtgs_math::{clamp, Vec3};
+use rtgs_render::{Gaussian3d, GaussianGrad, GaussianScene};
+
+/// Number of scalar parameters per Gaussian
+/// (position 3 + log-scale 3 + quaternion 4 + opacity 1 + color 3).
+pub const PARAMS_PER_GAUSSIAN: usize = 14;
+
+/// Per-group learning rates for the Gaussian Adam optimizer, following the
+/// reference 3DGS training recipe (scaled for SLAM's few iterations per
+/// frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapLearningRates {
+    /// Position learning rate (meters).
+    pub position: f32,
+    /// Log-scale learning rate.
+    pub log_scale: f32,
+    /// Quaternion learning rate.
+    pub rotation: f32,
+    /// Opacity-logit learning rate.
+    pub opacity: f32,
+    /// Color learning rate.
+    pub color: f32,
+}
+
+impl Default for MapLearningRates {
+    fn default() -> Self {
+        Self {
+            position: 1e-3,
+            log_scale: 5e-3,
+            rotation: 1e-3,
+            opacity: 0.05,
+            color: 2.5e-3,
+        }
+    }
+}
+
+/// Adam state over all Gaussians of a scene. Supports appending new
+/// Gaussians (densification) and compacting (pruning) while keeping moment
+/// estimates aligned with the scene.
+#[derive(Debug, Clone)]
+pub struct MapOptimizer {
+    lrs: MapLearningRates,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: Vec<[f32; PARAMS_PER_GAUSSIAN]>,
+    v: Vec<[f32; PARAMS_PER_GAUSSIAN]>,
+}
+
+impl MapOptimizer {
+    /// Creates an optimizer for a scene of `n` Gaussians.
+    pub fn new(n: usize, lrs: MapLearningRates) -> Self {
+        Self {
+            lrs,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: vec![[0.0; PARAMS_PER_GAUSSIAN]; n],
+            v: vec![[0.0; PARAMS_PER_GAUSSIAN]; n],
+        }
+    }
+
+    /// Number of Gaussians tracked.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// True when tracking no Gaussians.
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+
+    /// Extends state for `count` newly appended Gaussians.
+    pub fn grow(&mut self, count: usize) {
+        self.m
+            .extend(std::iter::repeat([0.0; PARAMS_PER_GAUSSIAN]).take(count));
+        self.v
+            .extend(std::iter::repeat([0.0; PARAMS_PER_GAUSSIAN]).take(count));
+    }
+
+    /// Keeps only the Gaussians whose `keep[i]` flag is set, matching a
+    /// `retain` on the scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len()` differs from the tracked count.
+    pub fn compact(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.m.len(), "keep mask length mismatch");
+        let mut idx = 0;
+        self.m.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        idx = 0;
+        self.v.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Applies one Adam step to the scene given per-Gaussian gradients.
+    ///
+    /// Gaussians with an all-zero gradient are skipped (their moments decay
+    /// lazily — the sparse-update behaviour of the reference trainer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes disagree.
+    pub fn step(&mut self, scene: &mut GaussianScene, grads: &[GaussianGrad]) {
+        assert_eq!(scene.len(), grads.len(), "gradient buffer size mismatch");
+        assert_eq!(scene.len(), self.m.len(), "optimizer not sized for scene");
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+
+        for ((g, grad), (m, v)) in scene
+            .gaussians
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            let flat = flatten_grad(grad);
+            if flat.iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            let mut update = [0.0f32; PARAMS_PER_GAUSSIAN];
+            for i in 0..PARAMS_PER_GAUSSIAN {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * flat[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * flat[i] * flat[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                update[i] = m_hat / (v_hat.sqrt() + self.eps);
+            }
+            apply_update(g, &update, &self.lrs);
+        }
+    }
+}
+
+fn flatten_grad(g: &GaussianGrad) -> [f32; PARAMS_PER_GAUSSIAN] {
+    [
+        g.position.x,
+        g.position.y,
+        g.position.z,
+        g.log_scale.x,
+        g.log_scale.y,
+        g.log_scale.z,
+        g.rotation[0],
+        g.rotation[1],
+        g.rotation[2],
+        g.rotation[3],
+        g.opacity,
+        g.color.x,
+        g.color.y,
+        g.color.z,
+    ]
+}
+
+fn apply_update(g: &mut Gaussian3d, u: &[f32; PARAMS_PER_GAUSSIAN], lrs: &MapLearningRates) {
+    g.position -= Vec3::new(u[0], u[1], u[2]) * lrs.position;
+    g.log_scale -= Vec3::new(u[3], u[4], u[5]) * lrs.log_scale;
+    // Keep scales in a sane range to avoid degenerate covariances.
+    g.log_scale = Vec3::new(
+        clamp(g.log_scale.x, -8.0, 2.0),
+        clamp(g.log_scale.y, -8.0, 2.0),
+        clamp(g.log_scale.z, -8.0, 2.0),
+    );
+    g.rotation.w -= u[6] * lrs.rotation;
+    g.rotation.x -= u[7] * lrs.rotation;
+    g.rotation.y -= u[8] * lrs.rotation;
+    g.rotation.z -= u[9] * lrs.rotation;
+    g.opacity = clamp(g.opacity - u[10] * lrs.opacity, -9.0, 9.0);
+    g.color -= Vec3::new(u[11], u[12], u[13]) * lrs.color;
+    g.color = Vec3::new(
+        clamp(g.color.x, 0.0, 1.0),
+        clamp(g.color.y, 0.0, 1.0),
+        clamp(g.color.z, 0.0, 1.0),
+    );
+}
+
+/// Adam over the 6-dof pose tangent used by tracking (Sec. 2.2, camera pose
+/// optimization).
+#[derive(Debug, Clone)]
+pub struct PoseOptimizer {
+    /// Learning rate for the translational tangent components.
+    pub lr_translation: f32,
+    /// Learning rate for the rotational tangent components.
+    pub lr_rotation: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: [f32; 6],
+    v: [f32; 6],
+}
+
+impl PoseOptimizer {
+    /// Creates a pose optimizer with the given tangent learning rates.
+    pub fn new(lr_translation: f32, lr_rotation: f32) -> Self {
+        Self {
+            lr_translation,
+            lr_rotation,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: [0.0; 6],
+            v: [0.0; 6],
+        }
+    }
+
+    /// Resets the moment estimates (call when starting a new frame).
+    pub fn reset(&mut self) {
+        self.step = 0;
+        self.m = [0.0; 6];
+        self.v = [0.0; 6];
+    }
+
+    /// Computes the retraction step for the given pose gradient; apply with
+    /// [`rtgs_math::Se3::retract`].
+    pub fn step(&mut self, grad: &[f32; 6]) -> [f32; 6] {
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        let mut delta = [0.0f32; 6];
+        for i in 0..6 {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            let lr = if i < 3 {
+                self.lr_translation
+            } else {
+                self.lr_rotation
+            };
+            delta[i] = -lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        delta
+    }
+}
+
+impl Default for PoseOptimizer {
+    fn default() -> Self {
+        Self::new(2e-3, 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgs_math::Quat;
+
+    fn scene_of(n: usize) -> GaussianScene {
+        (0..n)
+            .map(|i| {
+                Gaussian3d::from_activated(
+                    Vec3::new(i as f32, 0.0, 2.0),
+                    Vec3::splat(0.1),
+                    Quat::IDENTITY,
+                    0.5,
+                    Vec3::splat(0.5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let mut scene = scene_of(1);
+        let mut opt = MapOptimizer::new(1, MapLearningRates::default());
+        let before = scene.gaussians[0].position.x;
+        let grads = vec![GaussianGrad {
+            position: Vec3::new(1.0, 0.0, 0.0),
+            ..Default::default()
+        }];
+        opt.step(&mut scene, &grads);
+        assert!(scene.gaussians[0].position.x < before);
+    }
+
+    #[test]
+    fn zero_gradient_leaves_gaussian_unchanged() {
+        let mut scene = scene_of(2);
+        let snapshot = scene.gaussians[1];
+        let mut opt = MapOptimizer::new(2, MapLearningRates::default());
+        let mut grads = scene.zero_grads();
+        grads[0].color = Vec3::splat(1.0);
+        opt.step(&mut scene, &grads);
+        assert_eq!(scene.gaussians[1], snapshot);
+        assert_ne!(scene.gaussians[0].color, Vec3::splat(0.5));
+    }
+
+    #[test]
+    fn color_stays_clamped() {
+        let mut scene = scene_of(1);
+        let mut opt = MapOptimizer::new(1, MapLearningRates::default());
+        for _ in 0..2000 {
+            let grads = vec![GaussianGrad {
+                color: Vec3::splat(-1.0), // pushes color up
+                ..Default::default()
+            }];
+            opt.step(&mut scene, &grads);
+        }
+        let c = scene.gaussians[0].color;
+        assert!(c.x <= 1.0 && c.y <= 1.0 && c.z <= 1.0);
+    }
+
+    #[test]
+    fn grow_and_compact_keep_state_aligned() {
+        let mut opt = MapOptimizer::new(3, MapLearningRates::default());
+        opt.grow(2);
+        assert_eq!(opt.len(), 5);
+        opt.compact(&[true, false, true, false, true]);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep mask length mismatch")]
+    fn compact_validates_length() {
+        let mut opt = MapOptimizer::new(3, MapLearningRates::default());
+        opt.compact(&[true]);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize (x - 3)^2 through the position-x channel.
+        let mut scene = scene_of(1);
+        let mut opt = MapOptimizer::new(
+            1,
+            MapLearningRates {
+                position: 0.05,
+                ..Default::default()
+            },
+        );
+        for _ in 0..500 {
+            let x = scene.gaussians[0].position.x;
+            let grads = vec![GaussianGrad {
+                position: Vec3::new(2.0 * (x - 3.0), 0.0, 0.0),
+                ..Default::default()
+            }];
+            opt.step(&mut scene, &grads);
+        }
+        assert!((scene.gaussians[0].position.x - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn pose_optimizer_descends_quadratic() {
+        // Minimize ||xi - target||^2 over the tangent.
+        let target = [0.1f32, -0.05, 0.2, 0.03, -0.02, 0.01];
+        let mut xi = [0.0f32; 6];
+        let mut opt = PoseOptimizer::new(0.02, 0.02);
+        for _ in 0..400 {
+            let grad: [f32; 6] = std::array::from_fn(|i| 2.0 * (xi[i] - target[i]));
+            let delta = opt.step(&grad);
+            for i in 0..6 {
+                xi[i] += delta[i];
+            }
+        }
+        for i in 0..6 {
+            assert!(
+                (xi[i] - target[i]).abs() < 0.02,
+                "component {i}: {} vs {}",
+                xi[i],
+                target[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pose_reset_clears_momentum() {
+        let mut opt = PoseOptimizer::default();
+        let _ = opt.step(&[1.0; 6]);
+        opt.reset();
+        let d = opt.step(&[0.0; 6]);
+        assert_eq!(d, [0.0; 6]);
+    }
+}

@@ -1,0 +1,907 @@
+//! The end-to-end 3DGS-SLAM pipeline: alternating tracking and
+//! keyframe-based mapping (paper Sec. 2.2, Fig. 2), with extension points
+//! for the RTGS redundancy-reduction techniques.
+
+use crate::keyframe::{KeyframeContext, KeyframePolicy};
+use crate::map::{densify, prune_transparent, seed_from_frame, MapConfig};
+use crate::optimizer::{MapLearningRates, MapOptimizer};
+use crate::profile::StageTimings;
+use crate::tracking::{track_frame, IterationArtifacts, TrackingConfig, TrackingObserver};
+use rtgs_math::Se3;
+use rtgs_metrics::{absolute_trajectory_error, psnr, AteResult};
+use rtgs_render::{
+    backward, compute_loss, project_scene, render, render_frame, GaussianScene, Image,
+    TileAssignment, WorkloadTrace,
+};
+use rtgs_scene::{RgbdFrame, SyntheticDataset};
+use std::time::{Duration, Instant};
+
+/// The base 3DGS-SLAM algorithms evaluated in the paper (Sec. 2.3, 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseAlgorithm {
+    /// GS-SLAM: keyframes by pose distance, moderate budgets.
+    GsSlam,
+    /// MonoGS: fixed keyframe interval, large Gaussian budget, most
+    /// accurate and most expensive.
+    MonoGs,
+    /// Photo-SLAM: photometric keyframes, cheap geometric-style tracking.
+    PhotoSlam,
+    /// SplaTAM: tracking *and* mapping on every frame.
+    SplaTam,
+}
+
+impl BaseAlgorithm {
+    /// All four algorithms in the paper's order.
+    pub fn all() -> [BaseAlgorithm; 4] {
+        [
+            BaseAlgorithm::SplaTam,
+            BaseAlgorithm::GsSlam,
+            BaseAlgorithm::MonoGs,
+            BaseAlgorithm::PhotoSlam,
+        ]
+    }
+
+    /// The three keyframe-based algorithms used in Tab. 6 / Fig. 15.
+    pub fn keyframe_based() -> [BaseAlgorithm; 3] {
+        [
+            BaseAlgorithm::GsSlam,
+            BaseAlgorithm::MonoGs,
+            BaseAlgorithm::PhotoSlam,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaseAlgorithm::GsSlam => "GS-SLAM",
+            BaseAlgorithm::MonoGs => "MonoGS",
+            BaseAlgorithm::PhotoSlam => "Photo-SLAM",
+            BaseAlgorithm::SplaTam => "SplaTAM",
+        }
+    }
+
+    /// Whether tracking uses classical geometric optimization instead of
+    /// rendering backpropagation (Photo-SLAM). RTGS then accelerates only
+    /// rendering and mapping BP (paper Sec. 6.1).
+    pub fn geometric_tracking(&self) -> bool {
+        matches!(self, BaseAlgorithm::PhotoSlam)
+    }
+}
+
+/// Full SLAM configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlamConfig {
+    /// Base algorithm preset.
+    pub algorithm: BaseAlgorithm,
+    /// Keyframe policy.
+    pub keyframe_policy: KeyframePolicy,
+    /// Tracking settings.
+    pub tracking: TrackingConfig,
+    /// Mapping iterations per keyframe.
+    pub mapping_iterations: usize,
+    /// Map management settings.
+    pub map: MapConfig,
+    /// Learning rates for mapping.
+    pub map_lrs: MapLearningRates,
+    /// Cap on frames processed (`None` = whole dataset).
+    pub max_frames: Option<usize>,
+    /// Record per-iteration workload traces (memory-heavy; hardware
+    /// modelling only).
+    pub record_traces: bool,
+}
+
+impl SlamConfig {
+    /// Preset configuration reproducing each base algorithm's
+    /// distinguishing behaviour (budgets scaled to the analog datasets).
+    pub fn for_algorithm(algorithm: BaseAlgorithm) -> Self {
+        let base = Self {
+            algorithm,
+            keyframe_policy: KeyframePolicy::Interval { interval: 5 },
+            tracking: TrackingConfig::default(),
+            mapping_iterations: 15,
+            map: MapConfig::default(),
+            map_lrs: MapLearningRates::default(),
+            max_frames: None,
+            record_traces: false,
+        };
+        match algorithm {
+            BaseAlgorithm::MonoGs => Self {
+                keyframe_policy: KeyframePolicy::Interval { interval: 5 },
+                tracking: TrackingConfig {
+                    iterations: 15,
+                    ..Default::default()
+                },
+                mapping_iterations: 20,
+                map: MapConfig {
+                    seed_stride: 2,
+                    densify_error_threshold: 0.05,
+                    densify_max_per_pass: 250,
+                    ..Default::default()
+                },
+                ..base
+            },
+            BaseAlgorithm::GsSlam => Self {
+                keyframe_policy: KeyframePolicy::PoseDistance {
+                    translation: 0.10,
+                    rotation: 0.12,
+                },
+                tracking: TrackingConfig {
+                    iterations: 12,
+                    ..Default::default()
+                },
+                mapping_iterations: 12,
+                map: MapConfig {
+                    seed_stride: 3,
+                    densify_max_per_pass: 120,
+                    ..Default::default()
+                },
+                ..base
+            },
+            BaseAlgorithm::PhotoSlam => Self {
+                keyframe_policy: KeyframePolicy::Photometric { threshold: 0.03 },
+                tracking: TrackingConfig {
+                    iterations: 5,
+                    ..Default::default()
+                },
+                mapping_iterations: 10,
+                map: MapConfig {
+                    seed_stride: 3,
+                    densify_max_per_pass: 80,
+                    ..Default::default()
+                },
+                ..base
+            },
+            BaseAlgorithm::SplaTam => Self {
+                keyframe_policy: KeyframePolicy::Always,
+                tracking: TrackingConfig {
+                    iterations: 12,
+                    ..Default::default()
+                },
+                mapping_iterations: 12,
+                map: MapConfig {
+                    seed_stride: 2,
+                    densify_max_per_pass: 150,
+                    ..Default::default()
+                },
+                ..base
+            },
+        }
+    }
+
+    /// Limits the number of processed frames.
+    pub fn with_frames(mut self, frames: usize) -> Self {
+        self.max_frames = Some(frames);
+        self
+    }
+
+    /// Enables workload-trace recording.
+    pub fn with_traces(mut self) -> Self {
+        self.record_traces = true;
+        self
+    }
+}
+
+/// Per-frame directives an extension returns before the frame is processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameDirectives {
+    /// Linear resolution downsample factor for tracking this frame
+    /// (1 = native). Keyframes are always processed at factor 1.
+    pub resolution_factor: usize,
+}
+
+impl Default for FrameDirectives {
+    fn default() -> Self {
+        Self {
+            resolution_factor: 1,
+        }
+    }
+}
+
+/// Extension points for redundancy-reduction techniques. `rtgs-core`
+/// implements this trait; base algorithms run with [`NoExtension`].
+pub trait PipelineExtension {
+    /// Called before each frame; returns directives (e.g. the dynamic
+    /// downsampling factor).
+    fn frame_directives(
+        &mut self,
+        _frame_index: usize,
+        _frames_since_keyframe: usize,
+    ) -> FrameDirectives {
+        FrameDirectives::default()
+    }
+
+    /// Called after each tracking iteration; may mask Gaussians off for the
+    /// rest of the frame (adaptive pruning).
+    fn after_tracking_iteration(
+        &mut self,
+        _artifacts: &IterationArtifacts<'_>,
+        _mask: &mut [bool],
+    ) {
+    }
+
+    /// Called at the end of each frame with the final tracking mask and the
+    /// keyframe decision; returns a keep-mask for permanent Gaussian
+    /// removal, or `None` to keep everything. The paper removes Gaussians
+    /// masked during tracking only on non-keyframes (keyframes skip
+    /// pruning, Sec. 5.5).
+    fn end_of_frame(
+        &mut self,
+        _scene: &GaussianScene,
+        _mask: &[bool],
+        _is_keyframe: bool,
+    ) -> Option<Vec<bool>> {
+        None
+    }
+
+    /// Notifies the extension that the scene was resized (mapping added or
+    /// removed Gaussians); masks must be re-synchronized.
+    fn on_scene_resized(&mut self, _new_len: usize) {}
+
+    /// Extension name for reports.
+    fn name(&self) -> &'static str {
+        "base"
+    }
+}
+
+/// The identity extension (no redundancy reduction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoExtension;
+
+impl PipelineExtension for NoExtension {}
+
+/// Report for one processed frame.
+#[derive(Debug, Clone)]
+pub struct FrameReport {
+    /// Frame index.
+    pub index: usize,
+    /// Whether this frame was selected as a keyframe.
+    pub is_keyframe: bool,
+    /// Estimated camera-to-world pose.
+    pub pose_c2w: Se3,
+    /// Resolution factor used for tracking.
+    pub resolution_factor: usize,
+    /// Final tracking loss.
+    pub tracking_loss: f32,
+    /// Wall-clock spent tracking.
+    pub tracking_wall: Duration,
+    /// Wall-clock spent mapping (zero for non-keyframes).
+    pub mapping_wall: Duration,
+    /// Map size after this frame.
+    pub gaussians: usize,
+    /// Fragments processed during tracking (forward).
+    pub tracking_fragments: u64,
+    /// Fragment gradient events during tracking (backward).
+    pub tracking_grad_events: u64,
+    /// Workload traces from tracking iterations (if enabled).
+    pub traces: Vec<WorkloadTrace>,
+    /// Workload traces from mapping iterations (if enabled; keyframes only).
+    pub mapping_traces: Vec<WorkloadTrace>,
+}
+
+/// Aggregate report for a full run.
+#[derive(Debug, Clone)]
+pub struct SlamReport {
+    /// Frames processed.
+    pub frames_processed: usize,
+    /// Estimated trajectory (camera-to-world).
+    pub trajectory: Vec<Se3>,
+    /// ATE versus ground truth.
+    pub ate: AteResult,
+    /// Mean PSNR of re-rendered frames versus observations.
+    pub mean_psnr: f64,
+    /// Peak map size (Gaussians).
+    pub peak_gaussians: usize,
+    /// Peak parameter memory (bytes, reference accounting).
+    pub peak_param_bytes: u64,
+    /// Total wall-clock across tracking.
+    pub tracking_wall: Duration,
+    /// Total wall-clock across mapping.
+    pub mapping_wall: Duration,
+    /// Total wall-clock of the run.
+    pub total_wall: Duration,
+    /// Per-stage timing breakdown (tracking + mapping).
+    pub stage_timings: StageTimings,
+    /// Stage timings for tracking only.
+    pub tracking_timings: StageTimings,
+    /// Stage timings for mapping only.
+    pub mapping_timings: StageTimings,
+    /// Number of keyframes.
+    pub keyframes: usize,
+    /// Per-frame reports.
+    pub frames: Vec<FrameReport>,
+}
+
+impl SlamReport {
+    /// End-to-end frames per second (tracking + mapping wall-clock).
+    pub fn overall_fps(&self) -> f64 {
+        let t = self.total_wall.as_secs_f64();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.frames_processed as f64 / t
+    }
+
+    /// Tracking-only frames per second.
+    pub fn tracking_fps(&self) -> f64 {
+        let t = self.tracking_wall.as_secs_f64();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.frames_processed as f64 / t
+    }
+}
+
+struct ExtensionObserver<'e> {
+    extension: &'e mut dyn PipelineExtension,
+}
+
+impl TrackingObserver for ExtensionObserver<'_> {
+    fn after_iteration(&mut self, artifacts: &IterationArtifacts<'_>, mask: &mut [bool]) {
+        self.extension.after_tracking_iteration(artifacts, mask);
+    }
+}
+
+/// The SLAM pipeline. Owns the evolving map and trajectory estimate;
+/// processes a [`SyntheticDataset`] frame by frame.
+pub struct SlamPipeline<'d> {
+    config: SlamConfig,
+    dataset: &'d SyntheticDataset,
+    extension: Box<dyn PipelineExtension>,
+    scene: GaussianScene,
+    map_optimizer: MapOptimizer,
+    mask: Vec<bool>,
+    trajectory: Vec<Se3>,
+    keyframes: Vec<usize>,
+    last_keyframe_image: Option<Image>,
+    frame_reports: Vec<FrameReport>,
+    tracking_timings: StageTimings,
+    mapping_timings: StageTimings,
+    tracking_wall: Duration,
+    mapping_wall: Duration,
+    peak_gaussians: usize,
+    next_frame: usize,
+    run_start: Option<Instant>,
+    pending_mapping_traces: Vec<WorkloadTrace>,
+}
+
+impl<'d> SlamPipeline<'d> {
+    /// Creates a pipeline for a dataset with no extension (base algorithm).
+    pub fn new(config: SlamConfig, dataset: &'d SyntheticDataset) -> Self {
+        Self::with_extension(config, dataset, Box::new(NoExtension))
+    }
+
+    /// Creates a pipeline with a redundancy-reduction extension (the RTGS
+    /// algorithm wraps base pipelines through this entry point).
+    pub fn with_extension(
+        config: SlamConfig,
+        dataset: &'d SyntheticDataset,
+        extension: Box<dyn PipelineExtension>,
+    ) -> Self {
+        Self {
+            config,
+            dataset,
+            extension,
+            scene: GaussianScene::new(),
+            map_optimizer: MapOptimizer::new(0, config.map_lrs),
+            mask: Vec::new(),
+            trajectory: Vec::new(),
+            keyframes: Vec::new(),
+            last_keyframe_image: None,
+            frame_reports: Vec::new(),
+            tracking_timings: StageTimings::default(),
+            mapping_timings: StageTimings::default(),
+            tracking_wall: Duration::ZERO,
+            mapping_wall: Duration::ZERO,
+            peak_gaussians: 0,
+            next_frame: 0,
+            run_start: None,
+            pending_mapping_traces: Vec::new(),
+        }
+    }
+
+    /// Current map.
+    pub fn scene(&self) -> &GaussianScene {
+        &self.scene
+    }
+
+    /// Number of frames that will be processed.
+    pub fn planned_frames(&self) -> usize {
+        self.config
+            .max_frames
+            .map_or(self.dataset.len(), |m| m.min(self.dataset.len()))
+    }
+
+    /// Processes all frames and produces the final report.
+    pub fn run(&mut self) -> SlamReport {
+        while self.step().is_some() {}
+        self.report()
+    }
+
+    /// Processes the next frame; returns `None` when the sequence is done.
+    pub fn step(&mut self) -> Option<usize> {
+        if self.next_frame >= self.planned_frames() {
+            return None;
+        }
+        if self.run_start.is_none() {
+            self.run_start = Some(Instant::now());
+        }
+        let index = self.next_frame;
+        self.next_frame += 1;
+        let frame = &self.dataset.frames[index];
+
+        if index == 0 {
+            self.initialize(frame);
+            return Some(index);
+        }
+
+        // ---- Tracking -----------------------------------------------------
+        let frames_since_kf = index - self.keyframes.last().copied().unwrap_or(0);
+        let directives = self
+            .extension
+            .frame_directives(index, frames_since_kf);
+        let mut factor = directives.resolution_factor.max(1);
+        if self.config.algorithm.geometric_tracking() {
+            // Photo-SLAM's classical tracker works on sparse features; model
+            // its cost as tracking at reduced resolution.
+            factor = factor.max(2);
+        }
+        // Resolution floor: the paper downsamples 480p-1200p frames, which
+        // never approaches degenerate sizes; our dataset analogs are already
+        // ~16x smaller, so the schedule is clamped to keep enough pixels for
+        // the photometric loss to stay informative.
+        while factor > 1
+            && (self.dataset.camera.width / factor < 16
+                || self.dataset.camera.height / factor < 10)
+        {
+            factor -= 1;
+        }
+        let camera = self.dataset.camera.downsampled(factor);
+        let track_frame_data = RgbdFrame {
+            index,
+            color: frame.color.downsampled(factor),
+            depth: frame.depth.as_ref().map(|d| d.downsampled(factor)),
+        };
+
+        let init = self.motion_model();
+        let t0 = Instant::now();
+        let mut tracking_cfg = self.config.tracking;
+        tracking_cfg.record_traces = self.config.record_traces;
+        let mut observer = ExtensionObserver {
+            extension: self.extension.as_mut(),
+        };
+        let result = track_frame(
+            &self.scene,
+            init,
+            &track_frame_data,
+            &camera,
+            &tracking_cfg,
+            &mut self.mask,
+            &mut observer,
+            &mut self.tracking_timings,
+        );
+        let tracking_wall = t0.elapsed();
+        self.tracking_wall += tracking_wall;
+        let pose_c2w = result.w2c.inverse();
+        self.trajectory.push(pose_c2w);
+
+        // The extension may have masked Gaussians off during tracking
+        // (mask-prune). Capture that state for the end-of-frame decision and
+        // restore full visibility for mapping — permanent removal is the
+        // extension's call below.
+        let tracking_mask = self.mask.clone();
+        for m in &mut self.mask {
+            *m = true;
+        }
+
+        // ---- Keyframe decision ---------------------------------------------
+        let last_kf = self.keyframes.last().copied();
+        let last_kf_pose = last_kf.map(|k| self.trajectory[k]);
+        let is_keyframe = self.config.keyframe_policy.is_keyframe(&KeyframeContext {
+            frame_index: index,
+            last_keyframe_index: last_kf,
+            pose: &pose_c2w,
+            last_keyframe_pose: last_kf_pose.as_ref(),
+            image: &frame.color,
+            last_keyframe_image: self.last_keyframe_image.as_ref(),
+        });
+
+        // ---- Mapping (keyframes only) ---------------------------------------
+        let mut mapping_wall = Duration::ZERO;
+        if is_keyframe {
+            let t1 = Instant::now();
+            self.map_keyframe(index);
+            mapping_wall = t1.elapsed();
+            self.mapping_wall += mapping_wall;
+            self.keyframes.push(index);
+            self.last_keyframe_image = Some(frame.color.clone());
+        }
+
+        // ---- Extension end-of-frame (permanent pruning) ----------------------
+        let tracking_mask = if tracking_mask.len() == self.scene.len() {
+            tracking_mask
+        } else {
+            // Mapping resized the scene; pad conservatively with "active".
+            let mut m = tracking_mask;
+            m.resize(self.scene.len(), true);
+            m
+        };
+        if let Some(keep) = self
+            .extension
+            .end_of_frame(&self.scene, &tracking_mask, is_keyframe)
+        {
+            assert_eq!(keep.len(), self.scene.len(), "keep mask length");
+            let mut idx = 0;
+            self.scene.gaussians.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+            self.map_optimizer.compact(&keep);
+            idx = 0;
+            self.mask.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+            self.extension.on_scene_resized(self.scene.len());
+        }
+
+        self.peak_gaussians = self.peak_gaussians.max(self.scene.len());
+        self.frame_reports.push(FrameReport {
+            index,
+            is_keyframe,
+            pose_c2w,
+            resolution_factor: factor,
+            tracking_loss: result.final_loss,
+            tracking_wall,
+            mapping_wall,
+            gaussians: self.scene.len(),
+            tracking_fragments: result.fragments_processed,
+            tracking_grad_events: result.fragment_grad_events,
+            traces: result.traces,
+            mapping_traces: std::mem::take(&mut self.pending_mapping_traces),
+        });
+        Some(index)
+    }
+
+    fn initialize(&mut self, frame: &RgbdFrame) {
+        // Anchor the first pose at ground truth (standard SLAM convention).
+        let pose_c2w = self.dataset.poses_c2w[0];
+        self.trajectory.push(pose_c2w);
+        self.scene = seed_from_frame(
+            frame,
+            &self.dataset.camera,
+            &pose_c2w,
+            &self.config.map,
+            0xC0FFEE,
+        );
+        self.map_optimizer = MapOptimizer::new(self.scene.len(), self.config.map_lrs);
+        self.mask = vec![true; self.scene.len()];
+        self.extension.on_scene_resized(self.scene.len());
+
+        // Initial mapping to settle the seeded Gaussians.
+        let t0 = Instant::now();
+        self.map_keyframe(0);
+        self.mapping_wall += t0.elapsed();
+        self.keyframes.push(0);
+        self.last_keyframe_image = Some(frame.color.clone());
+        self.peak_gaussians = self.scene.len();
+        self.frame_reports.push(FrameReport {
+            index: 0,
+            is_keyframe: true,
+            pose_c2w,
+            resolution_factor: 1,
+            tracking_loss: 0.0,
+            tracking_wall: Duration::ZERO,
+            mapping_wall: self.mapping_wall,
+            gaussians: self.scene.len(),
+            tracking_fragments: 0,
+            tracking_grad_events: 0,
+            traces: Vec::new(),
+            mapping_traces: std::mem::take(&mut self.pending_mapping_traces),
+        });
+    }
+
+    /// Constant-velocity motion model for the tracking initialization.
+    fn motion_model(&self) -> Se3 {
+        let n = self.trajectory.len();
+        let prev_w2c = self.trajectory[n - 1].inverse();
+        if n < 2 {
+            return prev_w2c;
+        }
+        let before_w2c = self.trajectory[n - 2].inverse();
+        // delta = prev ∘ before⁻¹ in w2c space; predict delta ∘ prev.
+        let delta = prev_w2c.compose(&before_w2c.inverse());
+        delta.compose(&prev_w2c)
+    }
+
+    /// Runs the mapping optimization for keyframe `index`: alternates the
+    /// current keyframe with random earlier keyframes (forgetting
+    /// mitigation), densifies once mid-way, prunes transparent Gaussians at
+    /// the end.
+    fn map_keyframe(&mut self, index: usize) {
+        let camera = self.dataset.camera;
+        let iterations = self.config.mapping_iterations;
+        let densify_at = iterations / 2;
+
+        for iter in 0..iterations {
+            // 70% current keyframe, 30% a previous keyframe.
+            let target_index = if iter % 10 < 7 || self.keyframes.is_empty() {
+                index
+            } else {
+                self.keyframes[(iter * 7919) % self.keyframes.len()]
+            };
+            let frame = &self.dataset.frames[target_index];
+            let w2c = self.trajectory[target_index].inverse();
+
+            let t0 = Instant::now();
+            let projection = project_scene(&self.scene, &w2c, &camera, Some(&self.mask));
+            let t1 = Instant::now();
+            self.mapping_timings.preprocess += t1 - t0;
+            let tiles = TileAssignment::build(&projection, &camera);
+            let t2 = Instant::now();
+            self.mapping_timings.sorting += t2 - t1;
+            let output = render(&projection, &tiles, &camera);
+            let t3 = Instant::now();
+            self.mapping_timings.render += t3 - t2;
+
+            let loss = compute_loss(
+                &output,
+                &frame.color,
+                frame.depth.as_ref(),
+                &self.config.tracking.loss,
+            );
+            let grads = backward(
+                &self.scene,
+                &projection,
+                &tiles,
+                &camera,
+                &w2c,
+                &loss.pixel_grads,
+            );
+            self.mapping_timings.render_bp +=
+                Duration::from_nanos(grads.stats.rendering_bp_nanos);
+            self.mapping_timings.preprocess_bp +=
+                Duration::from_nanos(grads.stats.preprocessing_bp_nanos);
+            let t4 = Instant::now();
+            self.mapping_timings.other += (t4 - t3).saturating_sub(Duration::from_nanos(
+                grads.stats.rendering_bp_nanos + grads.stats.preprocessing_bp_nanos,
+            ));
+
+            if self.config.record_traces {
+                self.pending_mapping_traces.push(WorkloadTrace::from_render(
+                    &output,
+                    &tiles,
+                    &camera,
+                    grads.stats.fragment_grad_events,
+                    projection.visible_count(),
+                ));
+            }
+            self.map_optimizer.step(&mut self.scene, &grads.gaussians);
+
+            if iter == densify_at && target_index == index {
+                let added = densify(
+                    &mut self.scene,
+                    &mut self.map_optimizer,
+                    &output,
+                    frame,
+                    &camera,
+                    &self.trajectory[index],
+                    &self.config.map,
+                    0xDE5EED ^ index as u64,
+                );
+                if added > 0 {
+                    self.mask.extend(std::iter::repeat(true).take(added));
+                    self.extension.on_scene_resized(self.scene.len());
+                }
+            }
+        }
+
+        let removed = prune_transparent(&mut self.scene, &mut self.map_optimizer, &self.config.map);
+        if removed > 0 {
+            // prune_transparent compacts the optimizer; rebuild the mask
+            // conservatively (everything active).
+            self.mask = vec![true; self.scene.len()];
+            self.extension.on_scene_resized(self.scene.len());
+        }
+        self.peak_gaussians = self.peak_gaussians.max(self.scene.len());
+    }
+
+    /// Builds the final report. Valid after [`SlamPipeline::run`] or once
+    /// stepping is complete.
+    pub fn report(&self) -> SlamReport {
+        let n = self.trajectory.len();
+        let gt = &self.dataset.poses_c2w[..n.min(self.dataset.poses_c2w.len())];
+        let ate = if n >= 2 {
+            absolute_trajectory_error(&self.trajectory, gt)
+        } else {
+            AteResult {
+                rmse: 0.0,
+                mean: 0.0,
+                max: 0.0,
+            }
+        };
+
+        // Rendering fidelity: re-render each processed frame from its
+        // estimated pose and compare against the observation.
+        let mut psnr_acc = 0.0f64;
+        let mut psnr_n = 0usize;
+        for (i, pose) in self.trajectory.iter().enumerate() {
+            let ctx = render_frame(&self.scene, &pose.inverse(), &self.dataset.camera, None);
+            let p = psnr(&ctx.output.image, &self.dataset.frames[i].color);
+            if p.is_finite() {
+                psnr_acc += p;
+                psnr_n += 1;
+            }
+        }
+
+        let mut stage = self.tracking_timings;
+        stage.accumulate(&self.mapping_timings);
+        let total_wall = self
+            .run_start
+            .map(|s| s.elapsed())
+            .unwrap_or(Duration::ZERO);
+
+        SlamReport {
+            frames_processed: n,
+            trajectory: self.trajectory.clone(),
+            ate,
+            mean_psnr: if psnr_n > 0 {
+                psnr_acc / psnr_n as f64
+            } else {
+                0.0
+            },
+            peak_gaussians: self.peak_gaussians,
+            peak_param_bytes: self.peak_gaussians as u64 * 59 * 4,
+            tracking_wall: self.tracking_wall,
+            mapping_wall: self.mapping_wall,
+            total_wall,
+            stage_timings: stage,
+            tracking_timings: self.tracking_timings,
+            mapping_timings: self.mapping_timings,
+            keyframes: self.keyframes.len(),
+            frames: self.frame_reports.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgs_scene::DatasetProfile;
+
+    fn tiny_dataset(frames: usize) -> SyntheticDataset {
+        SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), frames)
+    }
+
+    #[test]
+    fn pipeline_processes_all_frames() {
+        let ds = tiny_dataset(4);
+        let mut p = SlamPipeline::new(
+            SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(4),
+            &ds,
+        );
+        let report = p.run();
+        assert_eq!(report.frames_processed, 4);
+        assert_eq!(report.trajectory.len(), 4);
+        assert_eq!(report.frames.len(), 4);
+    }
+
+    #[test]
+    fn first_frame_is_keyframe_and_seeds_map() {
+        let ds = tiny_dataset(2);
+        let mut p = SlamPipeline::new(
+            SlamConfig::for_algorithm(BaseAlgorithm::GsSlam).with_frames(2),
+            &ds,
+        );
+        p.step();
+        assert!(p.scene().len() > 0);
+        let report = p.report();
+        assert!(report.frames[0].is_keyframe);
+    }
+
+    #[test]
+    fn splatam_maps_every_frame() {
+        let ds = tiny_dataset(3);
+        let mut p = SlamPipeline::new(
+            SlamConfig::for_algorithm(BaseAlgorithm::SplaTam).with_frames(3),
+            &ds,
+        );
+        let report = p.run();
+        assert_eq!(report.keyframes, 3);
+        assert!(report.frames.iter().all(|f| f.is_keyframe));
+    }
+
+    #[test]
+    fn monogs_interval_keyframes() {
+        let ds = tiny_dataset(7);
+        let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(7);
+        cfg.tracking.iterations = 4;
+        cfg.mapping_iterations = 4;
+        let mut p = SlamPipeline::new(cfg, &ds);
+        let report = p.run();
+        // Keyframes at 0, 5 with interval 5 over 7 frames.
+        assert_eq!(report.keyframes, 2);
+    }
+
+    #[test]
+    fn tracking_produces_reasonable_trajectory() {
+        let ds = tiny_dataset(5);
+        let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(5);
+        cfg.tracking.iterations = 10;
+        cfg.mapping_iterations = 10;
+        let mut p = SlamPipeline::new(cfg, &ds);
+        let report = p.run();
+        // Coarse sanity: ATE under 20 cm on a tiny sequence.
+        assert!(
+            report.ate.rmse < 0.20,
+            "ATE too large: {} m",
+            report.ate.rmse
+        );
+        assert!(report.mean_psnr > 10.0, "PSNR too low: {}", report.mean_psnr);
+    }
+
+    #[test]
+    fn report_time_accounting_consistent() {
+        let ds = tiny_dataset(3);
+        let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::GsSlam).with_frames(3);
+        cfg.tracking.iterations = 3;
+        cfg.mapping_iterations = 3;
+        let mut p = SlamPipeline::new(cfg, &ds);
+        let report = p.run();
+        assert!(report.total_wall >= report.tracking_wall);
+        assert!(report.overall_fps() > 0.0);
+        assert!(report.tracking_fps() >= report.overall_fps());
+        assert!(report.stage_timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn traces_recorded_when_enabled() {
+        let ds = tiny_dataset(2);
+        let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs)
+            .with_frames(2)
+            .with_traces();
+        cfg.tracking.iterations = 2;
+        cfg.mapping_iterations = 2;
+        let mut p = SlamPipeline::new(cfg, &ds);
+        let report = p.run();
+        assert_eq!(report.frames[1].traces.len(), 2);
+    }
+
+    #[test]
+    fn extension_can_mask_and_prune() {
+        struct HalfPruner;
+        impl PipelineExtension for HalfPruner {
+            fn end_of_frame(
+                &mut self,
+                scene: &GaussianScene,
+                _mask: &[bool],
+                _is_keyframe: bool,
+            ) -> Option<Vec<bool>> {
+                Some((0..scene.len()).map(|i| i % 2 == 0).collect())
+            }
+            fn name(&self) -> &'static str {
+                "half-pruner"
+            }
+        }
+        let ds = tiny_dataset(3);
+        let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::GsSlam).with_frames(3);
+        cfg.tracking.iterations = 2;
+        cfg.mapping_iterations = 2;
+        let base = SlamPipeline::new(cfg, &ds).run();
+        let pruned = SlamPipeline::with_extension(cfg, &ds, Box::new(HalfPruner)).run();
+        assert!(pruned.frames.last().unwrap().gaussians < base.frames.last().unwrap().gaussians);
+    }
+
+    #[test]
+    fn peak_gaussians_reported() {
+        let ds = tiny_dataset(3);
+        let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(3);
+        cfg.tracking.iterations = 2;
+        cfg.mapping_iterations = 4;
+        let mut p = SlamPipeline::new(cfg, &ds);
+        let report = p.run();
+        assert!(report.peak_gaussians > 0);
+        assert_eq!(report.peak_param_bytes, report.peak_gaussians as u64 * 236);
+    }
+}

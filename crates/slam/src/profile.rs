@@ -1,0 +1,107 @@
+//! Per-stage wall-clock accounting (the measurements behind the paper's
+//! Fig. 3 latency breakdowns).
+
+use std::time::Duration;
+
+/// Accumulated wall-clock time per pipeline step (Steps ❶–❺ plus "other").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Step ❶ Preprocessing (projection + tile intersection setup).
+    pub preprocess: Duration,
+    /// Step ❷ Sorting (tile list construction + depth sort).
+    pub sorting: Duration,
+    /// Step ❸ Rendering (alpha compute + blend).
+    pub render: Duration,
+    /// Step ❹ Rendering BP.
+    pub render_bp: Duration,
+    /// Step ❺ Preprocessing BP (incl. pose/parameter updates).
+    pub preprocess_bp: Duration,
+    /// Everything else (loss, optimizer steps, bookkeeping).
+    pub other: Duration,
+}
+
+impl StageTimings {
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        self.preprocess + self.sorting + self.render + self.render_bp + self.preprocess_bp + self.other
+    }
+
+    /// Adds another accumulator's times into this one.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.preprocess += other.preprocess;
+        self.sorting += other.sorting;
+        self.render += other.render;
+        self.render_bp += other.render_bp;
+        self.preprocess_bp += other.preprocess_bp;
+        self.other += other.other;
+    }
+
+    /// Per-stage shares of the total, in the order
+    /// `[preprocess, sorting, render, render_bp, preprocess_bp, other]`.
+    /// Returns zeros when nothing was recorded.
+    pub fn shares(&self) -> [f64; 6] {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return [0.0; 6];
+        }
+        [
+            self.preprocess.as_secs_f64() / total,
+            self.sorting.as_secs_f64() / total,
+            self.render.as_secs_f64() / total,
+            self.render_bp.as_secs_f64() / total,
+            self.preprocess_bp.as_secs_f64() / total,
+            self.other.as_secs_f64() / total,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_stages() {
+        let t = StageTimings {
+            preprocess: Duration::from_millis(1),
+            sorting: Duration::from_millis(2),
+            render: Duration::from_millis(3),
+            render_bp: Duration::from_millis(4),
+            preprocess_bp: Duration::from_millis(5),
+            other: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let t = StageTimings {
+            render: Duration::from_millis(30),
+            render_bp: Duration::from_millis(50),
+            other: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let s: f64 = t.shares().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_shares_are_zero() {
+        assert_eq!(StageTimings::default().shares(), [0.0; 6]);
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut a = StageTimings {
+            render: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let b = StageTimings {
+            render: Duration::from_millis(5),
+            sorting: Duration::from_millis(1),
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.render, Duration::from_millis(15));
+        assert_eq!(a.sorting, Duration::from_millis(1));
+    }
+}

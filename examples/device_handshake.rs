@@ -1,0 +1,47 @@
+//! Programming-model demo: drive the `RTGS_execute` / `RTGS_check_status`
+//! frame-level handshake of paper Listing 1 through a keyframe /
+//! non-keyframe sequence.
+//!
+//! ```bash
+//! cargo run --release --example device_handshake
+//! ```
+
+use rtgs::core::{RtgsDevice, RtgsStatus};
+
+fn main() {
+    let mut device = RtgsDevice::new();
+    let keyframe_interval = 5;
+
+    println!("frame  keyframe  phase sequence");
+    println!("{:-<60}", "");
+    for frame in 0..12 {
+        let is_keyframe = frame % keyframe_interval == 0;
+        device
+            .execute(frame, is_keyframe)
+            .expect("device should be idle between frames");
+        let mut phases = vec!["EXECUTING".to_string()];
+
+        // The host polls while RTGS renders and backpropagates.
+        let mut status = device.advance();
+        if status == RtgsStatus::WaitPruning {
+            phases.push("WAIT_PRUNING".into());
+            // SMs consume the gradients, prune, and raise pruning_done.
+            device.signal_pruning_done();
+            status = device.advance();
+        }
+        assert_eq!(status, RtgsStatus::Idle);
+        phases.push("IDLE".into());
+
+        println!(
+            "{:<7}{:<10}{}",
+            frame,
+            if is_keyframe { "yes" } else { "no" },
+            phases.join(" -> ")
+        );
+    }
+    println!(
+        "\nframes completed: {} (keyframes skip the pruning handshake and update\n\
+         Gaussians directly, Sec. 5.5)",
+        device.frames_completed()
+    );
+}

@@ -1,0 +1,56 @@
+//! Pruning-ratio explorer: how hard can the map be pruned before tracking
+//! breaks? Reproduces the trade-off study behind Fig. 13(b)/14(a).
+//!
+//! ```bash
+//! cargo run --release --example pruning_explorer
+//! ```
+
+use rtgs::core::{PruningConfig, RtgsConfig};
+use rtgs::metrics::per_frame_errors;
+use rtgs::scene::{DatasetProfile, SyntheticDataset};
+use rtgs::slam::{BaseAlgorithm, SlamConfig, SlamPipeline};
+
+fn main() {
+    let frames = 8;
+    let dataset = SyntheticDataset::generate(DatasetProfile::replica_analog().small(), frames);
+    let mut config = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(frames);
+    config.tracking.iterations = 8;
+    config.mapping_iterations = 10;
+
+    println!(
+        "{:<14}{:>10}{:>14}{:>16}{:>16}",
+        "prune ratio", "ATE(cm)", "final map", "latency/frame", "final drift(cm)"
+    );
+    println!("{:-<70}", "");
+    for ratio in [0.0f32, 0.2, 0.4, 0.5, 0.6, 0.8] {
+        let report = if ratio == 0.0 {
+            SlamPipeline::new(config, &dataset).run()
+        } else {
+            let rtgs = RtgsConfig {
+                pruning: Some(PruningConfig {
+                    max_prune_ratio: ratio,
+                    prune_step_fraction: (ratio / 2.0).max(0.1),
+                    ..Default::default()
+                }),
+                downsampling: None,
+            };
+            SlamPipeline::with_extension(config, &dataset, rtgs.into_extension()).run()
+        };
+        let drift = per_frame_errors(
+            &report.trajectory,
+            &dataset.poses_c2w[..report.trajectory.len()],
+        );
+        println!(
+            "{:<14}{:>10.2}{:>14}{:>13.1} ms{:>16.2}",
+            format!("{:.0}%", ratio * 100.0),
+            report.ate.rmse_cm(),
+            report.frames.last().map(|f| f.gaussians).unwrap_or(0),
+            report.total_wall.as_secs_f64() * 1e3 / report.frames_processed.max(1) as f64,
+            drift.last().copied().unwrap_or(0.0) * 100.0,
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 14a): quality holds up to ~50% pruning, then ATE\n\
+         rises sharply — which is why RTGS caps its cumulative prune ratio at 50%."
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run 3DGS-SLAM with the RTGS redundancy-reduction algorithm
+//! on a synthetic RGB-D sequence and print the run report.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use rtgs::core::RtgsConfig;
+use rtgs::scene::{DatasetProfile, SyntheticDataset};
+use rtgs::slam::{BaseAlgorithm, SlamConfig, SlamPipeline};
+
+fn main() {
+    // 1. Generate a Replica-like synthetic RGB-D sequence (the dataset
+    //    analog substitutes for the recorded datasets; see DESIGN.md).
+    let profile = DatasetProfile::replica_analog().small();
+    let frames = 8;
+    println!("Generating '{}' ({} frames)...", profile.name, frames);
+    let dataset = SyntheticDataset::generate(profile, frames);
+
+    // 2. Configure a MonoGS-style base pipeline and attach the RTGS
+    //    algorithm (adaptive Gaussian pruning + dynamic downsampling).
+    let mut config = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(frames);
+    config.tracking.iterations = 8;
+    config.mapping_iterations = 10;
+
+    println!("Running base MonoGS...");
+    let base = SlamPipeline::new(config, &dataset).run();
+
+    println!("Running MonoGS + RTGS...");
+    let ours = SlamPipeline::with_extension(config, &dataset, RtgsConfig::full().into_extension())
+        .run();
+
+    // 3. Compare.
+    println!("\n{:<22}{:>12}{:>12}", "metric", "base", "ours");
+    println!("{:-<46}", "");
+    println!(
+        "{:<22}{:>12.2}{:>12.2}",
+        "ATE (cm)",
+        base.ate.rmse_cm(),
+        ours.ate.rmse_cm()
+    );
+    println!(
+        "{:<22}{:>12.2}{:>12.2}",
+        "PSNR (dB)", base.mean_psnr, ours.mean_psnr
+    );
+    println!(
+        "{:<22}{:>12.2}{:>12.2}",
+        "overall FPS (CPU)",
+        base.overall_fps(),
+        ours.overall_fps()
+    );
+    println!(
+        "{:<22}{:>12}{:>12}",
+        "peak Gaussians", base.peak_gaussians, ours.peak_gaussians
+    );
+    println!(
+        "\nRTGS speedup: {:.2}x at {:+.1}% ATE change",
+        ours.overall_fps() / base.overall_fps().max(1e-9),
+        (ours.ate.rmse / base.ate.rmse.max(1e-12) - 1.0) * 100.0
+    );
+}

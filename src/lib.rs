@@ -1,0 +1,36 @@
+//! # RTGS: Real-Time 3D Gaussian Splatting SLAM via Multi-Level Redundancy Reduction
+//!
+//! Facade crate re-exporting the full RTGS reproduction workspace. Downstream
+//! users can depend on this single crate to access the differentiable 3DGS
+//! rasterizer, the SLAM substrate, the RTGS redundancy-reduction algorithms,
+//! the pruning baselines and the cycle-level hardware models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtgs::core::RtgsConfig;
+//! use rtgs::scene::{DatasetProfile, SyntheticDataset};
+//! use rtgs::slam::{BaseAlgorithm, SlamConfig, SlamPipeline};
+//!
+//! // A tiny Replica-like sequence.
+//! let dataset = SyntheticDataset::generate(DatasetProfile::replica_analog().tiny(), 4);
+//! let mut config = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(4);
+//! config.tracking.iterations = 3;
+//! config.mapping_iterations = 3;
+//! let mut pipeline =
+//!     SlamPipeline::with_extension(config, &dataset, RtgsConfig::full().into_extension());
+//! let report = pipeline.run();
+//! assert_eq!(report.frames_processed, 4);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/experiments`
+//! for the per-table / per-figure reproduction harness.
+
+pub use rtgs_accel as accel;
+pub use rtgs_baselines as baselines;
+pub use rtgs_core as core;
+pub use rtgs_math as math;
+pub use rtgs_metrics as metrics;
+pub use rtgs_render as render;
+pub use rtgs_scene as scene;
+pub use rtgs_slam as slam;
