@@ -152,9 +152,6 @@ mod tests {
 
     #[test]
     fn rb_buffer_reuse_is_five_times_faster() {
-        assert_eq!(
-            latency::ALPHA_GRAD_RECOMPUTE / latency::ALPHA_GRAD_REUSE,
-            5
-        );
+        assert_eq!(latency::ALPHA_GRAD_RECOMPUTE / latency::ALPHA_GRAD_REUSE, 5);
     }
 }

@@ -173,7 +173,12 @@ fn for_each_warp_in_tile(
 mod tests {
     use super::*;
 
-    fn uniform_trace(w: usize, h: usize, workload: u32, gaussians_per_tile: usize) -> WorkloadTrace {
+    fn uniform_trace(
+        w: usize,
+        h: usize,
+        workload: u32,
+        gaussians_per_tile: usize,
+    ) -> WorkloadTrace {
         let tiles_x = w.div_ceil(TILE_SIZE);
         let tiles_y = h.div_ceil(TILE_SIZE);
         let tiles = tiles_x * tiles_y;
@@ -261,6 +266,9 @@ mod tests {
     #[test]
     fn tile_fragments_sums_correctly() {
         let trace = uniform_trace(32, 32, 3, 8);
-        assert_eq!(tile_fragments(&trace, 0), (TILE_SIZE * TILE_SIZE * 3) as u64);
+        assert_eq!(
+            tile_fragments(&trace, 0),
+            (TILE_SIZE * TILE_SIZE * 3) as u64
+        );
     }
 }

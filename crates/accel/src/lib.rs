@@ -30,8 +30,10 @@ pub use config::{latency, ArchConfig, MemoryConfig};
 pub use devices::{DeviceSpec, GpuSpec, TechNode};
 pub use energy::{static_energy, EnergyReport, EnergyTable, GPU_FRAGMENT_PJ};
 pub use gpu::{gpu_iteration, GpuIterationCycles};
-pub use plugin::{imbalance_factor, plugin_iteration, plugin_iteration_on_host, Aggregation, PluginConfig, PluginIterationCycles, Scheduling};
+pub use plugin::{
+    imbalance_factor, plugin_iteration, plugin_iteration_on_host, Aggregation, PluginConfig,
+    PluginIterationCycles, Scheduling,
+};
 pub use system::{
-    iteration_cost, simulate_run, FrameWorkload, HardwareModel, IterationCost, RunCost,
-    RunWorkload,
+    iteration_cost, simulate_run, FrameWorkload, HardwareModel, IterationCost, RunCost, RunWorkload,
 };

@@ -394,7 +394,10 @@ mod tests {
         let prev = trace_with_pattern(64, 64, |x, y| if (x + y) % 2 == 0 { 36 } else { 6 });
         let stale = imbalance_factor(&now, Some(&prev), Scheduling::StreamingPaired);
         let fresh = imbalance_factor(&now, Some(&now), Scheduling::StreamingPaired);
-        assert!((stale - fresh).abs() < 0.15, "stale {stale} vs fresh {fresh}");
+        assert!(
+            (stale - fresh).abs() < 0.15,
+            "stale {stale} vs fresh {fresh}"
+        );
     }
 
     #[test]

@@ -190,10 +190,7 @@ pub fn iteration_cost(
             }
         }
         HardwareModel::Plugin {
-            config,
-            node,
-            host,
-            ..
+            config, node, host, ..
         } => {
             let c: PluginIterationCycles =
                 crate::plugin::plugin_iteration_on_host(trace, prev, config, host);
@@ -335,7 +332,11 @@ mod tests {
                     let is_kf = i % kf_interval == 0;
                     FrameWorkload {
                         tracking: vec![trace(64, 48, 22); 6],
-                        mapping: if is_kf { vec![trace(64, 48, 22); 8] } else { vec![] },
+                        mapping: if is_kf {
+                            vec![trace(64, 48, 22); 8]
+                        } else {
+                            vec![]
+                        },
                         is_keyframe: is_kf,
                     }
                 })
@@ -349,10 +350,7 @@ mod tests {
         let base = simulate_run(&run, &HardwareModel::onx(), true);
         let ours = simulate_run(&run, &HardwareModel::rtgs(), true);
         let speedup = ours.overall_fps / base.overall_fps;
-        assert!(
-            speedup > 2.0,
-            "expected a clear speedup, got {speedup:.1}x"
-        );
+        assert!(speedup > 2.0, "expected a clear speedup, got {speedup:.1}x");
     }
 
     #[test]

@@ -82,10 +82,22 @@ fn speedup_cascade_matches_paper_shape() {
     );
 
     // Every RTGS technique adds speedup on top of the previous (Fig. 17b).
-    assert!(bare.overall_fps >= 0.85 * onx.overall_fps, "bare plugin collapsed");
-    assert!(with_gmu.overall_fps > 1.2 * bare.overall_fps, "GMU step missing");
-    assert!(with_rb.overall_fps > 1.3 * with_gmu.overall_fps, "R&B step missing");
-    assert!(full.overall_fps > 1.1 * with_rb.overall_fps, "WSU step missing");
+    assert!(
+        bare.overall_fps >= 0.85 * onx.overall_fps,
+        "bare plugin collapsed"
+    );
+    assert!(
+        with_gmu.overall_fps > 1.2 * bare.overall_fps,
+        "GMU step missing"
+    );
+    assert!(
+        with_rb.overall_fps > 1.3 * with_gmu.overall_fps,
+        "R&B step missing"
+    );
+    assert!(
+        full.overall_fps > 1.1 * with_rb.overall_fps,
+        "WSU step missing"
+    );
 
     // The full hardware clearly outperforms both GPU configurations.
     assert!(full.overall_fps > 4.0 * onx.overall_fps);

@@ -1,14 +1,17 @@
 //! Property-based tests on the hardware cycle models.
 
 use proptest::prelude::*;
-use rtgs_accel::{
-    gpu_iteration, plugin_iteration, Aggregation, GpuSpec, PluginConfig, Scheduling,
-};
+use rtgs_accel::{gpu_iteration, plugin_iteration, Aggregation, GpuSpec, PluginConfig, Scheduling};
 use rtgs_render::{WorkloadTrace, TILE_SIZE};
 
 fn arb_trace() -> impl Strategy<Value = WorkloadTrace> {
-    (2usize..5, 2usize..4, prop::collection::vec(0u32..80, 16 * 16 * 20), 4usize..64).prop_map(
-        |(tx, ty, mut workloads, gaussians_per_tile)| {
+    (
+        2usize..5,
+        2usize..4,
+        prop::collection::vec(0u32..80, 16 * 16 * 20),
+        4usize..64,
+    )
+        .prop_map(|(tx, ty, mut workloads, gaussians_per_tile)| {
             let w = tx * TILE_SIZE;
             let h = ty * TILE_SIZE;
             workloads.resize(w * h, 0);
@@ -26,8 +29,7 @@ fn arb_trace() -> impl Strategy<Value = WorkloadTrace> {
                 fragment_grad_events: total,
                 visible_gaussians: gaussians_per_tile * tiles,
             }
-        },
-    )
+        })
 }
 
 proptest! {

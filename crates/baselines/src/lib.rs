@@ -272,11 +272,7 @@ impl<P: Pruner> BaselineExtension<P> {
 }
 
 impl<P: Pruner> PipelineExtension for BaselineExtension<P> {
-    fn after_tracking_iteration(
-        &mut self,
-        artifacts: &IterationArtifacts<'_>,
-        _mask: &mut [bool],
-    ) {
+    fn after_tracking_iteration(&mut self, artifacts: &IterationArtifacts<'_>, _mask: &mut [bool]) {
         self.pruner.observe(&artifacts.grads.gaussians, None);
     }
 
@@ -411,8 +407,6 @@ mod tests {
         let base = SlamPipeline::new(cfg, &ds).run();
         let ext = BaselineExtension::new(LightGaussianPruner::new(), 0.5);
         let pruned = SlamPipeline::with_extension(cfg, &ds, Box::new(ext)).run();
-        assert!(
-            pruned.frames.last().unwrap().gaussians < base.frames.last().unwrap().gaussians
-        );
+        assert!(pruned.frames.last().unwrap().gaussians < base.frames.last().unwrap().gaussians);
     }
 }

@@ -14,10 +14,13 @@ use rtgs_accel::{
     HardwareModel, PluginConfig, RunWorkload, Scheduling, TechNode,
 };
 use rtgs_core::{AdaptivePruner, PruningConfig, RtgsConfig};
-use rtgs_math::Se3;
-use rtgs_render::{backward, compute_loss, render_frame, LossConfig, WorkloadTrace};
+use rtgs_render::{
+    backward, backward_with, compute_loss, render_frame, render_frame_with, LossConfig,
+    WorkloadTrace,
+};
+use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
-use rtgs_slam::{BaseAlgorithm, SlamConfig, SlamPipeline, SlamReport};
+use rtgs_slam::{serve_sessions, BaseAlgorithm, SlamConfig, SlamPipeline, SlamReport};
 use std::time::Duration;
 
 fn quick(c: &mut Criterion) -> &mut Criterion {
@@ -60,7 +63,9 @@ fn traced_run() -> (RunWorkload, Vec<WorkloadTrace>) {
 /// Rendering kernels (Steps ❶–❺): the substrate every experiment rests on.
 fn bench_render_kernels(c: &mut Criterion) {
     let mut group = quick(c).benchmark_group("render_kernels");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let ds = small_dataset();
     let scene = ds.reference_scene.clone();
     let w2c = ds.poses_c2w[0].inverse();
@@ -77,7 +82,16 @@ fn bench_render_kernels(c: &mut Criterion) {
         &LossConfig::default(),
     );
     group.bench_function("backward_full_frame", |b| {
-        b.iter(|| backward(&scene, &ctx.projection, &ctx.tiles, &ds.camera, &w2c, &loss.pixel_grads))
+        b.iter(|| {
+            backward(
+                &scene,
+                &ctx.projection,
+                &ctx.tiles,
+                &ds.camera,
+                &w2c,
+                &loss.pixel_grads,
+            )
+        })
     });
     group.finish();
 }
@@ -85,17 +99,23 @@ fn bench_render_kernels(c: &mut Criterion) {
 /// Tab. 2: one SLAM frame per base algorithm.
 fn bench_table2_baseline_slams(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_baseline_slams");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let ds = small_dataset();
     for algo in BaseAlgorithm::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
-            b.iter(|| {
-                let mut cfg = SlamConfig::for_algorithm(algo).with_frames(2);
-                cfg.tracking.iterations = 3;
-                cfg.mapping_iterations = 3;
-                SlamPipeline::new(cfg, &ds).run()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    let mut cfg = SlamConfig::for_algorithm(algo).with_frames(2);
+                    cfg.tracking.iterations = 3;
+                    cfg.mapping_iterations = 3;
+                    SlamPipeline::new(cfg, &ds).run()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -103,7 +123,9 @@ fn bench_table2_baseline_slams(c: &mut Criterion) {
 /// Tab. 6 / Fig. 14: base vs RTGS algorithm wall-clock.
 fn bench_table6_rtgs_algorithm(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6_rtgs_algorithm");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let ds = small_dataset();
     let mk_cfg = || {
         let mut cfg = SlamConfig::for_algorithm(BaseAlgorithm::MonoGs).with_frames(3);
@@ -121,12 +143,8 @@ fn bench_table6_rtgs_algorithm(c: &mut Criterion) {
     });
     group.bench_function("ours_pruning_only", |b| {
         b.iter(|| {
-            SlamPipeline::with_extension(
-                mk_cfg(),
-                &ds,
-                RtgsConfig::pruning_only().into_extension(),
-            )
-            .run()
+            SlamPipeline::with_extension(mk_cfg(), &ds, RtgsConfig::pruning_only().into_extension())
+                .run()
         })
     });
     group.bench_function("ours_downsampling_only", |b| {
@@ -145,7 +163,9 @@ fn bench_table6_rtgs_algorithm(c: &mut Criterion) {
 /// Fig. 15 / Tab. 7: hardware model evaluation throughput.
 fn bench_fig15_hardware_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15_hardware_fps");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let (run, _) = traced_run();
     let models: [(&str, HardwareModel); 4] = [
         ("onx", HardwareModel::onx()),
@@ -164,7 +184,9 @@ fn bench_fig15_hardware_models(c: &mut Criterion) {
 /// Fig. 17: plug-in configuration ablations on a real trace.
 fn bench_fig17_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig17_ablation");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let (_, traces) = traced_run();
     let trace = traces.last().expect("need traces").clone();
     let prev = traces[traces.len().saturating_sub(2)].clone();
@@ -193,7 +215,12 @@ fn bench_fig17_ablation(c: &mut Criterion) {
         });
     }
     // Scheduling ablation (Fig. 17a).
-    for sched in [Scheduling::Static, Scheduling::Streaming, Scheduling::StreamingPaired, Scheduling::Ideal] {
+    for sched in [
+        Scheduling::Static,
+        Scheduling::Streaming,
+        Scheduling::StreamingPaired,
+        Scheduling::Ideal,
+    ] {
         let cfg = PluginConfig {
             arch: ArchConfig::paper(),
             scheduling: sched,
@@ -213,7 +240,9 @@ fn bench_fig17_ablation(c: &mut Criterion) {
 /// claim — scoring must be negligible next to a backward pass).
 fn bench_pruning_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_pruning_overhead");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let ds = small_dataset();
     let scene = ds.reference_scene.clone();
     let w2c = ds.poses_c2w[0].inverse();
@@ -224,7 +253,14 @@ fn bench_pruning_overhead(c: &mut Criterion) {
         ds.frames[0].depth.as_ref(),
         &LossConfig::default(),
     );
-    let grads = backward(&scene, &ctx.projection, &ctx.tiles, &ds.camera, &w2c, &loss.pixel_grads);
+    let grads = backward(
+        &scene,
+        &ctx.projection,
+        &ctx.tiles,
+        &ds.camera,
+        &w2c,
+        &loss.pixel_grads,
+    );
 
     group.bench_function("importance_scoring", |b| {
         b.iter(|| {
@@ -265,11 +301,11 @@ fn bench_pruning_overhead(c: &mut Criterion) {
 /// surface in the bench logs).
 fn bench_config_layer(c: &mut Criterion) {
     let mut group = c.benchmark_group("config_layer");
-    group.sample_size(30).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("table5", |b| b.iter(DeviceSpec::table5));
-    group.bench_function("rtgs_scaled", |b| {
-        b.iter(|| DeviceSpec::rtgs(TechNode::N8))
-    });
+    group.bench_function("rtgs_scaled", |b| b.iter(|| DeviceSpec::rtgs(TechNode::N8)));
     group.bench_function("gpu_specs", |b| b.iter(GpuSpec::onx));
     group.finish();
 }
@@ -278,7 +314,9 @@ fn bench_config_layer(c: &mut Criterion) {
 /// per-frame iteration budgets multiply).
 fn bench_tracking_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("tracking_iteration");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let ds = small_dataset();
     let scene = ds.reference_scene.clone();
     use rtgs_slam::{track_frame, NoObserver, StageTimings, TrackingConfig};
@@ -324,6 +362,101 @@ fn bench_tracking_iteration(c: &mut Criterion) {
     group.finish();
 }
 
+/// Runtime subsystem: serial-vs-parallel wall-clock of the forward and
+/// backward kernels at pool sizes 1/2/4/8 (the perf trajectory of the
+/// `rtgs-runtime` work-stealing backend, recorded in `BENCH_RESULTS.json`).
+fn bench_runtime_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let ds = small_dataset();
+    let scene = ds.reference_scene.clone();
+    let w2c = ds.poses_c2w[0].inverse();
+
+    let ctx = render_frame(&scene, &w2c, &ds.camera, None);
+    let loss = compute_loss(
+        &ctx.output,
+        &ds.frames[0].color,
+        ds.frames[0].depth.as_ref(),
+        &LossConfig::default(),
+    );
+
+    let mut bench_backend = |label: String, backend: Box<dyn Backend>| {
+        group.bench_with_input(
+            BenchmarkId::new("forward", &label),
+            &backend,
+            |b, backend| b.iter(|| render_frame_with(&scene, &w2c, &ds.camera, None, &**backend)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("backward", &label),
+            &backend,
+            |b, backend| {
+                b.iter(|| {
+                    backward_with(
+                        &scene,
+                        &ctx.projection,
+                        &ctx.tiles,
+                        &ds.camera,
+                        &w2c,
+                        &loss.pixel_grads,
+                        &**backend,
+                    )
+                })
+            },
+        );
+    };
+    bench_backend("serial".to_string(), Box::new(Serial));
+    for threads in [1usize, 2, 4, 8] {
+        bench_backend(
+            format!("parallel-{threads}"),
+            Box::new(Parallel::new(threads)),
+        );
+    }
+    group.finish();
+}
+
+/// Runtime subsystem: serving 4 concurrent SLAM sessions versus running
+/// them back-to-back.
+fn bench_session_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_serving");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let ds = SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 3);
+    let mk_cfg = |algo: BaseAlgorithm, backend: BackendChoice| {
+        let mut cfg = SlamConfig::for_algorithm(algo)
+            .with_frames(3)
+            .with_backend(backend);
+        cfg.tracking.iterations = 2;
+        cfg.mapping_iterations = 2;
+        cfg
+    };
+    group.bench_function("sequential_4_sessions", |b| {
+        b.iter(|| {
+            BaseAlgorithm::all()
+                .into_iter()
+                .map(|algo| SlamPipeline::new(mk_cfg(algo, BackendChoice::Serial), &ds).run())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("scheduled_4_sessions", |b| {
+        b.iter(|| {
+            let sessions = BaseAlgorithm::all()
+                .into_iter()
+                .map(|algo| {
+                    (
+                        algo.name().to_string(),
+                        SlamPipeline::new(mk_cfg(algo, BackendChoice::Serial), &ds),
+                    )
+                })
+                .collect();
+            serve_sessions(sessions, 4)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_render_kernels,
@@ -334,5 +467,7 @@ criterion_group!(
     bench_pruning_overhead,
     bench_config_layer,
     bench_tracking_iteration,
+    bench_runtime_scaling,
+    bench_session_serving,
 );
 criterion_main!(benches);

@@ -47,8 +47,9 @@ impl RtgsConfig {
     }
 
     /// Boxes this configuration as a pipeline extension for
-    /// [`rtgs_slam::SlamPipeline::with_extension`].
-    pub fn into_extension(self) -> Box<dyn PipelineExtension> {
+    /// [`rtgs_slam::SlamPipeline::with_extension`]. The box is `Send` so
+    /// extended pipelines can be served as concurrent sessions.
+    pub fn into_extension(self) -> Box<dyn PipelineExtension + Send> {
         Box::new(RtgsExtension::new(self))
     }
 }
@@ -111,11 +112,7 @@ impl PipelineExtension for RtgsExtension {
         }
     }
 
-    fn after_tracking_iteration(
-        &mut self,
-        artifacts: &IterationArtifacts<'_>,
-        mask: &mut [bool],
-    ) {
+    fn after_tracking_iteration(&mut self, artifacts: &IterationArtifacts<'_>, mask: &mut [bool]) {
         if let Some(pruner) = &mut self.pruner {
             if artifacts.iteration == 0 {
                 pruner.begin_frame(mask.len());
@@ -221,7 +218,8 @@ mod tests {
         cfg.tracking.iterations = 4;
         cfg.mapping_iterations = 4;
         let base = SlamPipeline::new(cfg, &ds).run();
-        let noop = SlamPipeline::with_extension(cfg, &ds, RtgsConfig::default().into_extension()).run();
+        let noop =
+            SlamPipeline::with_extension(cfg, &ds, RtgsConfig::default().into_extension()).run();
         assert_eq!(
             base.frames.last().unwrap().gaussians,
             noop.frames.last().unwrap().gaussians
@@ -237,8 +235,16 @@ mod tests {
         // experiment harness (table6) checks the trend across datasets.
         let (base, _) = run(RtgsConfig::default(), 6);
         let (ours, _) = run(RtgsConfig::full(), 6);
-        assert!(ours.ate.rmse < base.ate.rmse * 2.0 + 0.08,
-            "ATE blew up: {} vs base {}", ours.ate.rmse, base.ate.rmse);
+        assert!(
+            ours.frames.iter().any(|f| f.resolution_factor > 1),
+            "downsampling never engaged — the gate would be vacuous"
+        );
+        assert!(
+            ours.ate.rmse < base.ate.rmse * 2.0 + 0.08,
+            "ATE blew up: {} vs base {}",
+            ours.ate.rmse,
+            base.ate.rmse
+        );
         assert!(ours.mean_psnr > base.mean_psnr - 6.0);
     }
 }

@@ -169,8 +169,7 @@ impl AdaptivePruner {
         if active.is_empty() {
             return;
         }
-        let budget_total =
-            (self.config.max_prune_ratio * self.baseline_size as f32) as usize;
+        let budget_total = (self.config.max_prune_ratio * self.baseline_size as f32) as usize;
         let already = self.cumulative_pruned + self.masked_count();
         if already >= budget_total {
             return;
@@ -246,7 +245,7 @@ mod tests {
     }
 
     /// Drives the pruner through `iters` real tracking-style iterations.
-    fn drive(pruner: &mut AdaptivePruner, iters: usize, mask: &mut Vec<bool>) {
+    fn drive(pruner: &mut AdaptivePruner, iters: usize, mask: &mut [bool]) {
         let (scene, cam) = make_artifacts_scene();
         let gt = Image::from_data(32, 32, vec![Vec3::splat(0.3); 32 * 32]);
         for it in 0..iters {
@@ -282,7 +281,10 @@ mod tests {
         );
         let mut mask = vec![true; 12];
         drive(&mut pruner, 3, &mut mask);
-        assert!(mask.iter().all(|&m| m), "nothing pruned before K iterations");
+        assert!(
+            mask.iter().all(|&m| m),
+            "nothing pruned before K iterations"
+        );
     }
 
     #[test]
@@ -316,7 +318,10 @@ mod tests {
         let mut mask = vec![true; 12];
         drive(&mut pruner, 8, &mut mask);
         let masked = mask.iter().filter(|&&m| !m).count();
-        assert!(masked <= 3, "max_prune_ratio 0.25 of 12 allows 3, got {masked}");
+        assert!(
+            masked <= 3,
+            "max_prune_ratio 0.25 of 12 allows 3, got {masked}"
+        );
     }
 
     #[test]

@@ -13,10 +13,19 @@ use rtgs_slam::{BaseAlgorithm, SlamPipeline};
 /// Tab. 2: accuracy / speed / storage of the four base 3DGS-SLAM
 /// algorithms on the Replica analog, with hardware FPS modeled on the ONX.
 pub fn table2(scale: Scale) -> String {
-    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
+    let ds = dataset(
+        scale.profile(DatasetProfile::replica_analog()),
+        scale.frames(),
+    );
     let mut out = String::from("Tab. 2: base 3DGS-SLAM algorithms on Replica-analog (ONX model)\n");
     let mut table = Table::new(&[
-        "algorithm", "ATE(cm)", "PSNR(dB)", "trackFPS", "overallFPS", "peakMem(MB)", "mono",
+        "algorithm",
+        "ATE(cm)",
+        "PSNR(dB)",
+        "trackFPS",
+        "overallFPS",
+        "peakMem(MB)",
+        "mono",
     ]);
     for algo in BaseAlgorithm::all() {
         let report = run_variant(algo, &ds, scale, Variant::Base, true);
@@ -46,7 +55,12 @@ pub fn table6(scale: Scale) -> String {
     let mut out =
         String::from("Tab. 6: algorithm variants across datasets (wall-clock on this CPU)\n");
     let mut table = Table::new(&[
-        "method", "dataset", "ATE(cm)", "PSNR(dB)", "relFPS", "peakMem(MB)",
+        "method",
+        "dataset",
+        "ATE(cm)",
+        "PSNR(dB)",
+        "relFPS",
+        "peakMem(MB)",
     ]);
     for profile in DatasetProfile::all_analogs() {
         let ds = dataset(scale.profile(profile), scale.frames());
@@ -76,7 +90,10 @@ pub fn table6(scale: Scale) -> String {
 
 /// Tab. 7: SplaTAM on the RTX 3090, base vs GauSPU vs Ours.
 pub fn table7(scale: Scale) -> String {
-    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
+    let ds = dataset(
+        scale.profile(DatasetProfile::replica_analog()),
+        scale.frames(),
+    );
     let base = run_variant(BaseAlgorithm::SplaTam, &ds, scale, Variant::Base, true);
     let ours = run_variant(BaseAlgorithm::SplaTam, &ds, scale, Variant::Ours, true);
 
@@ -88,7 +105,12 @@ pub fn table7(scale: Scale) -> String {
 
     let mut out = String::from("Tab. 7: SplaTAM on RTX 3090 — base vs GauSPU vs Ours\n");
     let mut table = Table::new(&[
-        "method", "ATE(cm)", "PSNR(dB)", "trackFPS", "overallFPS", "peakMem(MB)",
+        "method",
+        "ATE(cm)",
+        "PSNR(dB)",
+        "trackFPS",
+        "overallFPS",
+        "peakMem(MB)",
     ]);
     table.row(vec![
         "SplaTAM".into(),
@@ -122,8 +144,12 @@ pub fn table7(scale: Scale) -> String {
 /// Fig. 13: (a) accuracy/efficiency trade-off against precision-oriented
 /// pruners at a 50% ratio; (b) cumulative drift for pruning ratios.
 pub fn fig13(scale: Scale) -> String {
-    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
-    let mut out = String::from("Fig. 13(a): 50% pruning — quality vs throughput vs evaluation cost\n");
+    let ds = dataset(
+        scale.profile(DatasetProfile::replica_analog()),
+        scale.frames(),
+    );
+    let mut out =
+        String::from("Fig. 13(a): 50% pruning — quality vs throughput vs evaluation cost\n");
     let mut table = Table::new(&["method", "ATE(cm)", "relFPS", "eval overhead (ops)"]);
 
     let base = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
@@ -186,8 +212,12 @@ pub fn fig13(scale: Scale) -> String {
                 }),
                 downsampling: None,
             };
-            SlamPipeline::with_extension(slam_config(BaseAlgorithm::MonoGs, scale, false), &ds, rtgs.into_extension())
-                .run()
+            SlamPipeline::with_extension(
+                slam_config(BaseAlgorithm::MonoGs, scale, false),
+                &ds,
+                rtgs.into_extension(),
+            )
+            .run()
         };
         let errors = per_frame_errors(&report.trajectory, &ds.poses_c2w[..report.trajectory.len()]);
         table.row(vec![
@@ -204,7 +234,10 @@ pub fn fig13(scale: Scale) -> String {
 /// Fig. 14: (a) ATE and latency versus pruning ratio; (b) forward/backward
 /// speedup attribution of the two algorithm techniques.
 pub fn fig14(scale: Scale) -> String {
-    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
+    let ds = dataset(
+        scale.profile(DatasetProfile::replica_analog()),
+        scale.frames(),
+    );
     let mut out = String::from("Fig. 14(a): pruning-ratio sweep (MonoGS, Replica-analog)\n");
     let mut table = Table::new(&["prune ratio", "ATE(cm)", "latency/frame (ms)"]);
     for ratio in [0.0f32, 0.15, 0.3, 0.5, 0.7] {
@@ -219,8 +252,12 @@ pub fn fig14(scale: Scale) -> String {
                 }),
                 downsampling: None,
             };
-            SlamPipeline::with_extension(slam_config(BaseAlgorithm::MonoGs, scale, false), &ds, rtgs.into_extension())
-                .run()
+            SlamPipeline::with_extension(
+                slam_config(BaseAlgorithm::MonoGs, scale, false),
+                &ds,
+                rtgs.into_extension(),
+            )
+            .run()
         };
         table.row(vec![
             format!("{:.0}%", ratio * 100.0),
@@ -236,10 +273,18 @@ pub fn fig14(scale: Scale) -> String {
     out.push_str("\nFig. 14(b): forward/backward work reduction by technique (fragment counts)\n");
     let mut table = Table::new(&["technique", "FF speedup", "BP speedup"]);
     let frag_ff = |r: &rtgs_slam::SlamReport| -> f64 {
-        r.frames.iter().map(|fr| fr.tracking_fragments as f64).sum::<f64>().max(1.0)
+        r.frames
+            .iter()
+            .map(|fr| fr.tracking_fragments as f64)
+            .sum::<f64>()
+            .max(1.0)
     };
     let frag_bp = |r: &rtgs_slam::SlamReport| -> f64 {
-        r.frames.iter().map(|fr| fr.tracking_grad_events as f64).sum::<f64>().max(1.0)
+        r.frames
+            .iter()
+            .map(|fr| fr.tracking_grad_events as f64)
+            .sum::<f64>()
+            .max(1.0)
     };
     let base = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
     for (name, rtgs) in [

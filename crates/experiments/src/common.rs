@@ -4,8 +4,32 @@
 use rtgs_accel::{FrameWorkload, RunWorkload};
 use rtgs_baselines::{BaselineExtension, TamingPruner};
 use rtgs_core::RtgsConfig;
+use rtgs_runtime::BackendChoice;
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
 use rtgs_slam::{BaseAlgorithm, SlamConfig, SlamPipeline, SlamReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Encoded process-wide default backend: `0` = serial, `n > 0` =
+/// parallel over `n - 1` threads (`1` = parallel at machine size).
+static DEFAULT_BACKEND: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the execution backend every subsequently-built SLAM configuration
+/// uses (the `--parallel[=N]` flag of the experiments binary).
+pub fn set_default_backend(choice: BackendChoice) {
+    let encoded = match choice {
+        BackendChoice::Serial => 0,
+        BackendChoice::Parallel { threads } => threads + 1,
+    };
+    DEFAULT_BACKEND.store(encoded, Ordering::SeqCst);
+}
+
+/// The current process-wide default backend (see [`set_default_backend`]).
+pub fn default_backend() -> BackendChoice {
+    match DEFAULT_BACKEND.load(Ordering::SeqCst) {
+        0 => BackendChoice::Serial,
+        n => BackendChoice::Parallel { threads: n - 1 },
+    }
+}
 
 /// Experiment scale: `Quick` keeps every experiment in tens of seconds on a
 /// laptop CPU; `Full` runs the sizes reported in EXPERIMENTS.md.
@@ -75,13 +99,15 @@ impl Variant {
     }
 }
 
-/// Builds the SLAM configuration for an algorithm at a scale.
+/// Builds the SLAM configuration for an algorithm at a scale, on the
+/// process-wide default backend.
 pub fn slam_config(algo: BaseAlgorithm, scale: Scale, traces: bool) -> SlamConfig {
     let mut cfg = SlamConfig::for_algorithm(algo).with_frames(scale.frames());
     let k = scale.iteration_factor();
     cfg.tracking.iterations = ((cfg.tracking.iterations as f32 * k) as usize).max(2);
     cfg.mapping_iterations = ((cfg.mapping_iterations as f32 * k) as usize).max(2);
     cfg.record_traces = traces;
+    cfg.backend = default_backend();
     cfg
 }
 
@@ -100,10 +126,8 @@ pub fn run_variant(
             // Taming 3DGS needs ~500 iterations to converge — far more than
             // a SLAM frame provides, so it acts with a shortened warm-up
             // (mirroring how the paper had to adapt it) and prunes 50%.
-            let ext = BaselineExtension::new(
-                TamingPruner::with_warmup(scale.tracking_iters() * 2),
-                0.5,
-            );
+            let ext =
+                BaselineExtension::new(TamingPruner::with_warmup(scale.tracking_iters() * 2), 0.5);
             SlamPipeline::with_extension(cfg, dataset, Box::new(ext)).run()
         }
         Variant::Ours => {
@@ -169,7 +193,11 @@ impl Table {
                 if i > 0 {
                     line.push_str("  ");
                 }
-                line.push_str(&format!("{:<width$}", cell, width = widths.get(i).copied().unwrap_or(0)));
+                line.push_str(&format!(
+                    "{:<width$}",
+                    cell,
+                    width = widths.get(i).copied().unwrap_or(0)
+                ));
             }
             line.trim_end().to_string()
         };
@@ -213,9 +241,6 @@ mod tests {
     #[test]
     fn variant_labels() {
         assert_eq!(Variant::Base.label(BaseAlgorithm::MonoGs), "MonoGS");
-        assert_eq!(
-            Variant::Ours.label(BaseAlgorithm::GsSlam),
-            "Ours+GS-SLAM"
-        );
+        assert_eq!(Variant::Ours.label(BaseAlgorithm::GsSlam), "Ours+GS-SLAM");
     }
 }

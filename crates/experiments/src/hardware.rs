@@ -4,7 +4,7 @@
 
 use crate::common::{dataset, f, run_variant, to_workload, Scale, Table, Variant};
 use rtgs_accel::{
-    imbalance_factor, simulate_run, ArchConfig, Aggregation, DeviceSpec, GpuSpec, HardwareModel,
+    imbalance_factor, simulate_run, Aggregation, ArchConfig, DeviceSpec, GpuSpec, HardwareModel,
     MemoryConfig, PluginConfig, Scheduling, TechNode,
 };
 use rtgs_scene::DatasetProfile;
@@ -29,7 +29,13 @@ fn plugin(scheduling: Scheduling, rb: bool, agg: Aggregation) -> HardwareModel {
 pub fn fig15(scale: Scale) -> String {
     let mut out = String::from("Fig. 15(a): end-to-end FPS by hardware configuration\n");
     let mut table = Table::new(&[
-        "algorithm", "dataset", "ONX", "DISTWAR", "Ours w/o map", "Ours full", "speedup",
+        "algorithm",
+        "dataset",
+        "ONX",
+        "DISTWAR",
+        "Ours w/o map",
+        "Ours full",
+        "speedup",
     ]);
     let mut energy = Table::new(&["algorithm", "dataset", "energy-eff. gain"]);
     let profiles = [
@@ -81,13 +87,19 @@ pub fn fig15(scale: Scale) -> String {
 pub fn fig16(scale: Scale) -> String {
     let mut out = String::from("Fig. 16: SplaTAM per Replica scene — RTX 3090 / GauSPU / Ours\n");
     let mut table = Table::new(&[
-        "scene", "RTX FPS", "GauSPU FPS", "Ours FPS", "RTX mem(MB)", "Ours mem(MB)",
+        "scene",
+        "RTX FPS",
+        "GauSPU FPS",
+        "Ours FPS",
+        "RTX mem(MB)",
+        "Ours mem(MB)",
     ]);
     let names = DatasetProfile::replica_analog().scene_names();
     let scenes = match scale {
         Scale::Quick => 3usize,
         Scale::Full => names.len(),
     };
+    #[allow(clippy::needless_range_loop)]
     for variant in 0..scenes {
         let profile = scale.profile(DatasetProfile::replica_analog());
         let ds = rtgs_scene::SyntheticDataset::generate_scene_variant(
@@ -119,18 +131,17 @@ pub fn fig16(scale: Scale) -> String {
 /// Fig. 17: (a) workload-imbalance mitigation ablation; (b) cumulative
 /// technique speedup breakdown.
 pub fn fig17(scale: Scale) -> String {
-    let ds = dataset(scale.profile(DatasetProfile::replica_analog()), scale.frames());
+    let ds = dataset(
+        scale.profile(DatasetProfile::replica_analog()),
+        scale.frames(),
+    );
     let base = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, true);
     let base_run = to_workload(&base);
 
     // (a) imbalance factors from a real mid-run trace pair.
     let mut out = String::from("Fig. 17(a): workload-imbalance ablation (achieved/ideal cycles)\n");
     let mut table = Table::new(&["scheduling", "imbalance factor (1.0 = ideal)"]);
-    let traces: Vec<_> = base
-        .frames
-        .iter()
-        .flat_map(|fr| fr.traces.iter())
-        .collect();
+    let traces: Vec<_> = base.frames.iter().flat_map(|fr| fr.traces.iter()).collect();
     if traces.len() >= 2 {
         let (prev, now) = (traces[traces.len() - 2], traces[traces.len() - 1]);
         for (name, sched) in [
@@ -152,12 +163,33 @@ pub fn fig17(scale: Scale) -> String {
     let mut table = Table::new(&["configuration", "FPS", "step speedup", "cumulative"]);
     let onx = simulate_run(&base_run, &HardwareModel::onx(), true);
     let mut prev_fps = onx.overall_fps;
-    table.row(vec!["GPU baseline (ONX)".into(), f(onx.overall_fps, 1), "-".into(), "1.0x".into()]);
+    table.row(vec![
+        "GPU baseline (ONX)".into(),
+        f(onx.overall_fps, 1),
+        "-".into(),
+        "1.0x".into(),
+    ]);
     let steps: Vec<(&str, HardwareModel, &rtgs_accel::RunWorkload)> = vec![
-        ("w/ Pipeline (bare plug-in)", plugin(Scheduling::Static, false, Aggregation::Atomic), &base_run),
-        ("w/ GMU", plugin(Scheduling::Static, false, Aggregation::Gmu), &base_run),
-        ("w/ R&B Buffer", plugin(Scheduling::Static, true, Aggregation::Gmu), &base_run),
-        ("w/ WSU", plugin(Scheduling::StreamingPaired, true, Aggregation::Gmu), &base_run),
+        (
+            "w/ Pipeline (bare plug-in)",
+            plugin(Scheduling::Static, false, Aggregation::Atomic),
+            &base_run,
+        ),
+        (
+            "w/ GMU",
+            plugin(Scheduling::Static, false, Aggregation::Gmu),
+            &base_run,
+        ),
+        (
+            "w/ R&B Buffer",
+            plugin(Scheduling::Static, true, Aggregation::Gmu),
+            &base_run,
+        ),
+        (
+            "w/ WSU",
+            plugin(Scheduling::StreamingPaired, true, Aggregation::Gmu),
+            &base_run,
+        ),
     ];
     for (name, hw, run) in steps {
         let cost = simulate_run(run, &hw, true);

@@ -18,18 +18,22 @@ mod algorithm;
 mod common;
 mod hardware;
 mod profiling;
+mod runtime;
 
 pub use algorithm::{fig13, fig14, table2, table6, table7};
 pub use common::{
-    dataset, f, run_variant, slam_config, to_workload, Scale, Table, Variant,
+    dataset, default_backend, f, run_variant, set_default_backend, slam_config, to_workload, Scale,
+    Table, Variant,
 };
 pub use hardware::{fig15, fig16, fig17, table4};
 pub use profiling::{fig3, fig4, fig5, fig6};
+pub use runtime::{runtime_scaling, serving};
 
-/// All experiments in paper order, as `(name, needs_scale)` pairs.
+/// All experiments: the paper artifacts in paper order, then the runtime
+/// subsystem's scaling and serving scenarios.
 pub const EXPERIMENTS: &[&str] = &[
     "table2", "fig3", "fig4", "fig5", "fig6", "table6", "table7", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "table4",
+    "fig16", "fig17", "table4", "runtime", "serving",
 ];
 
 /// Runs one experiment by name.
@@ -52,6 +56,8 @@ pub fn run_experiment(name: &str, scale: Scale) -> Result<String, String> {
         "fig16" => fig16(scale),
         "fig17" => fig17(scale),
         "table4" | "table5" => table4(),
+        "runtime" => runtime_scaling(scale),
+        "serving" => serving(scale),
         other => return Err(format!("unknown experiment: {other}")),
     })
 }

@@ -1,10 +1,15 @@
 //! Experiment runner binary.
 //!
 //! ```bash
-//! experiments <name>|all [--full]
+//! experiments <name>|all [--full] [--parallel[=N]]
 //! ```
+//!
+//! `--parallel` runs every SLAM configuration on the work-stealing parallel
+//! backend (machine-sized pool, or `N` threads with `--parallel=N`);
+//! results are bitwise-identical to serial runs.
 
-use rtgs_experiments::{run_experiment, Scale, EXPERIMENTS};
+use rtgs_experiments::{run_experiment, set_default_backend, Scale, EXPERIMENTS};
+use rtgs_runtime::BackendChoice;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,11 +18,24 @@ fn main() {
     } else {
         Scale::Quick
     };
+    if let Some(flag) = args
+        .iter()
+        .find(|a| *a == "--parallel" || a.starts_with("--parallel="))
+    {
+        let threads = match flag.strip_prefix("--parallel=") {
+            Some(n) => n.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("invalid thread count in `{flag}` (expected --parallel[=N])");
+                std::process::exit(2);
+            }),
+            None => 0,
+        };
+        set_default_backend(BackendChoice::Parallel { threads });
+    }
     let names: Vec<&str> = match args.iter().find(|a| !a.starts_with("--")) {
         Some(name) if name == "all" => EXPERIMENTS.to_vec(),
         Some(name) => vec![name.as_str()],
         None => {
-            eprintln!("usage: experiments <name>|all [--full]");
+            eprintln!("usage: experiments <name>|all [--full] [--parallel[=N]]");
             eprintln!("experiments: {}", EXPERIMENTS.join(", "));
             std::process::exit(2);
         }

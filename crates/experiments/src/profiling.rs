@@ -14,10 +14,11 @@ use rtgs_slam::BaseAlgorithm;
 /// mapping for MonoGS.
 pub fn fig3(scale: Scale) -> String {
     let mut out = String::from("Fig. 3(a): stage share of total runtime (percent)\n");
-    let mut table = Table::new(&[
-        "algorithm", "dataset", "tracking%", "mapping%", "other%",
-    ]);
-    for profile in [DatasetProfile::tum_analog(), DatasetProfile::scannet_analog()] {
+    let mut table = Table::new(&["algorithm", "dataset", "tracking%", "mapping%", "other%"]);
+    for profile in [
+        DatasetProfile::tum_analog(),
+        DatasetProfile::scannet_analog(),
+    ] {
         let ds = dataset(scale.profile(profile), scale.frames());
         for algo in BaseAlgorithm::keyframe_based() {
             let report = run_variant(algo, &ds, scale, Variant::Base, false);
@@ -39,7 +40,13 @@ pub fn fig3(scale: Scale) -> String {
     let ds = dataset(scale.profile(DatasetProfile::tum_analog()), scale.frames());
     let report = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
     let mut table = Table::new(&[
-        "stage", "preprocess%", "sorting%", "render%", "render_bp%", "preprocess_bp%", "other%",
+        "stage",
+        "preprocess%",
+        "sorting%",
+        "render%",
+        "render_bp%",
+        "preprocess_bp%",
+        "other%",
     ]);
     for (name, t) in [
         ("tracking", report.tracking_timings),
@@ -92,7 +99,9 @@ pub fn fig4(scale: Scale) -> String {
             }
         }
     }
-    let mut observer = Collect { scores: &mut scores };
+    let mut observer = Collect {
+        scores: &mut scores,
+    };
     let _ = track_frame(
         &scene,
         ds.poses_c2w[1].inverse(),
@@ -148,7 +157,11 @@ pub fn fig5(scale: Scale) -> String {
             i.to_string(),
             f(rmse(a, b) * 100.0, 2) + " (x100)",
             f(ssim(a, b), 4),
-            if keyframes.contains(&i) { "KF".into() } else { String::new() },
+            if keyframes.contains(&i) {
+                "KF".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     out.push_str(&table.render());
@@ -178,7 +191,15 @@ pub fn fig6(scale: Scale) -> String {
     out.push_str(&table.render());
 
     out.push_str("\nFig. 6 (bottom): distribution across iterations within one frame\n");
-    let mut table = Table::new(&["iteration", "<2", "2-9", "10-49", "50-199", ">=200", "similarity to prev"]);
+    let mut table = Table::new(&[
+        "iteration",
+        "<2",
+        "2-9",
+        "10-49",
+        "50-199",
+        ">=200",
+        "similarity to prev",
+    ]);
     if let Some(fr) = report.frames.iter().find(|fr| fr.traces.len() > 2) {
         for (i, t) in fr.traces.iter().enumerate() {
             let h = t.workload_histogram(&edges);

@@ -1,0 +1,143 @@
+//! Runtime-subsystem experiments (not a paper artifact): serial-vs-parallel
+//! kernel scaling and the multi-session serving demonstration.
+
+use crate::common::{f, slam_config, Scale, Table};
+use rtgs_render::{backward_with, compute_loss, render_frame_with, LossConfig};
+use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
+use rtgs_scene::{DatasetProfile, SyntheticDataset};
+use rtgs_slam::{serve_sessions, BaseAlgorithm, SlamPipeline};
+use std::time::Instant;
+
+/// Serial-vs-parallel wall-clock of the four hot paths plus a bitwise
+/// equivalence check, at pool sizes 1/2/4/8.
+pub fn runtime_scaling(scale: Scale) -> String {
+    let ds = SyntheticDataset::generate(scale.profile(DatasetProfile::scannet_analog()), 2);
+    let scene = ds.reference_scene.clone();
+    let w2c = ds.poses_c2w[0].inverse();
+
+    let time_backend = |backend: &dyn Backend| {
+        let t0 = Instant::now();
+        let ctx = render_frame_with(&scene, &w2c, &ds.camera, None, backend);
+        let forward = t0.elapsed();
+        let loss = compute_loss(
+            &ctx.output,
+            &ds.frames[0].color,
+            ds.frames[0].depth.as_ref(),
+            &LossConfig::default(),
+        );
+        let t1 = Instant::now();
+        let grads = backward_with(
+            &scene,
+            &ctx.projection,
+            &ctx.tiles,
+            &ds.camera,
+            &w2c,
+            &loss.pixel_grads,
+            backend,
+        );
+        (forward, t1.elapsed(), ctx, grads)
+    };
+
+    let (fwd_serial, bwd_serial, ctx_serial, grads_serial) = time_backend(&Serial);
+    let mut table = Table::new(&[
+        "backend",
+        "forward (ms)",
+        "backward (ms)",
+        "bitwise == serial",
+    ]);
+    table.row(vec![
+        "serial".into(),
+        f(fwd_serial.as_secs_f64() * 1e3, 2),
+        f(bwd_serial.as_secs_f64() * 1e3, 2),
+        "-".into(),
+    ]);
+    for threads in [1usize, 2, 4, 8] {
+        let backend = Parallel::new(threads);
+        let (fwd, bwd, ctx, grads) = time_backend(&backend);
+        let identical = ctx.output.image == ctx_serial.output.image
+            && ctx.output.final_transmittance == ctx_serial.output.final_transmittance
+            && grads.pose == grads_serial.pose
+            && grads.gaussians == grads_serial.gaussians;
+        table.row(vec![
+            format!("parallel({threads})"),
+            f(fwd.as_secs_f64() * 1e3, 2),
+            f(bwd.as_secs_f64() * 1e3, 2),
+            identical.to_string(),
+        ]);
+    }
+    format!(
+        "Runtime scaling on {} ({} Gaussians, {}x{}):\n{}",
+        ds.profile.name,
+        scene.len(),
+        ds.camera.width,
+        ds.camera.height,
+        table.render()
+    )
+}
+
+/// Multi-session serving: one SLAM session per base algorithm, multiplexed
+/// concurrently over the shared pool with round-robin frame scheduling.
+pub fn serving(scale: Scale) -> String {
+    let ds =
+        SyntheticDataset::generate(scale.profile(DatasetProfile::tum_analog()), scale.frames());
+    let t0 = Instant::now();
+    let sessions = BaseAlgorithm::all()
+        .into_iter()
+        .map(|algo| {
+            let cfg = slam_config(algo, scale, false)
+                .with_backend(BackendChoice::Parallel { threads: 0 });
+            (algo.name().to_string(), SlamPipeline::new(cfg, &ds))
+        })
+        .collect();
+    let outcomes = serve_sessions(sessions, 0);
+    let wall = t0.elapsed();
+
+    let mut table = Table::new(&[
+        "session",
+        "frames",
+        "steps",
+        "ATE (cm)",
+        "PSNR (dB)",
+        "session wall (s)",
+    ]);
+    let mut busy = 0.0f64;
+    for outcome in &outcomes {
+        busy += outcome.stats.wall.as_secs_f64();
+        table.row(vec![
+            outcome.stats.label.clone(),
+            outcome.report.frames_processed.to_string(),
+            outcome.stats.steps.to_string(),
+            f(outcome.report.ate.rmse * 100.0, 2),
+            f(outcome.report.mean_psnr, 2),
+            f(outcome.stats.wall.as_secs_f64(), 2),
+        ]);
+    }
+    format!(
+        "{} concurrent SLAM sessions over one pool ({} wall seconds, {:.2} busy-seconds served):\n{}",
+        outcomes.len(),
+        f(wall.as_secs_f64(), 2),
+        busy,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_scaling_reports_bitwise_equality() {
+        let out = runtime_scaling(Scale::Quick);
+        assert!(out.contains("parallel(2)"));
+        assert!(out.contains("true"));
+        assert!(!out.contains("false"));
+    }
+
+    #[test]
+    fn serving_runs_all_four_algorithms() {
+        let out = serving(Scale::Quick);
+        for algo in BaseAlgorithm::all() {
+            assert!(out.contains(algo.name()), "missing {}", algo.name());
+        }
+    }
+}

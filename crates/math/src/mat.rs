@@ -276,7 +276,11 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!(approx(id.m[i][j], expect), "entry ({i},{j}) = {}", id.m[i][j]);
+                assert!(
+                    approx(id.m[i][j], expect),
+                    "entry ({i},{j}) = {}",
+                    id.m[i][j]
+                );
             }
         }
     }

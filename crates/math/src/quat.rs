@@ -140,11 +140,15 @@ impl Quat {
     }
 
     /// Angular distance in radians to another rotation.
+    ///
+    /// Computed as `2·atan2(‖vec(r)‖, |w(r)|)` of the relative rotation
+    /// `r = a⁻¹·b`, which stays well-conditioned for small angles (the
+    /// naive `2·acos(|a·b|)` amplifies f32 rounding to ~1e-3 rad near
+    /// identity).
     pub fn angle_to(self, other: Quat) -> f32 {
-        let a = self.normalized();
-        let b = other.normalized();
-        let dot = (a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z).abs().min(1.0);
-        2.0 * dot.acos()
+        let r = self.normalized().conjugate() * other.normalized();
+        let vec_norm = (r.x * r.x + r.y * r.y + r.z * r.z).sqrt();
+        2.0 * vec_norm.atan2(r.w.abs())
     }
 }
 

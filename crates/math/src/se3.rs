@@ -107,8 +107,7 @@ impl Se3 {
     pub fn log(&self) -> [f32; 6] {
         let q = self.rotation.normalized();
         let w = (q.w as f64).clamp(-1.0, 1.0);
-        let vec_norm =
-            ((q.x as f64).powi(2) + (q.y as f64).powi(2) + (q.z as f64).powi(2)).sqrt();
+        let vec_norm = ((q.x as f64).powi(2) + (q.y as f64).powi(2) + (q.z as f64).powi(2)).sqrt();
         let theta = 2.0 * vec_norm.atan2(w);
         let phi = if vec_norm < 1e-12 {
             Vec3::ZERO
@@ -190,8 +189,14 @@ mod tests {
 
     #[test]
     fn compose_associates_with_application() {
-        let a = Se3::new(Quat::from_axis_angle(Vec3::Z, 0.5), Vec3::new(1.0, 0.0, 0.0));
-        let b = Se3::new(Quat::from_axis_angle(Vec3::X, -0.3), Vec3::new(0.0, 2.0, 0.0));
+        let a = Se3::new(
+            Quat::from_axis_angle(Vec3::Z, 0.5),
+            Vec3::new(1.0, 0.0, 0.0),
+        );
+        let b = Se3::new(
+            Quat::from_axis_angle(Vec3::X, -0.3),
+            Vec3::new(0.0, 2.0, 0.0),
+        );
         let p = Vec3::new(0.3, 0.4, 0.5);
         let via_compose = a.compose(&b).transform_point(p);
         let via_sequence = a.transform_point(b.transform_point(p));
@@ -204,7 +209,12 @@ mod tests {
         let pose = Se3::exp(xi);
         let back = pose.log();
         for i in 0..6 {
-            assert!((xi[i] - back[i]).abs() < 1e-4, "component {i}: {} vs {}", xi[i], back[i]);
+            assert!(
+                (xi[i] - back[i]).abs() < 1e-4,
+                "component {i}: {} vs {}",
+                xi[i],
+                back[i]
+            );
         }
     }
 
@@ -232,12 +242,19 @@ mod tests {
     #[test]
     fn exp_pure_translation() {
         let pose = Se3::exp([1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
-        approx_pose(&pose, &Se3::from_translation(Vec3::new(1.0, 2.0, 3.0)), 1e-6);
+        approx_pose(
+            &pose,
+            &Se3::from_translation(Vec3::new(1.0, 2.0, 3.0)),
+            1e-6,
+        );
     }
 
     #[test]
     fn retract_zero_is_noop() {
-        let pose = Se3::new(Quat::from_axis_angle(Vec3::Y, 1.0), Vec3::new(3.0, 1.0, 2.0));
+        let pose = Se3::new(
+            Quat::from_axis_angle(Vec3::Y, 1.0),
+            Vec3::new(3.0, 1.0, 2.0),
+        );
         approx_pose(&pose.retract([0.0; 6]), &pose, 1e-6);
     }
 
@@ -250,8 +267,14 @@ mod tests {
 
     #[test]
     fn distances_are_symmetric() {
-        let a = Se3::new(Quat::from_axis_angle(Vec3::X, 0.2), Vec3::new(1.0, 0.0, 0.0));
-        let b = Se3::new(Quat::from_axis_angle(Vec3::X, 0.5), Vec3::new(0.0, 1.0, 0.0));
+        let a = Se3::new(
+            Quat::from_axis_angle(Vec3::X, 0.2),
+            Vec3::new(1.0, 0.0, 0.0),
+        );
+        let b = Se3::new(
+            Quat::from_axis_angle(Vec3::X, 0.5),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         assert!((a.translation_distance(&b) - b.translation_distance(&a)).abs() < 1e-6);
         assert!((a.rotation_distance(&b) - b.rotation_distance(&a)).abs() < 1e-6);
     }

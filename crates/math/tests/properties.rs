@@ -33,7 +33,7 @@ proptest! {
     #[test]
     fn quat_matrix_roundtrip(q in unit_quat()) {
         let q2 = Quat::from_rotation_matrix(&q.to_rotation_matrix());
-        prop_assert!(q.angle_to(q2) < 1e-3);
+        prop_assert!(q.angle_to(q2) < 1e-3, "q = {q:?}, angle = {}", q.angle_to(q2));
     }
 
     #[test]

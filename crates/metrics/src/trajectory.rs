@@ -238,7 +238,11 @@ mod tests {
         );
         let est: Vec<Se3> = gt.iter().map(|p| offset.compose(p)).collect();
         let r = absolute_trajectory_error(&est, &gt);
-        assert!(r.rmse < 1e-4, "alignment should absorb rigid offset, rmse = {}", r.rmse);
+        assert!(
+            r.rmse < 1e-4,
+            "alignment should absorb rigid offset, rmse = {}",
+            r.rmse
+        );
     }
 
     #[test]

@@ -18,6 +18,15 @@ use crate::gaussian::{GaussianGrad, GaussianScene};
 use crate::project::{jacobian_with_clamp, Projected2d, Projection};
 use crate::tiles::TileAssignment;
 use rtgs_math::{Mat3, Se3, Sym2, Sym3, Vec2, Vec3};
+use rtgs_runtime::{Backend, Serial, SharedSlice};
+
+/// Tiles per chunk in the parallel Rendering BP (fixed by the algorithm,
+/// not the worker count).
+pub(crate) const BP_TILE_CHUNK: usize = 4;
+/// Gaussians per chunk in the parallel Preprocessing BP. The per-chunk
+/// pose-tangent partial sums fold in chunk order, so this constant — never
+/// the worker count — defines the floating-point summation tree.
+pub(crate) const BP_GAUSS_CHUNK: usize = 256;
 
 /// Per-pixel upstream gradients, produced by the loss module.
 #[derive(Debug, Clone)]
@@ -26,6 +35,9 @@ pub struct PixelGrads {
     pub color: Vec<Vec3>,
     /// `dL/dD` per pixel (row-major); zero where depth carries no loss.
     pub depth: Vec<f32>,
+    /// `dL/dT_final` per pixel (row-major): gradient with respect to the
+    /// final transmittance, used by the coverage-weighted depth residual.
+    pub transmittance: Vec<f32>,
 }
 
 impl PixelGrads {
@@ -34,6 +46,7 @@ impl PixelGrads {
         Self {
             color: vec![Vec3::ZERO; width * height],
             depth: vec![0.0; width * height],
+            transmittance: vec![0.0; width * height],
         }
     }
 }
@@ -84,9 +97,38 @@ struct Accum2d {
     hit: bool,
 }
 
+impl Accum2d {
+    /// Adds another tile's partial accumulation for the same Gaussian.
+    fn merge(&mut self, rhs: &Accum2d) {
+        self.mean += rhs.mean;
+        self.conic = self.conic + rhs.conic;
+        self.color += rhs.color;
+        self.opacity += rhs.opacity;
+        self.depth += rhs.depth;
+        self.hit |= rhs.hit;
+    }
+}
+
+/// One tile's contribution to Step ❹: per-Gaussian partial accumulators
+/// (indexed by position in the tile's splat list) plus event counters.
+/// Tiles compute partials independently — possibly in parallel — and the
+/// calling thread folds them in tile order, so the reduction tree is fixed
+/// by the tile grid alone and the result is bitwise-identical on every
+/// backend and pool size.
+#[derive(Default)]
+struct TilePartial {
+    /// One accumulator per entry of the tile's splat list (empty when the
+    /// tile received no gradient).
+    accum: Vec<Accum2d>,
+    /// Fragment-level gradient events in this tile.
+    events: u64,
+}
+
 /// One recomputed fragment during the backward re-walk.
 struct FragmentRecord<'a> {
     splat: &'a Projected2d,
+    /// Position of the splat in the tile's list (indexes the tile partial).
+    slot: usize,
     alpha: f32,
     weight: f32,
     t_before: f32,
@@ -108,95 +150,66 @@ pub fn backward(
     w2c: &Se3,
     pixel_grads: &PixelGrads,
 ) -> BackwardOutput {
+    backward_with(scene, projection, tiles, camera, w2c, pixel_grads, &Serial)
+}
+
+/// [`backward`] on an explicit execution backend.
+///
+/// Step ❹ runs chunked over tiles: each tile accumulates gradients into its
+/// own [`TilePartial`] and the calling thread folds the partials in tile
+/// order (the software analog of the paper's GMU gradient merging — the
+/// atomic-add contention of Observation 4 is what this structure removes).
+/// Step ❺ runs chunked over Gaussians with per-chunk pose-tangent partials
+/// folded in chunk order. Both reduction trees are fixed by constants
+/// ([`BP_TILE_CHUNK`], [`BP_GAUSS_CHUNK`]) rather than the worker count, so
+/// gradients are bitwise-identical on every backend and pool size.
+///
+/// # Panics
+///
+/// Panics if the gradient buffers do not match `camera`'s pixel count.
+pub fn backward_with(
+    scene: &GaussianScene,
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    w2c: &Se3,
+    pixel_grads: &PixelGrads,
+    backend: &dyn Backend,
+) -> BackwardOutput {
     assert_eq!(pixel_grads.color.len(), camera.pixel_count());
     assert_eq!(pixel_grads.depth.len(), camera.pixel_count());
+    assert_eq!(pixel_grads.transmittance.len(), camera.pixel_count());
 
-    let mut accum = vec![Accum2d::default(); scene.len()];
     let mut stats = BackwardStats::default();
-    let mut fragments: Vec<FragmentRecord> = Vec::with_capacity(64);
     let t_start = std::time::Instant::now();
 
     // ---- Step ❹: Rendering BP -------------------------------------------
-    for ty in 0..tiles.tiles_y {
-        for tx in 0..tiles.tiles_x {
-            let list = &tiles.tile_lists[ty * tiles.tiles_x + tx];
-            if list.is_empty() {
-                continue;
+    let tile_count = tiles.tile_count();
+    let mut partials: Vec<TilePartial> = Vec::with_capacity(tile_count);
+    partials.resize_with(tile_count, TilePartial::default);
+    {
+        let partial_view = SharedSlice::new(&mut partials);
+        backend.for_each_chunk(tile_count, BP_TILE_CHUNK, &|_, range| {
+            for tile in range {
+                let partial = backward_tile(tile, projection, tiles, camera, pixel_grads);
+                // SAFETY: one partial slot per tile.
+                unsafe { partial_view.write(tile, partial) };
             }
-            let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
-            for y in y0..y1 {
-                for x in x0..x1 {
-                    let idx = y * camera.width + x;
-                    let g_color = pixel_grads.color[idx];
-                    let g_depth = pixel_grads.depth[idx];
-                    if g_color == Vec3::ZERO && g_depth == 0.0 {
-                        continue;
-                    }
-                    let p = pixel_center(x, y);
+        });
+    }
 
-                    // Re-walk forward to reconstruct the fragment sequence.
-                    fragments.clear();
-                    let mut t = 1.0f32;
-                    for &id in list {
-                        let Some(splat) = projection.splats[id as usize].as_ref() else {
-                            continue;
-                        };
-                        let (alpha, weight) = fragment_alpha(splat, p);
-                        if alpha < ALPHA_MIN {
-                            continue;
-                        }
-                        fragments.push(FragmentRecord {
-                            splat,
-                            alpha,
-                            weight,
-                            t_before: t,
-                        });
-                        t *= 1.0 - alpha;
-                        if t < TERMINATION_THRESHOLD {
-                            break;
-                        }
-                    }
-
-                    // Reverse recursion (Eq. 4) with suffix accumulators.
-                    let mut suffix_color = Vec3::ZERO;
-                    let mut suffix_depth = 0.0f32;
-                    for frag in fragments.iter().rev() {
-                        let s = frag.splat;
-                        let t_k = frag.t_before;
-                        let alpha = frag.alpha;
-                        let w = t_k * alpha;
-                        let one_minus = 1.0 - alpha;
-
-                        let dc_dalpha = s.color * t_k - suffix_color / one_minus;
-                        let dd_dalpha = s.depth * t_k - suffix_depth / one_minus;
-                        let dl_dalpha = g_color.dot(dc_dalpha) + g_depth * dd_dalpha;
-
-                        let a = &mut accum[s.id as usize];
-                        a.hit = true;
-                        a.color += g_color * w;
-                        a.depth += g_depth * w;
-
-                        // Alpha clamping (Eq. 2 output capped at ALPHA_MAX)
-                        // zeroes the parameter gradient at the cap.
-                        if alpha < ALPHA_MAX {
-                            a.opacity += dl_dalpha * frag.weight;
-                            let dl_dq = -0.5 * dl_dalpha * s.opacity * frag.weight;
-                            let delta = p - s.mean;
-                            let conic_delta = s.conic.mul_vec(delta);
-                            a.mean += conic_delta * (-2.0 * dl_dq);
-                            a.conic = a.conic
-                                + Sym2::new(
-                                    delta.x * delta.x,
-                                    delta.x * delta.y,
-                                    delta.y * delta.y,
-                                ) * dl_dq;
-                        }
-                        stats.fragment_grad_events += 1;
-
-                        suffix_color += s.color * w;
-                        suffix_depth += s.depth * w;
-                    }
-                }
+    // Deterministic fold: tile order, then tile-list order within a tile —
+    // the same tree regardless of how the partials were computed.
+    let mut accum = vec![Accum2d::default(); scene.len()];
+    for (tile, partial) in partials.iter().enumerate() {
+        stats.fragment_grad_events += partial.events;
+        if partial.accum.is_empty() {
+            continue;
+        }
+        for (slot, &id) in tiles.tile_lists[tile].iter().enumerate() {
+            let a = &partial.accum[slot];
+            if a.hit {
+                accum[id as usize].merge(a);
             }
         }
     }
@@ -207,106 +220,48 @@ pub fn backward(
     // ---- Step ❺: Preprocessing BP ----------------------------------------
     let rot_w2c = w2c.rotation_matrix();
     let mut gaussian_grads = scene.zero_grads();
-    let mut pose = [0.0f32; 6];
+    let chunks = scene.len().div_ceil(BP_GAUSS_CHUNK).max(1);
+    // Per-chunk (pose tangent, touched count) partials, folded in order.
+    let mut pose_partials = vec![([0.0f32; 6], 0usize); chunks];
 
-    for (id, a) in accum.iter().enumerate() {
-        if !a.hit {
-            continue;
-        }
-        let Some(splat) = projection.splats[id].as_ref() else {
-            continue;
-        };
-        stats.gaussians_touched += 1;
-        let g = &scene.gaussians[id];
-        let t_cam = splat.t_cam;
-
-        // conic = cov⁻¹  ⇒  dL/dcov = -conic · dL/dconic · conic.
-        let conic_m = splat.conic.to_mat2();
-        let dconic = a.conic.to_mat2();
-        let dcov_m = (conic_m * dconic * conic_m).m;
-        // Embed into 3×3 (row/col 2 are zero because M's third row is zero).
-        let dcov3 = Mat3::from_rows(
-            [-dcov_m[0][0], -dcov_m[0][1], 0.0],
-            [-dcov_m[1][0], -dcov_m[1][1], 0.0],
-            [0.0, 0.0, 0.0],
-        );
-
-        let (j, clamped_x, clamped_y) = jacobian_with_clamp(camera, t_cam);
-        let m = j * rot_w2c;
-        let sigma3 = g.covariance().to_mat3();
-
-        // cov2d = M Σ Mᵀ:
-        let dl_dsigma = m.transpose() * dcov3 * m;
-        let dl_dm = (dcov3 * (m * sigma3)).scale(2.0);
-        let dl_dj = dl_dm * rot_w2c.transpose();
-        let dl_dw_cov = j.transpose() * dl_dm;
-
-        // dL/dt_cam: mean2d chain (J is its Jacobian), J-in-cov chain, and
-        // the blended-depth chain (d = t_z).
-        let mut dl_dt = j.transpose().mul_vec(Vec3::new(a.mean.x, a.mean.y, 0.0));
-        let inv_z = 1.0 / t_cam.z;
-        let inv_z2 = inv_z * inv_z;
-        let inv_z3 = inv_z2 * inv_z;
-        // J-through-t chain. Where the off-axis ratio was clamped, J no
-        // longer depends on that coordinate (reference kernel zeroes the
-        // corresponding gradient) and the tz-dependence of the off-axis
-        // entry changes order: J02 = -fx·lim·sign/tz ⇒ ∂J02/∂tz = -J02/tz.
-        if clamped_x {
-            dl_dt.z += dl_dj.m[0][2] * (-j.m[0][2] * inv_z);
-        } else {
-            dl_dt.x += dl_dj.m[0][2] * (-camera.fx * inv_z2);
-            dl_dt.z += dl_dj.m[0][2] * (2.0 * camera.fx * t_cam.x * inv_z3);
-        }
-        if clamped_y {
-            dl_dt.z += dl_dj.m[1][2] * (-j.m[1][2] * inv_z);
-        } else {
-            dl_dt.y += dl_dj.m[1][2] * (-camera.fy * inv_z2);
-            dl_dt.z += dl_dj.m[1][2] * (2.0 * camera.fy * t_cam.y * inv_z3);
-        }
-        dl_dt.z += dl_dj.m[0][0] * (-camera.fx * inv_z2)
-            + dl_dj.m[1][1] * (-camera.fy * inv_z2);
-        dl_dt.z += a.depth;
-
-        let out = &mut gaussian_grads[id];
-        out.position = rot_w2c.transpose().mul_vec(dl_dt);
-        out.color = a.color;
-        let o = splat.opacity;
-        out.opacity = a.opacity * o * (1.0 - o);
-        out.cov_frobenius = sym_from_full(&dl_dsigma).frobenius_norm();
-
-        // Σ = N Nᵀ with N = R diag(s):
-        let r = g.rotation.to_rotation_matrix();
-        let s = g.scale();
-        let n = r * Mat3::from_diagonal(s);
-        let dl_dn = (dl_dsigma * n).scale(2.0);
-        for i in 0..3 {
-            let ds_i: f32 = (0..3).map(|row| dl_dn.m[row][i] * r.m[row][i]).sum();
-            out.log_scale[i] = ds_i * s[i];
-        }
-        let dl_dr = dl_dn * Mat3::from_diagonal(s);
-        out.rotation = quat_backward(g.rotation, &dl_dr);
-
-        // Camera-pose tangent (left retraction of the w2c pose):
-        //   t_cam(δ) ≈ t_cam + φ × t_cam + ρ,  W(δ) ≈ exp(φ̂) W.
-        pose[0] += dl_dt.x;
-        pose[1] += dl_dt.y;
-        pose[2] += dl_dt.z;
-        let torque = t_cam.cross(dl_dt);
-        pose[3] += torque.x;
-        pose[4] += torque.y;
-        pose[5] += torque.z;
-        for axis in 0..3 {
-            let mut e = Vec3::ZERO;
-            e[axis] = 1.0;
-            let dw = Mat3::skew(e) * rot_w2c;
-            let mut contrib = 0.0;
-            for r_ in 0..3 {
-                for c_ in 0..3 {
-                    contrib += dl_dw_cov.m[r_][c_] * dw.m[r_][c_];
+    {
+        let grad_view = SharedSlice::new(&mut gaussian_grads);
+        let pose_view = SharedSlice::new(&mut pose_partials);
+        backend.for_each_chunk(scene.len(), BP_GAUSS_CHUNK, &|chunk, range| {
+            let mut pose = [0.0f32; 6];
+            let mut touched = 0usize;
+            for id in range {
+                let a = &accum[id];
+                if !a.hit {
+                    continue;
                 }
+                let Some(splat) = projection.splats[id].as_ref() else {
+                    continue;
+                };
+                touched += 1;
+                // SAFETY: each Gaussian id is written by at most one chunk.
+                let out = unsafe { grad_view.get_mut(id) };
+                preprocess_one(
+                    &scene.gaussians[id],
+                    splat,
+                    a,
+                    camera,
+                    &rot_w2c,
+                    out,
+                    &mut pose,
+                );
             }
-            pose[3 + axis] += contrib;
+            // SAFETY: one partial slot per chunk.
+            unsafe { pose_view.write(chunk, (pose, touched)) };
+        });
+    }
+
+    let mut pose = [0.0f32; 6];
+    for (partial, touched) in &pose_partials {
+        for (acc, p) in pose.iter_mut().zip(partial.iter()) {
+            *acc += p;
         }
+        stats.gaussians_touched += touched;
     }
 
     stats.preprocessing_bp_nanos = t_phase2.elapsed().as_nanos() as u64;
@@ -315,6 +270,211 @@ pub fn backward(
         gaussians: gaussian_grads,
         pose,
         stats,
+    }
+}
+
+/// Step ❹ for one tile: re-walks every pixel of the tile and accumulates
+/// per-Gaussian 2D gradients into a tile-local partial.
+fn backward_tile(
+    tile: usize,
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    pixel_grads: &PixelGrads,
+) -> TilePartial {
+    let list = &tiles.tile_lists[tile];
+    let mut partial = TilePartial::default();
+    if list.is_empty() {
+        return partial;
+    }
+    let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
+    let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
+    let mut fragments: Vec<FragmentRecord> = Vec::with_capacity(64);
+    let mut touched = false;
+
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let idx = y * camera.width + x;
+            let g_color = pixel_grads.color[idx];
+            let g_depth = pixel_grads.depth[idx];
+            let g_trans = pixel_grads.transmittance[idx];
+            if g_color == Vec3::ZERO && g_depth == 0.0 && g_trans == 0.0 {
+                continue;
+            }
+            if !touched {
+                touched = true;
+                partial.accum = vec![Accum2d::default(); list.len()];
+            }
+            let p = pixel_center(x, y);
+
+            // Re-walk forward to reconstruct the fragment sequence.
+            fragments.clear();
+            let mut t = 1.0f32;
+            for (slot, &id) in list.iter().enumerate() {
+                let Some(splat) = projection.splats[id as usize].as_ref() else {
+                    continue;
+                };
+                let (alpha, weight) = fragment_alpha(splat, p);
+                if alpha < ALPHA_MIN {
+                    continue;
+                }
+                fragments.push(FragmentRecord {
+                    splat,
+                    slot,
+                    alpha,
+                    weight,
+                    t_before: t,
+                });
+                t *= 1.0 - alpha;
+                if t < TERMINATION_THRESHOLD {
+                    break;
+                }
+            }
+
+            // Reverse recursion (Eq. 4) with suffix accumulators. `t` now
+            // holds the pixel's final transmittance; the T-channel chain is
+            // dT_final/dα_k = -T_final/(1-α_k).
+            let t_final = t;
+            let mut suffix_color = Vec3::ZERO;
+            let mut suffix_depth = 0.0f32;
+            for frag in fragments.iter().rev() {
+                let s = frag.splat;
+                let t_k = frag.t_before;
+                let alpha = frag.alpha;
+                let w = t_k * alpha;
+                let one_minus = 1.0 - alpha;
+
+                let dc_dalpha = s.color * t_k - suffix_color / one_minus;
+                let dd_dalpha = s.depth * t_k - suffix_depth / one_minus;
+                let dt_dalpha = -t_final / one_minus;
+                let dl_dalpha = g_color.dot(dc_dalpha) + g_depth * dd_dalpha + g_trans * dt_dalpha;
+
+                let a = &mut partial.accum[frag.slot];
+                a.hit = true;
+                a.color += g_color * w;
+                a.depth += g_depth * w;
+
+                // Alpha clamping (Eq. 2 output capped at ALPHA_MAX) zeroes
+                // the parameter gradient at the cap.
+                if alpha < ALPHA_MAX {
+                    a.opacity += dl_dalpha * frag.weight;
+                    let dl_dq = -0.5 * dl_dalpha * s.opacity * frag.weight;
+                    let delta = p - s.mean;
+                    let conic_delta = s.conic.mul_vec(delta);
+                    a.mean += conic_delta * (-2.0 * dl_dq);
+                    a.conic = a.conic
+                        + Sym2::new(delta.x * delta.x, delta.x * delta.y, delta.y * delta.y)
+                            * dl_dq;
+                }
+                partial.events += 1;
+
+                suffix_color += s.color * w;
+                suffix_depth += s.depth * w;
+            }
+        }
+    }
+    partial
+}
+
+/// Step ❺ for one Gaussian: chains the aggregated 2D gradients to the 3D
+/// parameters and accumulates the camera-pose tangent contribution.
+#[allow(clippy::too_many_arguments)]
+fn preprocess_one(
+    g: &crate::gaussian::Gaussian3d,
+    splat: &Projected2d,
+    a: &Accum2d,
+    camera: &PinholeCamera,
+    rot_w2c: &Mat3,
+    out: &mut GaussianGrad,
+    pose: &mut [f32; 6],
+) {
+    let rot_w2c = *rot_w2c;
+    let t_cam = splat.t_cam;
+
+    // conic = cov⁻¹  ⇒  dL/dcov = -conic · dL/dconic · conic.
+    let conic_m = splat.conic.to_mat2();
+    let dconic = a.conic.to_mat2();
+    let dcov_m = (conic_m * dconic * conic_m).m;
+    // Embed into 3×3 (row/col 2 are zero because M's third row is zero).
+    let dcov3 = Mat3::from_rows(
+        [-dcov_m[0][0], -dcov_m[0][1], 0.0],
+        [-dcov_m[1][0], -dcov_m[1][1], 0.0],
+        [0.0, 0.0, 0.0],
+    );
+
+    let (j, clamped_x, clamped_y) = jacobian_with_clamp(camera, t_cam);
+    let m = j * rot_w2c;
+    let sigma3 = g.covariance().to_mat3();
+
+    // cov2d = M Σ Mᵀ:
+    let dl_dsigma = m.transpose() * dcov3 * m;
+    let dl_dm = (dcov3 * (m * sigma3)).scale(2.0);
+    let dl_dj = dl_dm * rot_w2c.transpose();
+    let dl_dw_cov = j.transpose() * dl_dm;
+
+    // dL/dt_cam: mean2d chain (J is its Jacobian), J-in-cov chain, and
+    // the blended-depth chain (d = t_z).
+    let mut dl_dt = j.transpose().mul_vec(Vec3::new(a.mean.x, a.mean.y, 0.0));
+    let inv_z = 1.0 / t_cam.z;
+    let inv_z2 = inv_z * inv_z;
+    let inv_z3 = inv_z2 * inv_z;
+    // J-through-t chain. Where the off-axis ratio was clamped, J no
+    // longer depends on that coordinate (reference kernel zeroes the
+    // corresponding gradient) and the tz-dependence of the off-axis
+    // entry changes order: J02 = -fx·lim·sign/tz ⇒ ∂J02/∂tz = -J02/tz.
+    if clamped_x {
+        dl_dt.z += dl_dj.m[0][2] * (-j.m[0][2] * inv_z);
+    } else {
+        dl_dt.x += dl_dj.m[0][2] * (-camera.fx * inv_z2);
+        dl_dt.z += dl_dj.m[0][2] * (2.0 * camera.fx * t_cam.x * inv_z3);
+    }
+    if clamped_y {
+        dl_dt.z += dl_dj.m[1][2] * (-j.m[1][2] * inv_z);
+    } else {
+        dl_dt.y += dl_dj.m[1][2] * (-camera.fy * inv_z2);
+        dl_dt.z += dl_dj.m[1][2] * (2.0 * camera.fy * t_cam.y * inv_z3);
+    }
+    dl_dt.z += dl_dj.m[0][0] * (-camera.fx * inv_z2) + dl_dj.m[1][1] * (-camera.fy * inv_z2);
+    dl_dt.z += a.depth;
+
+    out.position = rot_w2c.transpose().mul_vec(dl_dt);
+    out.color = a.color;
+    let o = splat.opacity;
+    out.opacity = a.opacity * o * (1.0 - o);
+    out.cov_frobenius = sym_from_full(&dl_dsigma).frobenius_norm();
+
+    // Σ = N Nᵀ with N = R diag(s):
+    let r = g.rotation.to_rotation_matrix();
+    let s = g.scale();
+    let n = r * Mat3::from_diagonal(s);
+    let dl_dn = (dl_dsigma * n).scale(2.0);
+    for i in 0..3 {
+        let ds_i: f32 = (0..3).map(|row| dl_dn.m[row][i] * r.m[row][i]).sum();
+        out.log_scale[i] = ds_i * s[i];
+    }
+    let dl_dr = dl_dn * Mat3::from_diagonal(s);
+    out.rotation = quat_backward(g.rotation, &dl_dr);
+
+    // Camera-pose tangent (left retraction of the w2c pose):
+    //   t_cam(δ) ≈ t_cam + φ × t_cam + ρ,  W(δ) ≈ exp(φ̂) W.
+    pose[0] += dl_dt.x;
+    pose[1] += dl_dt.y;
+    pose[2] += dl_dt.z;
+    let torque = t_cam.cross(dl_dt);
+    pose[3] += torque.x;
+    pose[4] += torque.y;
+    pose[5] += torque.z;
+    for axis in 0..3 {
+        let mut e = Vec3::ZERO;
+        e[axis] = 1.0;
+        let dw = Mat3::skew(e) * rot_w2c;
+        let mut contrib = 0.0;
+        for r_ in 0..3 {
+            for c_ in 0..3 {
+                contrib += dl_dw_cov.m[r_][c_] * dw.m[r_][c_];
+            }
+        }
+        pose[3 + axis] += contrib;
     }
 }
 
@@ -341,26 +501,26 @@ fn quat_backward(q_raw: rtgs_math::Quat, dl_dr: &Mat3) -> [f32; 4] {
     let q = q_raw.normalized();
     let (w, x, y, z) = (q.w, q.x, q.y, q.z);
 
-    let dr_dw = Mat3::from_rows([0.0, -2.0 * z, 2.0 * y], [2.0 * z, 0.0, -2.0 * x], [
-        -2.0 * y,
-        2.0 * x,
-        0.0,
-    ]);
-    let dr_dx = Mat3::from_rows([0.0, 2.0 * y, 2.0 * z], [2.0 * y, -4.0 * x, -2.0 * w], [
-        2.0 * z,
-        2.0 * w,
-        -4.0 * x,
-    ]);
-    let dr_dy = Mat3::from_rows([-4.0 * y, 2.0 * x, 2.0 * w], [2.0 * x, 0.0, 2.0 * z], [
-        -2.0 * w,
-        2.0 * z,
-        -4.0 * y,
-    ]);
-    let dr_dz = Mat3::from_rows([-4.0 * z, -2.0 * w, 2.0 * x], [2.0 * w, -4.0 * z, 2.0 * y], [
-        2.0 * x,
-        2.0 * y,
-        0.0,
-    ]);
+    let dr_dw = Mat3::from_rows(
+        [0.0, -2.0 * z, 2.0 * y],
+        [2.0 * z, 0.0, -2.0 * x],
+        [-2.0 * y, 2.0 * x, 0.0],
+    );
+    let dr_dx = Mat3::from_rows(
+        [0.0, 2.0 * y, 2.0 * z],
+        [2.0 * y, -4.0 * x, -2.0 * w],
+        [2.0 * z, 2.0 * w, -4.0 * x],
+    );
+    let dr_dy = Mat3::from_rows(
+        [-4.0 * y, 2.0 * x, 2.0 * w],
+        [2.0 * x, 0.0, 2.0 * z],
+        [-2.0 * w, 2.0 * z, -4.0 * y],
+    );
+    let dr_dz = Mat3::from_rows(
+        [-4.0 * z, -2.0 * w, 2.0 * x],
+        [2.0 * w, -4.0 * z, 2.0 * y],
+        [2.0 * x, 2.0 * y, 0.0],
+    );
 
     let inner = |d: &Mat3| -> f32 {
         let mut acc = 0.0;

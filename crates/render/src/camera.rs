@@ -29,7 +29,10 @@ impl PinholeCamera {
     ///
     /// Panics if `width` or `height` is zero.
     pub fn new(width: usize, height: usize, fx: f32, fy: f32, cx: f32, cy: f32) -> Self {
-        assert!(width > 0 && height > 0, "camera resolution must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "camera resolution must be non-zero"
+        );
         Self {
             width,
             height,
@@ -283,6 +286,12 @@ impl DepthImage {
     #[inline]
     pub fn data(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Mutable access to the flat row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
     }
 
     /// Average-pool downsample, ignoring invalid (zero) samples.

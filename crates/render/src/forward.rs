@@ -5,6 +5,11 @@ use crate::camera::{DepthImage, Image, PinholeCamera};
 use crate::project::Projection;
 use crate::tiles::TileAssignment;
 use rtgs_math::{Vec2, Vec3};
+use rtgs_runtime::{Backend, Serial, SharedSlice};
+
+/// Tiles per chunk in the parallel forward render (fixed by the algorithm,
+/// not the worker count).
+pub(crate) const RENDER_CHUNK: usize = 4;
 
 /// Transmittance threshold below which a ray terminates early (full
 /// occlusion for everything behind), matching the reference rasterizer.
@@ -84,53 +89,92 @@ pub fn render(
     tiles: &TileAssignment,
     camera: &PinholeCamera,
 ) -> RenderOutput {
+    render_with(projection, tiles, camera, &Serial)
+}
+
+/// [`render`] on an explicit execution backend (Step ❸, chunked over
+/// tiles).
+///
+/// Tiles partition the image, so every pixel is written by exactly one
+/// tile's task; per-tile statistics are integer counters summed afterwards.
+/// The output is therefore bitwise-identical on every backend and pool
+/// size.
+pub fn render_with(
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    backend: &dyn Backend,
+) -> RenderOutput {
     let mut image = Image::new(camera.width, camera.height);
     let mut depth = DepthImage::new(camera.width, camera.height);
     let mut final_t = vec![1.0f32; camera.pixel_count()];
     let mut workloads = vec![0u32; camera.pixel_count()];
-    let mut stats = RenderStats::default();
+    let tile_count = tiles.tile_count();
+    let mut tile_stats = vec![RenderStats::default(); tile_count];
 
-    for ty in 0..tiles.tiles_y {
-        for tx in 0..tiles.tiles_x {
-            let list = &tiles.tile_lists[ty * tiles.tiles_x + tx];
-            if list.is_empty() {
-                continue;
-            }
-            let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
-            for y in y0..y1 {
-                for x in x0..x1 {
-                    let p = pixel_center(x, y);
-                    let mut color = Vec3::ZERO;
-                    let mut d_acc = 0.0f32;
-                    let mut t = 1.0f32;
-                    let mut processed = 0u32;
-                    for &id in list {
-                        let Some(splat) = projection.splats[id as usize].as_ref() else {
-                            continue;
-                        };
-                        processed += 1;
-                        stats.fragments_processed += 1;
-                        let (alpha, _) = fragment_alpha(splat, p);
-                        if alpha < ALPHA_MIN {
-                            continue;
+    {
+        let image_view = SharedSlice::new(image.data_mut());
+        let depth_view = SharedSlice::new(depth.data_mut());
+        let t_view = SharedSlice::new(&mut final_t);
+        let workload_view = SharedSlice::new(&mut workloads);
+        let stats_view = SharedSlice::new(&mut tile_stats);
+        backend.for_each_chunk(tile_count, RENDER_CHUNK, &|_, range| {
+            for tile in range {
+                let list = &tiles.tile_lists[tile];
+                if list.is_empty() {
+                    continue;
+                }
+                let mut stats = RenderStats::default();
+                let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
+                let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        let p = pixel_center(x, y);
+                        let mut color = Vec3::ZERO;
+                        let mut d_acc = 0.0f32;
+                        let mut t = 1.0f32;
+                        let mut processed = 0u32;
+                        for &id in list {
+                            let Some(splat) = projection.splats[id as usize].as_ref() else {
+                                continue;
+                            };
+                            processed += 1;
+                            stats.fragments_processed += 1;
+                            let (alpha, _) = fragment_alpha(splat, p);
+                            if alpha < ALPHA_MIN {
+                                continue;
+                            }
+                            stats.fragments_blended += 1;
+                            color += splat.color * (t * alpha);
+                            d_acc += splat.depth * (t * alpha);
+                            t *= 1.0 - alpha;
+                            if t < TERMINATION_THRESHOLD {
+                                stats.early_terminated_pixels += 1;
+                                break;
+                            }
                         }
-                        stats.fragments_blended += 1;
-                        color += splat.color * (t * alpha);
-                        d_acc += splat.depth * (t * alpha);
-                        t *= 1.0 - alpha;
-                        if t < TERMINATION_THRESHOLD {
-                            stats.early_terminated_pixels += 1;
-                            break;
+                        let idx = y * camera.width + x;
+                        // SAFETY: tiles partition the image, so this pixel
+                        // index is written only by this tile's task.
+                        unsafe {
+                            image_view.write(idx, color);
+                            depth_view.write(idx, d_acc);
+                            t_view.write(idx, t);
+                            workload_view.write(idx, processed);
                         }
                     }
-                    let idx = y * camera.width + x;
-                    image.data_mut()[idx] = color;
-                    depth.set_depth(x, y, d_acc);
-                    final_t[idx] = t;
-                    workloads[idx] = processed;
                 }
+                // SAFETY: one stats slot per tile.
+                unsafe { stats_view.write(tile, stats) };
             }
-        }
+        });
+    }
+
+    let mut stats = RenderStats::default();
+    for ts in &tile_stats {
+        stats.fragments_processed += ts.fragments_processed;
+        stats.fragments_blended += ts.fragments_blended;
+        stats.early_terminated_pixels += ts.early_terminated_pixels;
     }
 
     RenderOutput {
@@ -196,7 +240,10 @@ mod tests {
         ]);
         let (out, _) = render_scene(&scene);
         let c = out.image.pixel(16, 16);
-        assert!(c.x > 0.9 && c.y < 0.1, "front red must occlude green, got {c}");
+        assert!(
+            c.x > 0.9 && c.y < 0.1,
+            "front red must occlude green, got {c}"
+        );
     }
 
     #[test]

@@ -26,10 +26,20 @@ pub struct Gaussian3d {
 impl Gaussian3d {
     /// Creates a Gaussian from *activated* values (scale and opacity in
     /// natural units).
-    pub fn from_activated(position: Vec3, scale: Vec3, rotation: Quat, opacity: f32, color: Vec3) -> Self {
+    pub fn from_activated(
+        position: Vec3,
+        scale: Vec3,
+        rotation: Quat,
+        opacity: f32,
+        color: Vec3,
+    ) -> Self {
         Self {
             position,
-            log_scale: Vec3::new(scale.x.max(1e-8).ln(), scale.y.max(1e-8).ln(), scale.z.max(1e-8).ln()),
+            log_scale: Vec3::new(
+                scale.x.max(1e-8).ln(),
+                scale.y.max(1e-8).ln(),
+                scale.z.max(1e-8).ln(),
+            ),
             rotation,
             opacity: rtgs_math::logit(opacity),
             color,
@@ -39,7 +49,11 @@ impl Gaussian3d {
     /// Activated per-axis scale, `exp(log_scale)`.
     #[inline]
     pub fn scale(&self) -> Vec3 {
-        Vec3::new(self.log_scale.x.exp(), self.log_scale.y.exp(), self.log_scale.z.exp())
+        Vec3::new(
+            self.log_scale.x.exp(),
+            self.log_scale.y.exp(),
+            self.log_scale.z.exp(),
+        )
     }
 
     /// Activated opacity in `(0, 1)`.

@@ -54,15 +54,16 @@ mod project;
 mod tiles;
 mod trace;
 
-pub use backward::{backward, BackwardOutput, BackwardStats, PixelGrads};
+pub use backward::{backward, backward_with, BackwardOutput, BackwardStats, PixelGrads};
 pub use camera::{DepthImage, Image, PinholeCamera};
 pub use forward::{
-    render, RenderOutput, RenderStats, ALPHA_MAX, ALPHA_MIN, TERMINATION_THRESHOLD,
+    render, render_with, RenderOutput, RenderStats, ALPHA_MAX, ALPHA_MIN, TERMINATION_THRESHOLD,
 };
 pub use gaussian::{Gaussian3d, GaussianGrad, GaussianScene};
 pub use loss::{compute_loss, LossConfig, LossKind, LossOutput};
 pub use project::{
-    project_scene, projection_jacobian, Projected2d, Projection, COV2D_BLUR, NEAR_PLANE,
+    project_scene, project_scene_with, projection_jacobian, Projected2d, Projection, COV2D_BLUR,
+    NEAR_PLANE,
 };
 pub use tiles::{TileAssignment, SUBTILES_PER_TILE, SUBTILE_SIZE, TILE_SIZE};
 pub use trace::WorkloadTrace;
@@ -88,9 +89,23 @@ pub fn render_frame(
     camera: &PinholeCamera,
     active: Option<&[bool]>,
 ) -> ForwardContext {
-    let projection = project_scene(scene, w2c, camera, active);
-    let tiles = TileAssignment::build(&projection, camera);
-    let output = render(&projection, &tiles, camera);
+    render_frame_with(scene, w2c, camera, active, &rtgs_runtime::Serial)
+}
+
+/// [`render_frame`] on an explicit execution backend: all three forward
+/// steps (projection chunked over Gaussians, per-tile sorting, rendering
+/// chunked over tiles) run on `backend`, with output bitwise-identical to
+/// the serial path at any pool size.
+pub fn render_frame_with(
+    scene: &GaussianScene,
+    w2c: &rtgs_math::Se3,
+    camera: &PinholeCamera,
+    active: Option<&[bool]>,
+    backend: &dyn rtgs_runtime::Backend,
+) -> ForwardContext {
+    let projection = project_scene_with(scene, w2c, camera, active, backend);
+    let tiles = TileAssignment::build_with(&projection, camera, backend);
+    let output = render_with(&projection, &tiles, camera, backend);
     ForwardContext {
         projection,
         tiles,

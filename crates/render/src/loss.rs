@@ -102,30 +102,41 @@ pub fn compute_loss(
 
     let mut e_geo = 0.0f64;
     if let Some(depth_gt) = gt_depth {
+        // Residual on the blend side: `r = D - c·D_gt` with `c` the opacity
+        // coverage (1 - T_final). Ground-truth depth is a *surface* depth,
+        // while the rasterizer produces an opacity-weighted blend `D ≈ c·d`;
+        // comparing `D` to `D_gt` directly would leave a nonzero residual
+        // even for a pixel-perfect reconstruction (biasing tracking away
+        // from the true pose wherever coverage < 1). The `c`-dependence
+        // backpropagates through the transmittance channel.
         // Count valid pixels first so the normalization is well-defined.
         let mut valid = Vec::with_capacity(w * h / 4);
         for y in 0..h {
             for x in 0..w {
                 let gt = depth_gt.depth(x, y);
                 if gt > 0.0 && rendered.coverage(x, y) >= config.min_depth_coverage {
-                    valid.push((y * w + x, rendered.depth.depth(x, y) - gt));
+                    let r = rendered.depth.depth(x, y) - rendered.coverage(x, y) * gt;
+                    valid.push((y * w + x, r, gt));
                 }
             }
         }
         if !valid.is_empty() {
             let n_valid = valid.len() as f32;
             let geo_weight = (1.0 - config.lambda_pho) / n_valid;
-            for (i, r) in valid {
-                match config.kind {
+            for (i, r, gt) in valid {
+                // ∂r/∂D = 1 and, via c = 1 - T_final, ∂r/∂T_final = +gt.
+                let dl_dr = match config.kind {
                     LossKind::L1 => {
                         e_geo += (r.abs() / n_valid) as f64;
-                        grads.depth[i] = sign(r) * geo_weight;
+                        sign(r) * geo_weight
                     }
                     LossKind::L2 => {
                         e_geo += ((r * r) / n_valid) as f64;
-                        grads.depth[i] = 2.0 * r * geo_weight;
+                        2.0 * r * geo_weight
                     }
-                }
+                };
+                grads.depth[i] = dl_dr;
+                grads.transmittance[i] = dl_dr * gt;
             }
         }
     }
@@ -161,7 +172,7 @@ mod tests {
         RenderOutput {
             image: Image::from_data(w, h, vec![value; w * h]),
             depth: DepthImage::from_data(w, h, vec![depth; w * h]),
-            final_transmittance: vec![0.05; w * h], // coverage 0.95
+            final_transmittance: vec![0.0; w * h], // coverage 1.0
             pixel_workloads: vec![1; w * h],
             stats: RenderStats::default(),
         }

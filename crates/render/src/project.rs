@@ -2,8 +2,14 @@
 //! (paper Fig. 1, Step ❶-1) via EWA splatting.
 
 use crate::camera::PinholeCamera;
-use crate::gaussian::GaussianScene;
+use crate::gaussian::{Gaussian3d, GaussianScene};
 use rtgs_math::{Mat3, Se3, Sym2, Vec2, Vec3};
+use rtgs_runtime::{Backend, Serial, SharedSlice};
+
+/// Gaussians per chunk in the chunked projection. Fixed by the algorithm —
+/// never derived from the worker count — so per-chunk statistics fold
+/// identically on every backend and pool size.
+pub(crate) const PROJECT_CHUNK: usize = 256;
 
 /// Near-plane cull distance in meters (0.2 in the reference rasterizer).
 pub const NEAR_PLANE: f32 = 0.2;
@@ -78,6 +84,26 @@ pub fn project_scene(
     camera: &PinholeCamera,
     active: Option<&[bool]>,
 ) -> Projection {
+    project_scene_with(scene, w2c, camera, active, &Serial)
+}
+
+/// [`project_scene`] on an explicit execution backend (Step ❶, chunked over
+/// Gaussians).
+///
+/// Every Gaussian's projection is independent and written to its own output
+/// slot, and the cull/mask counters are integer sums over fixed chunks, so
+/// the result is bitwise-identical on every backend and pool size.
+///
+/// # Panics
+///
+/// Panics if `active` is provided with a length different from the scene.
+pub fn project_scene_with(
+    scene: &GaussianScene,
+    w2c: &Se3,
+    camera: &PinholeCamera,
+    active: Option<&[bool]>,
+    backend: &dyn Backend,
+) -> Projection {
     if let Some(mask) = active {
         assert_eq!(
             mask.len(),
@@ -86,69 +112,90 @@ pub fn project_scene(
         );
     }
     let rot = w2c.rotation_matrix();
-    let mut splats = Vec::with_capacity(scene.len());
-    let mut culled = 0usize;
-    let mut masked = 0usize;
+    let n = scene.len();
+    let mut splats: Vec<Option<Projected2d>> = vec![None; n];
+    let chunks = n.div_ceil(PROJECT_CHUNK).max(1);
+    // One (culled, masked) counter pair per chunk, summed afterwards.
+    let mut counts = vec![(0usize, 0usize); chunks];
 
-    for (id, g) in scene.gaussians.iter().enumerate() {
-        if let Some(mask) = active {
-            if !mask[id] {
-                masked += 1;
-                splats.push(None);
-                continue;
+    {
+        let splat_view = SharedSlice::new(&mut splats);
+        let count_view = SharedSlice::new(&mut counts);
+        backend.for_each_chunk(n, PROJECT_CHUNK, &|chunk, range| {
+            let mut culled = 0usize;
+            let mut masked = 0usize;
+            for id in range {
+                if let Some(mask) = active {
+                    if !mask[id] {
+                        masked += 1;
+                        continue;
+                    }
+                }
+                match project_one(&scene.gaussians[id], id as u32, &rot, w2c, camera) {
+                    // SAFETY: each Gaussian id is written by exactly one
+                    // chunk, and each chunk index is written once.
+                    Some(splat) => unsafe { splat_view.write(id, Some(splat)) },
+                    None => culled += 1,
+                }
             }
-        }
-        let t_cam = rot.mul_vec(g.position) + w2c.translation;
-        if t_cam.z < NEAR_PLANE {
-            culled += 1;
-            splats.push(None);
-            continue;
-        }
-        let mean = camera.project(t_cam);
-
-        // EWA: cov2d = J W Σ Wᵀ Jᵀ where J is the projection Jacobian.
-        let j = projection_jacobian(camera, t_cam);
-        let m = j * rot;
-        let cov3d = g.covariance();
-        let full = cov3d.congruence(&m);
-        let cov = Sym2::new(full.xx + COV2D_BLUR, full.xy, full.yy + COV2D_BLUR);
-        let Some(conic) = cov.inverse() else {
-            culled += 1;
-            splats.push(None);
-            continue;
-        };
-        let (l1, _) = cov.eigenvalues();
-        let radius = 3.0 * l1.max(0.0).sqrt();
-
-        // Frustum cull with the splat's own extent.
-        if mean.x + radius < 0.0
-            || mean.y + radius < 0.0
-            || mean.x - radius >= camera.width as f32
-            || mean.y - radius >= camera.height as f32
-        {
-            culled += 1;
-            splats.push(None);
-            continue;
-        }
-
-        splats.push(Some(Projected2d {
-            id: id as u32,
-            mean,
-            cov,
-            conic,
-            color: g.color,
-            opacity: g.opacity_activated(),
-            depth: t_cam.z,
-            radius,
-            t_cam,
-        }));
+            unsafe { count_view.write(chunk, (culled, masked)) };
+        });
     }
 
+    let (culled, masked) = counts
+        .iter()
+        .fold((0, 0), |(c, m), &(dc, dm)| (c + dc, m + dm));
     Projection {
         splats,
         culled,
         masked,
     }
+}
+
+/// Projects a single Gaussian (EWA splatting); `None` when culled.
+fn project_one(
+    g: &Gaussian3d,
+    id: u32,
+    rot: &Mat3,
+    w2c: &Se3,
+    camera: &PinholeCamera,
+) -> Option<Projected2d> {
+    let t_cam = rot.mul_vec(g.position) + w2c.translation;
+    if t_cam.z < NEAR_PLANE {
+        return None;
+    }
+    let mean = camera.project(t_cam);
+
+    // EWA: cov2d = J W Σ Wᵀ Jᵀ where J is the projection Jacobian.
+    let j = projection_jacobian(camera, t_cam);
+    let m = j * *rot;
+    let cov3d = g.covariance();
+    let full = cov3d.congruence(&m);
+    let cov = Sym2::new(full.xx + COV2D_BLUR, full.xy, full.yy + COV2D_BLUR);
+    let conic = cov.inverse()?;
+    let (l1, _) = cov.eigenvalues();
+    let radius = 3.0 * l1.max(0.0).sqrt();
+
+    // Frustum cull with the splat's own extent.
+    if mean.x + radius < 0.0
+        || mean.y + radius < 0.0
+        || mean.x - radius >= camera.width as f32
+        || mean.y - radius >= camera.height as f32
+    {
+        return None;
+    }
+
+    Some(Projected2d {
+        id,
+        mean,
+        cov,
+        conic,
+        color: g.color,
+        opacity: g.opacity_activated(),
+        depth: t_cam.z,
+        radius,
+        t_cam,
+    })
 }
 
 /// Jacobian of the pinhole projection at camera-frame point `t`, embedded in

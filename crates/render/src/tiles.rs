@@ -7,6 +7,11 @@
 
 use crate::camera::PinholeCamera;
 use crate::project::{Projected2d, Projection};
+use rtgs_runtime::{Backend, Serial, SharedSlice};
+
+/// Tiles per chunk in the parallel per-tile sort (fixed by the algorithm,
+/// not the worker count).
+pub(crate) const SORT_CHUNK: usize = 8;
 
 /// Tile edge length in pixels (16×16 tiles, paper convention).
 pub const TILE_SIZE: usize = 16;
@@ -32,6 +37,21 @@ impl TileAssignment {
     /// every tile its 3σ bounding square overlaps, then sorts each tile's
     /// list front-to-back.
     pub fn build(projection: &Projection, camera: &PinholeCamera) -> Self {
+        Self::build_with(projection, camera, &Serial)
+    }
+
+    /// [`TileAssignment::build`] on an explicit execution backend (Step ❷).
+    ///
+    /// Binning walks the splats once on the calling thread (it appends to
+    /// shared per-tile lists in splat order); the per-tile depth sorts are
+    /// independent and run chunked on the backend. `sort_by` is
+    /// deterministic for a given input list, so the result is
+    /// bitwise-identical on every backend and pool size.
+    pub fn build_with(
+        projection: &Projection,
+        camera: &PinholeCamera,
+        backend: &dyn Backend,
+    ) -> Self {
         let tiles_x = camera.width.div_ceil(TILE_SIZE);
         let tiles_y = camera.height.div_ceil(TILE_SIZE);
         let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); tiles_x * tiles_y];
@@ -47,11 +67,18 @@ impl TileAssignment {
 
         // Sort each tile front-to-back by depth. Splat lookup goes through
         // the projection (IDs index `projection.splats`).
-        for list in &mut tile_lists {
-            list.sort_by(|&a, &b| {
-                let da = projection.splats[a as usize].as_ref().map(|s| s.depth);
-                let db = projection.splats[b as usize].as_ref().map(|s| s.depth);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        {
+            let lists = SharedSlice::new(&mut tile_lists);
+            backend.for_each_chunk(lists.len(), SORT_CHUNK, &|_, range| {
+                for tile in range {
+                    // SAFETY: each tile index belongs to exactly one chunk.
+                    let list = unsafe { lists.get_mut(tile) };
+                    list.sort_by(|&a, &b| {
+                        let da = projection.splats[a as usize].as_ref().map(|s| s.depth);
+                        let db = projection.splats[b as usize].as_ref().map(|s| s.depth);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                }
             });
         }
 
@@ -119,13 +146,13 @@ impl TileAssignment {
     }
 }
 
-fn tile_range(
-    splat: &Projected2d,
-    tiles_x: usize,
-    tiles_y: usize,
-) -> (usize, usize, usize, usize) {
-    let x0 = ((splat.mean.x - splat.radius) / TILE_SIZE as f32).floor().max(0.0) as usize;
-    let y0 = ((splat.mean.y - splat.radius) / TILE_SIZE as f32).floor().max(0.0) as usize;
+fn tile_range(splat: &Projected2d, tiles_x: usize, tiles_y: usize) -> (usize, usize, usize, usize) {
+    let x0 = ((splat.mean.x - splat.radius) / TILE_SIZE as f32)
+        .floor()
+        .max(0.0) as usize;
+    let y0 = ((splat.mean.y - splat.radius) / TILE_SIZE as f32)
+        .floor()
+        .max(0.0) as usize;
     let x1 = (((splat.mean.x + splat.radius) / TILE_SIZE as f32).floor() as isize)
         .clamp(0, tiles_x as isize - 1) as usize;
     let y1 = (((splat.mean.y + splat.radius) / TILE_SIZE as f32).floor() as isize)
@@ -171,14 +198,17 @@ mod tests {
     }
 
     #[test]
-    fn small_central_gaussian_lands_in_central_tiles_only(){
+    fn small_central_gaussian_lands_in_central_tiles_only() {
         let cam = camera();
         let scene = scene_with(&[(0.0, 0.0, 4.0)]);
         let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
         let tiles = TileAssignment::build(&proj, &cam);
         let total = tiles.intersection_count();
         assert!(total >= 1, "splat must land somewhere");
-        assert!(total <= 4, "tiny splat should not cover many tiles, got {total}");
+        assert!(
+            total <= 4,
+            "tiny splat should not cover many tiles, got {total}"
+        );
     }
 
     #[test]

@@ -101,7 +101,8 @@ impl WorkloadTrace {
                         let x = sx * SUBTILE_SIZE + dx;
                         let y = sy * SUBTILE_SIZE + dy;
                         if x < self.width && y < self.height {
-                            lanes[dy * SUBTILE_SIZE + dx] = self.pixel_workloads[y * self.width + x];
+                            lanes[dy * SUBTILE_SIZE + dx] =
+                                self.pixel_workloads[y * self.width + x];
                         }
                     }
                 }
@@ -147,7 +148,11 @@ impl WorkloadTrace {
         assert_eq!(self.height, other.height, "traces must share resolution");
         let mut diff = 0.0f64;
         let mut base = 0.0f64;
-        for (&a, &b) in self.pixel_workloads.iter().zip(other.pixel_workloads.iter()) {
+        for (&a, &b) in self
+            .pixel_workloads
+            .iter()
+            .zip(other.pixel_workloads.iter())
+        {
             diff += (a as f64 - b as f64).abs();
             base += a.max(b) as f64;
         }
@@ -194,10 +199,10 @@ impl WorkloadTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::camera::{DepthImage, Image};
     use crate::forward::{render, RenderStats};
     use crate::gaussian::{Gaussian3d, GaussianScene};
     use crate::project::project_scene;
-    use crate::camera::{DepthImage, Image};
     use rtgs_math::{Quat, Se3, Vec3};
 
     fn make_trace() -> WorkloadTrace {

@@ -6,8 +6,8 @@
 
 use rtgs_math::{Quat, Se3, Vec3};
 use rtgs_render::{
-    backward, compute_loss, render_frame, DepthImage, Gaussian3d, GaussianScene, Image,
-    LossConfig, LossKind, PinholeCamera,
+    backward, compute_loss, render_frame, DepthImage, Gaussian3d, GaussianScene, Image, LossConfig,
+    LossKind, PinholeCamera,
 };
 
 fn camera() -> PinholeCamera {
@@ -80,7 +80,14 @@ fn analytic_grads(scene: &GaussianScene, pose: &Se3) -> rtgs_render::BackwardOut
     let (gt_img, gt_depth) = targets(&cam);
     let ctx = render_frame(scene, pose, &cam, None);
     let loss = compute_loss(&ctx.output, &gt_img, Some(&gt_depth), &loss_config());
-    backward(scene, &ctx.projection, &ctx.tiles, &cam, pose, &loss.pixel_grads)
+    backward(
+        scene,
+        &ctx.projection,
+        &ctx.tiles,
+        &cam,
+        pose,
+        &loss.pixel_grads,
+    )
 }
 
 /// Relative-error comparison with an absolute floor for near-zero gradients.
@@ -156,7 +163,11 @@ fn opacity_gradients_match_finite_differences() {
         plus.gaussians[gi].opacity += EPS;
         minus.gaussians[gi].opacity -= EPS;
         let numeric = (eval_loss(&plus, &pose) - eval_loss(&minus, &pose)) / (2.0 * EPS);
-        check(grads.gaussians[gi].opacity, numeric, &format!("gaussian {gi} opacity"));
+        check(
+            grads.gaussians[gi].opacity,
+            numeric,
+            &format!("gaussian {gi} opacity"),
+        );
     }
 }
 
@@ -199,8 +210,8 @@ fn rotation_gradients_match_finite_differences() {
                 }
                 s
             };
-            let numeric = (eval_loss(&perturb(EPS), &pose) - eval_loss(&perturb(-EPS), &pose))
-                / (2.0 * EPS);
+            let numeric =
+                (eval_loss(&perturb(EPS), &pose) - eval_loss(&perturb(-EPS), &pose)) / (2.0 * EPS);
             check(
                 grads.gaussians[gi].rotation[comp],
                 numeric,
@@ -224,9 +235,8 @@ fn pose_gradients_match_finite_differences() {
         dp[axis] = EPS;
         let mut dm = [0.0f32; 6];
         dm[axis] = -EPS;
-        let numeric =
-            (eval_loss(&scene, &pose.retract(dp)) - eval_loss(&scene, &pose.retract(dm)))
-                / (2.0 * EPS);
+        let numeric = (eval_loss(&scene, &pose.retract(dp)) - eval_loss(&scene, &pose.retract(dm)))
+            / (2.0 * EPS);
         check(grads.pose[axis], numeric, &format!("pose twist[{axis}]"));
     }
 }
@@ -239,10 +249,33 @@ fn gradients_vanish_at_perfect_reconstruction() {
     let cam = camera();
     let pose = Se3::IDENTITY;
     let ctx = render_frame(&scene, &pose, &cam, None);
-    let gt_depth = ctx.output.depth.clone();
-    let loss = compute_loss(&ctx.output, &ctx.output.image, Some(&gt_depth), &loss_config());
+    // Ground-truth depth is a *surface* depth: the rendered blend divided
+    // by opacity coverage (matching the dataset generator's convention).
+    let mut gt_depth = ctx.output.depth.clone();
+    for y in 0..cam.height {
+        for x in 0..cam.width {
+            let c = ctx.output.coverage(x, y);
+            if c > 0.0 {
+                let v = gt_depth.depth(x, y) / c;
+                gt_depth.set_depth(x, y, v);
+            }
+        }
+    }
+    let loss = compute_loss(
+        &ctx.output,
+        &ctx.output.image,
+        Some(&gt_depth),
+        &loss_config(),
+    );
     assert!(loss.loss < 1e-10);
-    let grads = backward(&scene, &ctx.projection, &ctx.tiles, &cam, &pose, &loss.pixel_grads);
+    let grads = backward(
+        &scene,
+        &ctx.projection,
+        &ctx.tiles,
+        &cam,
+        &pose,
+        &loss.pixel_grads,
+    );
     for g in &grads.gaussians {
         assert!(g.position.max_abs() < 1e-6);
         assert!(g.opacity.abs() < 1e-6);
@@ -263,8 +296,8 @@ fn pose_gradient_descends_loss() {
     assert!(norm > 0.0, "pose gradient should be non-zero");
     let step = 1e-4 / norm;
     let mut delta = [0.0f32; 6];
-    for i in 0..6 {
-        delta[i] = -grads.pose[i] * step;
+    for (d, g) in delta.iter_mut().zip(grads.pose.iter()) {
+        *d = -g * step;
     }
     let l1 = eval_loss(&scene, &pose.retract(delta));
     assert!(l1 <= l0 + 1e-9, "descent step increased loss: {l0} -> {l1}");

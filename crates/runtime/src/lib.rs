@@ -1,0 +1,54 @@
+//! Parallel execution & multi-session serving runtime for the RTGS stack.
+//!
+//! Three layers, bottom to top:
+//!
+//! 1. **[`ThreadPool`]** — a std-only work-stealing thread pool with scoped
+//!    (borrow-friendly) tasks. Waiting threads help execute queued work, so
+//!    scopes nest without deadlock.
+//! 2. **[`Backend`]** — the execution seam algorithm code programs against:
+//!    chunked index-range loops that run on [`Serial`] (reference) or
+//!    [`Parallel`] (pool) backends. Chunk geometry is fixed by the caller,
+//!    never by the worker count, so deterministic reductions over chunk
+//!    results are bitwise-identical across backends and pool sizes.
+//!    [`BackendChoice`] is the `Copy` selector configuration structs embed.
+//! 3. **[`SessionScheduler`]** — multi-tenant serving: N concurrent
+//!    [`Session`]s advance in round-robin rounds over one pool, with
+//!    per-session stats and graceful shutdown.
+//!
+//! The hot paths of the differentiable rasterizer (`rtgs-render`) and the
+//! SLAM pipeline (`rtgs-slam`) are expressed against layer 2; whole
+//! pipelines are served through layer 3.
+//!
+//! # Example
+//!
+//! ```
+//! use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
+//!
+//! // A chunked map with disjoint writes, identical on any backend.
+//! fn squares(backend: &dyn Backend, n: usize) -> Vec<u64> {
+//!     let mut out = vec![0u64; n];
+//!     let view = rtgs_runtime::SharedSlice::new(&mut out);
+//!     backend.for_each_chunk(n, 32, &|_, range| {
+//!         for i in range {
+//!             // SAFETY: chunks cover disjoint index ranges.
+//!             unsafe { view.write(i, (i as u64) * (i as u64)) };
+//!         }
+//!     });
+//!     out
+//! }
+//!
+//! let serial = squares(&Serial, 100);
+//! let parallel = squares(&Parallel::new(4), 100);
+//! assert_eq!(serial, parallel);
+//! assert_eq!(BackendChoice::default(), BackendChoice::Serial);
+//! ```
+
+mod backend;
+mod pool;
+mod scheduler;
+
+pub use backend::{shared_pool, Backend, BackendChoice, Parallel, Serial, SharedSlice};
+pub use pool::{Scope, ThreadPool};
+pub use scheduler::{
+    Session, SessionOutcome, SessionScheduler, SessionStats, SessionStatus, ShutdownHandle,
+};

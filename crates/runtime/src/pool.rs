@@ -1,0 +1,465 @@
+//! A std-only work-stealing thread pool with scoped (borrow-friendly)
+//! task execution.
+//!
+//! Design: each worker owns a local deque; `spawn` from a worker pushes to
+//! that worker's deque (LIFO pop for cache locality), `spawn` from any other
+//! thread pushes to a shared injector queue (FIFO). Idle workers drain their
+//! own deque, then the injector, then steal from siblings (FIFO end, the
+//! classic Chase–Lev discipline approximated with mutexed deques — the
+//! workloads this pool serves are coarse chunks, so queue contention is not
+//! the bottleneck).
+//!
+//! Threads waiting for a scope to drain *help* execute queued work instead
+//! of blocking. This makes nested use safe: a session step running on a
+//! worker may itself fan out render chunks on the same pool without
+//! deadlocking, even on a single-worker pool.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+type JobFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// A queued task, tagged with the identity of the scope that spawned it so
+/// scope waiters can help with their *own* work without executing
+/// unrelated tasks (which would distort callers' timing and nest foreign
+/// work inside their stack frames).
+struct Job {
+    scope: usize,
+    run: JobFn,
+}
+
+struct Shared {
+    /// FIFO queue for jobs submitted from outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker deques (own end: back; steal end: front).
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Signalled whenever a job is pushed.
+    jobs_available: Condvar,
+    /// Guards the sleep/wake handshake.
+    sleep_lock: Mutex<()>,
+    /// Jobs pushed but not yet popped.
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// Removes the most appropriate job from one deque: the back (LIFO) for an
+/// owner, the front (FIFO) for the injector/steals — optionally restricted
+/// to jobs of one scope.
+fn take_from(deque: &mut VecDeque<Job>, from_back: bool, only_scope: Option<usize>) -> Option<Job> {
+    match only_scope {
+        None => {
+            if from_back {
+                deque.pop_back()
+            } else {
+                deque.pop_front()
+            }
+        }
+        Some(tag) => {
+            let position = if from_back {
+                deque.iter().rposition(|job| job.scope == tag)
+            } else {
+                deque.iter().position(|job| job.scope == tag)
+            };
+            position.and_then(|i| deque.remove(i))
+        }
+    }
+}
+
+impl Shared {
+    /// Pops one job: own deque first (LIFO), then the injector, then steals
+    /// round-robin from siblings (FIFO). With `only_scope`, jobs of other
+    /// scopes are left in place (used by helping scope waiters).
+    fn pop_job(&self, own: Option<usize>, only_scope: Option<usize>) -> Option<Job> {
+        if let Some(i) = own {
+            if let Some(job) = take_from(&mut self.locals[i].lock().unwrap(), true, only_scope) {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        if let Some(job) = take_from(&mut self.injector.lock().unwrap(), false, only_scope) {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        let n = self.locals.len();
+        let start = own.unwrap_or(0);
+        for k in 1..=n {
+            let victim = (start + k) % n;
+            if Some(victim) == own {
+                continue;
+            }
+            if let Some(job) =
+                take_from(&mut self.locals[victim].lock().unwrap(), false, only_scope)
+            {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn push_job(&self, job: Job, own: Option<usize>) {
+        match own {
+            Some(i) => self.locals[i].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        // Take the sleep lock so a worker between its queue check and its
+        // condvar wait cannot miss this notification.
+        let _guard = self.sleep_lock.lock().unwrap();
+        self.jobs_available.notify_all();
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` of the current thread, if it is a
+    /// pool worker.
+    static CURRENT_WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            jobs_available: Condvar::new(),
+            sleep_lock: Mutex::new(()),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let pool_id = Arc::as_ptr(&shared) as usize;
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rtgs-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, pool_id, index))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`, at least 1).
+    pub fn with_default_size() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn identity(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
+    /// Worker index of the calling thread *within this pool*, if any.
+    fn current_worker(&self) -> Option<usize> {
+        CURRENT_WORKER.with(|w| match w.get() {
+            Some((id, index)) if id == self.identity() => Some(index),
+            _ => None,
+        })
+    }
+
+    fn push(&self, job: Job) {
+        self.shared.push_job(job, self.current_worker());
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing tasks can be spawned;
+    /// returns once every spawned task has completed.
+    ///
+    /// The calling thread helps execute queued work while it waits, so
+    /// scopes may be nested (tasks may themselves open scopes on the same
+    /// pool) without deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic of any spawned task (after all tasks have
+    /// settled), or the closure's own panic.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            remaining: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        });
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+        // Drain: help run queued jobs of THIS scope until every spawned
+        // task finished. Restricting helping to the scope's own jobs keeps
+        // unrelated work (e.g. another session's step) out of this thread's
+        // stack frame and timing window.
+        let own = self.current_worker();
+        let tag = Arc::as_ptr(&state) as usize;
+        while state.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = self.shared.pop_job(own, Some(tag)) {
+                (job.run)();
+            } else {
+                let guard = state.done_lock.lock().unwrap();
+                if state.remaining.load(Ordering::Acquire) > 0 {
+                    // Bounded wait: completions notify `done` under this
+                    // lock, but a job of this scope may also *spawn* new
+                    // scope jobs (signalled on the pool's other condvar),
+                    // so poll briefly instead of waiting forever.
+                    let _ = state
+                        .done
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .unwrap();
+                }
+            }
+        }
+
+        if let Some(payload) = state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Splits `0..len` into `chunk_size`-sized chunks and runs `body`
+    /// concurrently as `body(chunk_index, range)`.
+    ///
+    /// The chunk geometry depends only on `len` and `chunk_size` — never on
+    /// the worker count — which is what lets callers build bitwise-
+    /// deterministic reductions on top (fold chunk results in index order).
+    pub fn for_each_chunk(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        body: &(dyn Fn(usize, std::ops::Range<usize>) + Sync),
+    ) {
+        let chunk_size = chunk_size.max(1);
+        if len == 0 {
+            return;
+        }
+        let chunks = len.div_ceil(chunk_size);
+        if chunks == 1 {
+            body(0, 0..len);
+            return;
+        }
+        self.scope(|scope| {
+            for index in 0..chunks {
+                let start = index * chunk_size;
+                let end = (start + chunk_size).min(len);
+                scope.spawn(move || body(index, start..end));
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleep_lock.lock().unwrap();
+            self.shared.jobs_available.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, pool_id: usize, index: usize) {
+    CURRENT_WORKER.with(|w| w.set(Some((pool_id, index))));
+    loop {
+        if let Some(job) = shared.pop_job(Some(index), None) {
+            (job.run)();
+            continue;
+        }
+        let guard = shared.sleep_lock.lock().unwrap();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.queued.load(Ordering::Relaxed) > 0 {
+            continue;
+        }
+        // Untimed park is safe: every push takes `sleep_lock` after
+        // incrementing `queued` and before `notify_all`, and this thread
+        // re-checked `queued`/`shutdown` while holding the lock — no
+        // wake-up can be lost, and idle workers burn no cycles.
+        let _unused = shared.jobs_available.wait(guard).unwrap();
+    }
+}
+
+struct ScopeState {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+/// Spawn handle passed to [`ThreadPool::scope`] closures. Tasks may borrow
+/// from the environment (`'env`).
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Spawns a task; the scope will not exit until it completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.remaining.fetch_add(1, Ordering::AcqRel);
+        let tag = Arc::as_ptr(&self.state) as usize;
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = state.done_lock.lock().unwrap();
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: `scope` does not return (normally or by unwinding) until
+        // `remaining` reaches zero, i.e. until this job has run to
+        // completion, so every `'env` borrow the job captures outlives the
+        // job. This is the same lifetime-erasure argument scoped-thread
+        // libraries rely on.
+        let run: JobFn =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, JobFn>(job) };
+        self.pool.push(Job { scope: tag, run });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn tasks_can_borrow_stack_data() {
+        let pool = ThreadPool::new(2);
+        let mut results = vec![0u64; 64];
+        pool.scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move || *slot = (i as u64) * 2);
+            }
+        });
+        assert!(results.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    }
+
+    #[test]
+    fn for_each_chunk_covers_range_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let len = 1001;
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_chunk(len, 64, &|_, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // A single worker forces the outer task's inner scope to be drained
+        // by helping — the deadlock case if waiting were blocking.
+        let pool = ThreadPool::new(1);
+        let total = AtomicU64::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panics_propagate_after_settling() {
+        let pool = ThreadPool::new(2);
+        let completed = Arc::new(AtomicU64::new(0));
+        let completed2 = Arc::clone(&completed);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task failure"));
+                s.spawn(move || {
+                    completed2.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_survives_many_scopes() {
+        let pool = ThreadPool::new(2);
+        for round in 0..50 {
+            let sum = AtomicU64::new(0);
+            pool.scope(|s| {
+                for i in 0..8 {
+                    let sum = &sum;
+                    s.spawn(move || {
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 28, "round {round}");
+        }
+    }
+}

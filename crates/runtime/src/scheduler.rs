@@ -1,0 +1,285 @@
+//! Multi-session serving: round-robin scheduling of N concurrent stepwise
+//! workloads over one thread pool.
+//!
+//! A [`Session`] is any incrementally-steppable workload (one SLAM frame per
+//! step, in the `rtgs-slam` adapter). The [`SessionScheduler`] advances all
+//! live sessions one step per *round*, running the steps of a round
+//! concurrently on the pool. The per-round barrier is the fairness
+//! guarantee: no tenant ever runs more than one step ahead of another, which
+//! is the round-robin frame scheduling a multi-tenant serving substrate
+//! needs. Steps may internally fan out onto the same pool (nested scopes are
+//! deadlock-free), so per-session parallel backends compose with cross-
+//! session parallelism.
+
+use crate::pool::ThreadPool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Progress state returned by [`Session::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The session has more work; it will be stepped again next round.
+    Running,
+    /// The session is complete; it will not be stepped again.
+    Finished,
+}
+
+/// An incrementally-steppable workload that yields a report when done.
+pub trait Session: Send {
+    /// The result produced once the session ends (naturally or by
+    /// shutdown).
+    type Report: Send;
+
+    /// Advances the session by one unit of work (e.g. one frame).
+    fn step(&mut self) -> SessionStatus;
+
+    /// Consumes the session into its report. Called after the session
+    /// finished, or early on graceful shutdown (reports then cover the work
+    /// done so far).
+    fn finish(self) -> Self::Report;
+}
+
+/// Per-session scheduling statistics.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Index of the session in scheduler insertion order.
+    pub session: usize,
+    /// Caller-provided label.
+    pub label: String,
+    /// Steps executed.
+    pub steps: usize,
+    /// Wall-clock summed over this session's steps (steps of different
+    /// sessions overlap, so these sum to more than the scheduler's
+    /// wall-clock when serving in parallel).
+    pub wall: Duration,
+    /// Whether the session ran to natural completion (`false` when a
+    /// shutdown stopped it early).
+    pub completed: bool,
+}
+
+/// A finished session: its stats plus the report it produced.
+#[derive(Debug)]
+pub struct SessionOutcome<R> {
+    /// Scheduling statistics.
+    pub stats: SessionStats,
+    /// The session's report.
+    pub report: R,
+}
+
+/// Cloneable handle requesting a graceful stop: in-flight steps complete,
+/// no new rounds start, and every session still yields a report.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests the stop.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+struct Entry<S> {
+    session: S,
+    label: String,
+    steps: usize,
+    wall: Duration,
+    done: bool,
+}
+
+/// Serves N sessions concurrently over one pool with round-robin fairness.
+pub struct SessionScheduler<S: Session> {
+    pool: Arc<ThreadPool>,
+    sessions: Vec<Entry<S>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl<S: Session> SessionScheduler<S> {
+    /// Scheduler over the shared pool with `threads` workers (`0` = machine
+    /// size).
+    pub fn new(threads: usize) -> Self {
+        Self::with_pool(crate::backend::shared_pool(threads))
+    }
+
+    /// Scheduler over an explicit pool.
+    pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        Self {
+            pool,
+            sessions: Vec::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Registers a session; returns its index (stable in the output).
+    pub fn add_session(&mut self, label: impl Into<String>, session: S) -> usize {
+        self.sessions.push(Entry {
+            session,
+            label: label.into(),
+            steps: 0,
+            wall: Duration::ZERO,
+            done: false,
+        });
+        self.sessions.len() - 1
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Handle for requesting a graceful stop from another thread (or from
+    /// within a session step).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.stop))
+    }
+
+    /// Runs all sessions to completion (or until shutdown), returning one
+    /// outcome per session in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic of any session step.
+    pub fn run(mut self) -> Vec<SessionOutcome<S::Report>> {
+        while !self.stop.load(Ordering::SeqCst) && self.sessions.iter().any(|entry| !entry.done) {
+            // One round: each live session advances exactly one step; steps
+            // within the round run concurrently on the pool.
+            self.pool.scope(|scope| {
+                for entry in self.sessions.iter_mut().filter(|entry| !entry.done) {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let status = entry.session.step();
+                        entry.wall += t0.elapsed();
+                        entry.steps += 1;
+                        if status == SessionStatus::Finished {
+                            entry.done = true;
+                        }
+                    });
+                }
+            });
+        }
+
+        self.sessions
+            .into_iter()
+            .enumerate()
+            .map(|(session, entry)| SessionOutcome {
+                stats: SessionStats {
+                    session,
+                    label: entry.label,
+                    steps: entry.steps,
+                    wall: entry.wall,
+                    completed: entry.done,
+                },
+                report: entry.session.finish(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        target: usize,
+        count: usize,
+        log: Arc<std::sync::Mutex<Vec<usize>>>,
+        id: usize,
+        on_step: Option<ShutdownHandle>,
+    }
+
+    impl Session for Counter {
+        type Report = usize;
+
+        fn step(&mut self) -> SessionStatus {
+            self.count += 1;
+            self.log.lock().unwrap().push(self.id);
+            if let Some(handle) = &self.on_step {
+                handle.shutdown();
+            }
+            if self.count >= self.target {
+                SessionStatus::Finished
+            } else {
+                SessionStatus::Running
+            }
+        }
+
+        fn finish(self) -> usize {
+            self.count
+        }
+    }
+
+    fn counter(id: usize, target: usize, log: &Arc<std::sync::Mutex<Vec<usize>>>) -> Counter {
+        Counter {
+            target,
+            count: 0,
+            log: Arc::clone(log),
+            id,
+            on_step: None,
+        }
+    }
+
+    #[test]
+    fn all_sessions_complete_with_uneven_lengths() {
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut scheduler = SessionScheduler::new(2);
+        for (id, target) in [(0, 3), (1, 7), (2, 1), (3, 5)] {
+            scheduler.add_session(format!("s{id}"), counter(id, target, &log));
+        }
+        let outcomes = scheduler.run();
+        assert_eq!(outcomes.len(), 4);
+        for (outcome, target) in outcomes.iter().zip([3, 7, 1, 5]) {
+            assert!(outcome.stats.completed);
+            assert_eq!(outcome.stats.steps, target);
+            assert_eq!(outcome.report, target);
+        }
+    }
+
+    #[test]
+    fn rounds_are_fair() {
+        // With round-robin, after the log's first 2N entries every live
+        // session has stepped exactly twice.
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut scheduler = SessionScheduler::new(3);
+        for id in 0..4 {
+            scheduler.add_session(format!("s{id}"), counter(id, 6, &log));
+        }
+        scheduler.run();
+        let log = log.lock().unwrap();
+        for round in 0..6 {
+            let mut ids: Vec<usize> = log[round * 4..(round + 1) * 4].to_vec();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3], "round {round} not fair: {log:?}");
+        }
+    }
+
+    #[test]
+    fn graceful_shutdown_yields_partial_reports() {
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut scheduler = SessionScheduler::new(2);
+        let handle = scheduler.shutdown_handle();
+        let mut first = counter(0, 1000, &log);
+        // The first session requests shutdown on its first step.
+        first.on_step = Some(handle);
+        scheduler.add_session("canceller", first);
+        scheduler.add_session("long", counter(1, 1000, &log));
+        let outcomes = scheduler.run();
+        assert_eq!(outcomes.len(), 2);
+        for outcome in &outcomes {
+            assert!(!outcome.stats.completed);
+            assert!(outcome.stats.steps >= 1);
+            assert!(outcome.stats.steps < 1000, "shutdown was not graceful");
+            assert_eq!(outcome.report, outcome.stats.steps);
+        }
+    }
+
+    #[test]
+    fn empty_scheduler_returns_no_outcomes() {
+        let scheduler: SessionScheduler<Counter> = SessionScheduler::new(1);
+        assert!(scheduler.run().is_empty());
+    }
+}

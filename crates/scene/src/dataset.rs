@@ -300,7 +300,10 @@ mod tests {
         let all = DatasetProfile::all_analogs();
         let pixels: Vec<usize> = all.iter().map(|p| p.width * p.height).collect();
         for w in pixels.windows(2) {
-            assert!(w[0] < w[1], "dataset resolutions should increase: {pixels:?}");
+            assert!(
+                w[0] < w[1],
+                "dataset resolutions should increase: {pixels:?}"
+            );
         }
     }
 
@@ -334,7 +337,10 @@ mod tests {
         let ds = SyntheticDataset::generate(DatasetProfile::replica_analog().tiny(), 3);
         let d01 = ds.frames[0].color.mean_abs_diff(&ds.frames[1].color);
         assert!(d01 > 0.0, "frames should differ");
-        assert!(d01 < 0.2, "consecutive frames should be similar, diff {d01}");
+        assert!(
+            d01 < 0.2,
+            "consecutive frames should be similar, diff {d01}"
+        );
     }
 
     #[test]

@@ -52,9 +52,12 @@ impl SceneConfig {
     /// Returns a scaled copy with roughly `factor` times the Gaussians.
     pub fn scaled(&self, factor: f32) -> Self {
         Self {
-            wall_gaussians_per_surface: ((self.wall_gaussians_per_surface as f32 * factor) as usize).max(8),
+            wall_gaussians_per_surface: ((self.wall_gaussians_per_surface as f32 * factor)
+                as usize)
+                .max(8),
             object_clusters: ((self.object_clusters as f32 * factor.sqrt()) as usize).max(2),
-            gaussians_per_cluster: ((self.gaussians_per_cluster as f32 * factor.sqrt()) as usize).max(8),
+            gaussians_per_cluster: ((self.gaussians_per_cluster as f32 * factor.sqrt()) as usize)
+                .max(8),
             ..*self
         }
     }
@@ -67,8 +70,7 @@ impl SceneConfig {
 pub fn generate_indoor_scene(config: &SceneConfig) -> GaussianScene {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let h = config.room_half_extent;
-    let mut gaussians =
-        Vec::with_capacity(config.total_gaussians());
+    let mut gaussians = Vec::with_capacity(config.total_gaussians());
 
     // Six wall surfaces: normal axis, fixed coordinate, base color.
     let surfaces: [(usize, f32, Vec3); 6] = [
@@ -81,29 +83,49 @@ pub fn generate_indoor_scene(config: &SceneConfig) -> GaussianScene {
     ];
 
     for &(axis, coord, base_color) in &surfaces {
-        for _ in 0..config.wall_gaussians_per_surface {
-            let mut pos = Vec3::new(
-                rng.gen_range(-h.x..h.x),
-                rng.gen_range(-h.y..h.y),
-                rng.gen_range(-h.z..h.z),
-            );
-            pos[axis] = coord;
-            // Flattened along the wall normal.
-            let mut scale = Vec3::splat(rng.gen_range(0.15..0.35));
-            scale[axis] = rng.gen_range(0.01..0.03);
-            let jitter = 0.04;
-            let color = Vec3::new(
-                (base_color.x + rng.gen_range(-jitter..jitter)).clamp(0.0, 1.0),
-                (base_color.y + rng.gen_range(-jitter..jitter)).clamp(0.0, 1.0),
-                (base_color.z + rng.gen_range(-jitter..jitter)).clamp(0.0, 1.0),
-            );
-            gaussians.push(Gaussian3d::from_activated(
-                pos,
-                scale,
-                random_rotation(&mut rng, 0.2),
-                rng.gen_range(0.55..0.85),
-                color,
-            ));
+        // Stratified placement: a jittered grid over the surface's two
+        // in-plane axes. Pure uniform sampling leaves view-sized holes at
+        // low densities (tiny/small profiles), making observations — and
+        // therefore tracking — hostage to RNG luck; a jittered grid
+        // guarantees enclosure at any density while staying irregular.
+        let u_axis = (axis + 1) % 3;
+        let v_axis = (axis + 2) % 3;
+        let n = config.wall_gaussians_per_surface;
+        let cols = (n as f32).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let cell_v = 2.0 * h[v_axis] / rows as f32;
+        for row in 0..rows {
+            // A short final row stretches its cells across the full wall
+            // width so no part of any surface is left uncovered.
+            let in_row = cols.min(n - row * cols);
+            let cell_u = 2.0 * h[u_axis] / in_row as f32;
+            // In-plane footprint tied to the cell size so neighbors
+            // overlap.
+            let base_scale = 0.45 * cell_u.max(cell_v);
+            for col in 0..in_row {
+                let u = -h[u_axis] + (col as f32 + rng.gen_range(0.2..0.8)) * cell_u;
+                let v = -h[v_axis] + (row as f32 + rng.gen_range(0.2..0.8)) * cell_v;
+                let mut pos = Vec3::ZERO;
+                pos[axis] = coord;
+                pos[u_axis] = u;
+                pos[v_axis] = v;
+                // Flattened along the wall normal.
+                let mut scale = Vec3::splat(base_scale * rng.gen_range(0.8..1.2));
+                scale[axis] = rng.gen_range(0.01..0.03);
+                let jitter = 0.04;
+                let color = Vec3::new(
+                    (base_color.x + rng.gen_range(-jitter..jitter)).clamp(0.0, 1.0),
+                    (base_color.y + rng.gen_range(-jitter..jitter)).clamp(0.0, 1.0),
+                    (base_color.z + rng.gen_range(-jitter..jitter)).clamp(0.0, 1.0),
+                );
+                gaussians.push(Gaussian3d::from_activated(
+                    pos,
+                    scale,
+                    random_rotation(&mut rng, 0.2),
+                    rng.gen_range(0.55..0.85),
+                    color,
+                ));
+            }
         }
     }
 

@@ -1,0 +1,327 @@
+//! Std-only stand-in for the subset of the `criterion` API used by this
+//! workspace's benchmarks.
+//!
+//! The build environment is offline, so the workspace vendors a minimal
+//! harness: it supports `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `measurement_time`, `BenchmarkId` and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up, sampled, and summarized (min / median / mean); all results are
+//! additionally appended to `BENCH_RESULTS.json` at the workspace root so
+//! the performance trajectory is machine-readable across PRs.
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Per-iteration nanoseconds, one entry per sample.
+    pub samples_ns: Vec<u128>,
+}
+
+impl Record {
+    fn min_ns(&self) -> u128 {
+        self.samples_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    fn median_ns(&self) -> u128 {
+        let mut s = self.samples_ns.clone();
+        s.sort_unstable();
+        if s.is_empty() {
+            0
+        } else {
+            s[s.len() / 2]
+        }
+    }
+
+    fn mean_ns(&self) -> u128 {
+        if self.samples_ns.is_empty() {
+            0
+        } else {
+            self.samples_ns.iter().sum::<u128>() / self.samples_ns.len() as u128
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new<S: Display, P: Display>(name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// Passed to the closure given to `iter`; times the closure body.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one timing sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        let _ = f();
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            let out = f();
+            self.samples_ns.push(t0.elapsed().as_nanos());
+            drop(out);
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the measurement wall-clock per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        self.record(id, bencher.samples_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher, input);
+        self.record(id, bencher.samples_ns);
+        self
+    }
+
+    /// Finishes the group (results are flushed when the harness exits).
+    pub fn finish(&mut self) {}
+
+    fn record(&mut self, id: BenchmarkId, samples_ns: Vec<u128>) {
+        let record = Record {
+            group: self.name.clone(),
+            bench: id.id,
+            samples_ns,
+        };
+        println!(
+            "{:<28} {:<36} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            record.group,
+            record.bench,
+            format_ns(record.min_ns()),
+            format_ns(record.median_ns()),
+            format_ns(record.mean_ns()),
+            record.samples_ns.len(),
+        );
+        self.criterion.records.push(record);
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The harness entry object.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Writes all recorded results as JSON to `BENCH_RESULTS.json` at the
+    /// workspace root (falls back to the current directory).
+    pub fn flush_json(&self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let mut json = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            json.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
+                escape(&r.group),
+                escape(&r.bench),
+                r.min_ns(),
+                r.median_ns(),
+                r.mean_ns(),
+                r.samples_ns.len(),
+            ));
+        }
+        json.push_str("\n]\n");
+        let path = workspace_root().join("BENCH_RESULTS.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("\nwrote {}", path.display());
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Locates the workspace root by walking up from the manifest directory
+/// looking for a `Cargo.toml` declaring `[workspace]`.
+fn workspace_root() -> PathBuf {
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(content) = std::fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return start,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the harness `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` appends `--bench`; any other flag (e.g. a
+            // filter) is accepted and ignored by this minimal harness.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.flush_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_records_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(100));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 2);
+        assert!(!c.records[0].samples_ns.is_empty());
+        assert_eq!(c.records[1].bench, "param/4");
+    }
+
+    #[test]
+    fn record_stats_are_ordered() {
+        let r = Record {
+            group: "g".into(),
+            bench: "b".into(),
+            samples_ns: vec![30, 10, 20],
+        };
+        assert_eq!(r.min_ns(), 10);
+        assert_eq!(r.median_ns(), 20);
+        assert_eq!(r.mean_ns(), 20);
+    }
+}

@@ -1,0 +1,424 @@
+//! Std-only stand-in for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build environment is offline, so the workspace vendors what it needs:
+//! range / tuple strategies, `prop_map` / `prop_filter`, `collection::vec`,
+//! `array::uniform3`, and the `proptest!` / `prop_assert*` / `prop_assume!`
+//! macros. Differences from real proptest: no shrinking (a failing case
+//! reports the panic message of the assertion, not a minimized input), and
+//! rejection budgets are per-strategy rather than global. Case generation is
+//! deterministic per test (seeded from the test's module path and name).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration. Only the case count is modeled.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values of one type.
+///
+/// Unlike real proptest there is no shrinking; `generate` returning `None`
+/// signals a rejected case (filter failure) and the runner redraws.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value, or `None` when a filter rejected the draw.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`. `reason` is reported if the
+    /// rejection budget is exhausted.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    /// Kept for parity with real proptest's diagnostics.
+    #[allow(dead_code)]
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        let v = self.inner.generate(rng)?;
+        if (self.pred)(&v) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// The rejection budget per drawn value before the runner gives up.
+const MAX_REJECTS: u32 = 4096;
+
+/// Draws one accepted value from a strategy, retrying rejected draws.
+///
+/// # Panics
+///
+/// Panics when the strategy rejects [`MAX_REJECTS`] draws in a row.
+pub fn sample<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    for _ in 0..MAX_REJECTS {
+        if let Some(v) = strategy.generate(rng) {
+            return v;
+        }
+    }
+    panic!("strategy rejected {MAX_REJECTS} consecutive draws (filter too strict)");
+}
+
+/// Deterministic per-test seed from the test's full name.
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+macro_rules! range_strategy {
+    ($t:ty) => {
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    };
+}
+range_strategy!(f32);
+range_strategy!(f64);
+range_strategy!(usize);
+range_strategy!(u8);
+range_strategy!(u16);
+range_strategy!(u32);
+range_strategy!(u64);
+range_strategy!(i8);
+range_strategy!(i16);
+range_strategy!(i32);
+range_strategy!(i64);
+
+/// A strategy always producing the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident.$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// `prop::collection` and `prop::array` equivalents.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        /// Length specifications accepted by [`vec`]: a `usize` (exact
+        /// length) or a `Range<usize>`.
+        pub trait IntoSizeRange {
+            /// The half-open length range.
+            fn into_size_range(self) -> core::ops::Range<usize>;
+        }
+
+        impl IntoSizeRange for usize {
+            fn into_size_range(self) -> core::ops::Range<usize> {
+                self..self + 1
+            }
+        }
+
+        impl IntoSizeRange for core::ops::Range<usize> {
+            fn into_size_range(self) -> core::ops::Range<usize> {
+                self
+            }
+        }
+
+        /// Generates vectors whose length is drawn uniformly from `len`.
+        pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into_size_range(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let n = rng.gen_range(self.len.clone());
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(self.element.generate(rng)?);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+
+        /// Strategy for `[S::Value; 3]` from one element strategy.
+        pub struct Uniform3<S>(S);
+
+        /// Generates `[T; 3]` with each element drawn from `element`.
+        pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+            Uniform3(element)
+        }
+
+        impl<S: Strategy> Strategy for Uniform3<S> {
+            type Value = [S::Value; 3];
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                Some([
+                    self.0.generate(rng)?,
+                    self.0.generate(rng)?,
+                    self.0.generate(rng)?,
+                ])
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::{sample, seed_from_name, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Asserts a condition inside a property; failure fails the whole test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Rejects the current case; the runner redraws without counting it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        // Bound to a plain bool first so negating it cannot trip the
+        // partial-ord comparison lints at the call site.
+        let __prop_assume_holds: bool = $cond;
+        if !__prop_assume_holds {
+            return false;
+        }
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(pattern in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::prelude::StdRng as $crate::prelude::SeedableRng>::seed_from_u64(
+                $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $pat = $crate::sample(&($strat), &mut rng);)+
+                // The case body runs in a closure so `prop_assume!` can
+                // reject the case by returning `false`.
+                let case_accepted = (|| -> bool {
+                    $body
+                    true
+                })();
+                if case_accepted {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                    assert!(
+                        rejected < 4096,
+                        "{}: too many rejected cases ({} accepted)",
+                        stringify!($name),
+                        accepted,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn positive() -> impl Strategy<Value = f32> {
+        (-1.0f32..1.0).prop_filter("positive", |v| *v > 0.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(x in -3.0f32..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(v in (0.0f32..1.0, 0.0f32..1.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&v));
+        }
+
+        #[test]
+        fn filters_reject(x in positive()) {
+            prop_assert!(x > 0.0);
+        }
+
+        #[test]
+        fn assume_rejects(x in -1.0f32..1.0) {
+            prop_assume!(x < 0.5);
+            prop_assert!(x < 0.5);
+        }
+
+        #[test]
+        fn collections_sized(v in prop::collection::vec(0u32..80, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 80));
+        }
+
+        #[test]
+        fn arrays_uniform(a in prop::array::uniform3(-1.0f32..1.0)) {
+            for v in a {
+                prop_assert!((-1.0..1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Std-only stand-in for the subset of the `rand` crate API used by this
+//! workspace (`StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`,
+//! `Rng::gen_bool`).
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! few APIs it needs. The generator is SplitMix64-seeded xoshiro256++ — a
+//! different stream than crates.io `rand`'s StdRng, but every consumer in
+//! this workspace only requires a deterministic, well-mixed seeded stream,
+//! not any particular one.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing sampling interface.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its canonical distribution
+    /// (uniform in `[0, 1)` for floats, uniform over all values for
+    /// integers and `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (f64::sample_raw(self)) < p
+    }
+}
+
+/// Marker for types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        f64::sample_raw(rng)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+trait SampleRaw {
+    fn sample_raw<R: Rng + ?Sized>(rng: &mut R) -> f64;
+}
+
+impl SampleRaw for f64 {
+    fn sample_raw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types uniformly samplable from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[low, high)`.
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        // Sampled at f32 precision directly (24 bits) — casting a 53-bit
+        // f64 sample down can round up to exactly 1.0 and break the
+        // half-open contract.
+        let u = f32::sample(rng);
+        low + u * (high - low)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let u = f64::sample_raw(rng);
+        low + u * (high - low)
+    }
+}
+
+macro_rules! uniform_int {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift bounded sampling; bias is < 2^-64 per draw,
+                // far below anything the procedural generators can observe.
+                let r = rng.next_u64() as u128;
+                low + ((r * span) >> 64) as $t
+            }
+        }
+    };
+}
+uniform_int!(usize);
+uniform_int!(u8);
+uniform_int!(u16);
+uniform_int!(u32);
+uniform_int!(u64);
+uniform_int!(i8);
+uniform_int!(i16);
+uniform_int!(i32);
+uniform_int!(i64);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        // Treated as half-open; exact inclusivity of the top value is not
+        // observable for the float ranges this workspace draws.
+        T::sample_between(rng, low, high)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next_raw(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&v), "{v}");
+            let u: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+}

@@ -51,16 +51,42 @@ pub struct KeyframeContext<'a> {
 }
 
 impl KeyframePolicy {
-    /// Decides whether the current frame is a keyframe. Frame 0 is always a
-    /// keyframe (it seeds the map).
-    pub fn is_keyframe(&self, ctx: &KeyframeContext<'_>) -> bool {
-        let Some(last_idx) = ctx.last_keyframe_index else {
+    /// Whether this policy is certain — *before tracking* — that
+    /// `frame_index` will be selected as a keyframe. Only the
+    /// pose-independent policies ([`KeyframePolicy::Always`],
+    /// [`KeyframePolicy::Interval`]) can predict; data-dependent policies
+    /// return `false`.
+    ///
+    /// The pipeline uses this to process predictable keyframes at full
+    /// resolution (the paper's "keyframes run at `R₀`"): the keyframe's
+    /// pose anchors the map, so tracking it on a downsampled frame would
+    /// bake accumulated drift into the reconstruction.
+    pub fn predicts_keyframe(
+        &self,
+        frame_index: usize,
+        last_keyframe_index: Option<usize>,
+    ) -> bool {
+        let Some(last_idx) = last_keyframe_index else {
             return true;
         };
         match *self {
             KeyframePolicy::Always => true,
-            KeyframePolicy::Interval { interval } => {
-                ctx.frame_index >= last_idx + interval.max(1)
+            KeyframePolicy::Interval { interval } => frame_index >= last_idx + interval.max(1),
+            KeyframePolicy::PoseDistance { .. } | KeyframePolicy::Photometric { .. } => false,
+        }
+    }
+
+    /// Decides whether the current frame is a keyframe. Frame 0 is always a
+    /// keyframe (it seeds the map).
+    pub fn is_keyframe(&self, ctx: &KeyframeContext<'_>) -> bool {
+        if ctx.last_keyframe_index.is_none() {
+            return true;
+        }
+        match *self {
+            // Pose-independent policies share their selection rule with
+            // `predicts_keyframe` so prediction can never disagree.
+            KeyframePolicy::Always | KeyframePolicy::Interval { .. } => {
+                self.predicts_keyframe(ctx.frame_index, ctx.last_keyframe_index)
             }
             KeyframePolicy::PoseDistance {
                 translation,
@@ -174,7 +200,14 @@ mod tests {
         let pose = Se3::IDENTITY;
         let img = Image::new(4, 4);
         for frame in 1..5 {
-            assert!(p.is_keyframe(&ctx(frame, Some(frame - 1), &pose, Some(&pose), &img, Some(&img))));
+            assert!(p.is_keyframe(&ctx(
+                frame,
+                Some(frame - 1),
+                &pose,
+                Some(&pose),
+                &img,
+                Some(&img)
+            )));
         }
     }
 }

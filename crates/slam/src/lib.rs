@@ -27,6 +27,7 @@ mod map;
 mod optimizer;
 mod pipeline;
 mod profile;
+mod serve;
 mod tracking;
 
 pub use keyframe::{KeyframeContext, KeyframePolicy};
@@ -37,6 +38,8 @@ pub use pipeline::{
     SlamPipeline, SlamReport,
 };
 pub use profile::StageTimings;
+pub use serve::serve_sessions;
 pub use tracking::{
-    track_frame, IterationArtifacts, NoObserver, TrackResult, TrackingConfig, TrackingObserver,
+    track_frame, track_frame_with, IterationArtifacts, NoObserver, TrackResult, TrackingConfig,
+    TrackingObserver,
 };

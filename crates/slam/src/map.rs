@@ -92,6 +92,7 @@ pub fn seed_from_frame(
 /// Adds Gaussians at high-photometric-error pixels with valid depth
 /// (densification), growing the optimizer state alongside. Returns the
 /// number added.
+#[allow(clippy::too_many_arguments)]
 pub fn densify(
     scene: &mut GaussianScene,
     optimizer: &mut MapOptimizer,
@@ -249,12 +250,7 @@ mod tests {
         let frame = frame_with_depth(2.0);
         let c2w = Se3::from_translation(Vec3::new(5.0, 0.0, 0.0));
         let scene = seed_from_frame(&frame, &cam, &c2w, &MapConfig::default(), 1);
-        let mean_x = scene
-            .gaussians
-            .iter()
-            .map(|g| g.position.x)
-            .sum::<f32>()
-            / scene.len() as f32;
+        let mean_x = scene.gaussians.iter().map(|g| g.position.x).sum::<f32>() / scene.len() as f32;
         assert!((mean_x - 5.0).abs() < 0.5);
     }
 
@@ -291,7 +287,16 @@ mod tests {
             densify_max_per_pass: 10,
             ..Default::default()
         };
-        let added = densify(&mut scene, &mut opt, &rendered, &frame, &cam, &Se3::IDENTITY, &cfg, 2);
+        let added = densify(
+            &mut scene,
+            &mut opt,
+            &rendered,
+            &frame,
+            &cam,
+            &Se3::IDENTITY,
+            &cfg,
+            2,
+        );
         assert_eq!(added, 10);
         assert_eq!(scene.len(), 10);
         assert_eq!(opt.len(), 10);
@@ -316,7 +321,16 @@ mod tests {
             densify_max_per_pass: 100,
             ..Default::default()
         };
-        let added = densify(&mut scene, &mut opt, &rendered, &frame, &cam, &Se3::IDENTITY, &cfg, 2);
+        let added = densify(
+            &mut scene,
+            &mut opt,
+            &rendered,
+            &frame,
+            &cam,
+            &Se3::IDENTITY,
+            &cfg,
+            2,
+        );
         assert_eq!(added, 3);
     }
 
@@ -343,6 +357,9 @@ mod tests {
         let frame = frame_with_depth(2.0);
         let mut scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
         let mut opt = MapOptimizer::new(scene.len(), MapLearningRates::default());
-        assert_eq!(prune_transparent(&mut scene, &mut opt, &MapConfig::default()), 0);
+        assert_eq!(
+            prune_transparent(&mut scene, &mut opt, &MapConfig::default()),
+            0
+        );
     }
 }

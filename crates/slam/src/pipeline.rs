@@ -6,14 +6,16 @@ use crate::keyframe::{KeyframeContext, KeyframePolicy};
 use crate::map::{densify, prune_transparent, seed_from_frame, MapConfig};
 use crate::optimizer::{MapLearningRates, MapOptimizer};
 use crate::profile::StageTimings;
-use crate::tracking::{track_frame, IterationArtifacts, TrackingConfig, TrackingObserver};
+use crate::tracking::{track_frame_with, IterationArtifacts, TrackingConfig, TrackingObserver};
 use rtgs_math::Se3;
 use rtgs_metrics::{absolute_trajectory_error, psnr, AteResult};
 use rtgs_render::{
-    backward, compute_loss, project_scene, render, render_frame, GaussianScene, Image,
-    TileAssignment, WorkloadTrace,
+    backward_with, compute_loss, project_scene_with, render_frame_with, render_with, GaussianScene,
+    Image, TileAssignment, WorkloadTrace,
 };
+use rtgs_runtime::{Backend, BackendChoice};
 use rtgs_scene::{RgbdFrame, SyntheticDataset};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The base 3DGS-SLAM algorithms evaluated in the paper (Sec. 2.3, 6.1).
@@ -88,6 +90,10 @@ pub struct SlamConfig {
     /// Record per-iteration workload traces (memory-heavy; hardware
     /// modelling only).
     pub record_traces: bool,
+    /// Execution backend for every render/backward in the pipeline
+    /// (`Serial` by default; `Parallel` fans the tile/Gaussian chunks out
+    /// over the shared thread pool with bitwise-identical results).
+    pub backend: BackendChoice,
 }
 
 impl SlamConfig {
@@ -103,6 +109,7 @@ impl SlamConfig {
             map_lrs: MapLearningRates::default(),
             max_frames: None,
             record_traces: false,
+            backend: BackendChoice::Serial,
         };
         match algorithm {
             BaseAlgorithm::MonoGs => Self {
@@ -177,6 +184,12 @@ impl SlamConfig {
     /// Enables workload-trace recording.
     pub fn with_traces(mut self) -> Self {
         self.record_traces = true;
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -346,7 +359,8 @@ impl TrackingObserver for ExtensionObserver<'_> {
 pub struct SlamPipeline<'d> {
     config: SlamConfig,
     dataset: &'d SyntheticDataset,
-    extension: Box<dyn PipelineExtension>,
+    backend: Arc<dyn Backend>,
+    extension: Box<dyn PipelineExtension + Send>,
     scene: GaussianScene,
     map_optimizer: MapOptimizer,
     mask: Vec<bool>,
@@ -375,11 +389,12 @@ impl<'d> SlamPipeline<'d> {
     pub fn with_extension(
         config: SlamConfig,
         dataset: &'d SyntheticDataset,
-        extension: Box<dyn PipelineExtension>,
+        extension: Box<dyn PipelineExtension + Send>,
     ) -> Self {
         Self {
             config,
             dataset,
+            backend: config.backend.instantiate(),
             extension,
             scene: GaussianScene::new(),
             map_optimizer: MapOptimizer::new(0, config.map_lrs),
@@ -411,6 +426,11 @@ impl<'d> SlamPipeline<'d> {
             .map_or(self.dataset.len(), |m| m.min(self.dataset.len()))
     }
 
+    /// Whether every planned frame has been processed.
+    pub fn is_complete(&self) -> bool {
+        self.next_frame >= self.planned_frames()
+    }
+
     /// Processes all frames and produces the final report.
     pub fn run(&mut self) -> SlamReport {
         while self.step().is_some() {}
@@ -436,10 +456,18 @@ impl<'d> SlamPipeline<'d> {
 
         // ---- Tracking -----------------------------------------------------
         let frames_since_kf = index - self.keyframes.last().copied().unwrap_or(0);
-        let directives = self
-            .extension
-            .frame_directives(index, frames_since_kf);
+        let directives = self.extension.frame_directives(index, frames_since_kf);
         let mut factor = directives.resolution_factor.max(1);
+        if self
+            .config
+            .keyframe_policy
+            .predicts_keyframe(index, self.keyframes.last().copied())
+        {
+            // Predictable keyframes are tracked at full resolution: their
+            // poses anchor the map during mapping, so downsampling them
+            // would bake the ramp's drift into the reconstruction.
+            factor = 1;
+        }
         if self.config.algorithm.geometric_tracking() {
             // Photo-SLAM's classical tracker works on sparse features; model
             // its cost as tracking at reduced resolution.
@@ -450,8 +478,7 @@ impl<'d> SlamPipeline<'d> {
         // ~16x smaller, so the schedule is clamped to keep enough pixels for
         // the photometric loss to stay informative.
         while factor > 1
-            && (self.dataset.camera.width / factor < 16
-                || self.dataset.camera.height / factor < 10)
+            && (self.dataset.camera.width / factor < 16 || self.dataset.camera.height / factor < 10)
         {
             factor -= 1;
         }
@@ -469,7 +496,7 @@ impl<'d> SlamPipeline<'d> {
         let mut observer = ExtensionObserver {
             extension: self.extension.as_mut(),
         };
-        let result = track_frame(
+        let result = track_frame_with(
             &self.scene,
             init,
             &track_frame_data,
@@ -478,6 +505,7 @@ impl<'d> SlamPipeline<'d> {
             &mut self.mask,
             &mut observer,
             &mut self.tracking_timings,
+            &*self.backend,
         );
         let tracking_wall = t0.elapsed();
         self.tracking_wall += tracking_wall;
@@ -635,13 +663,14 @@ impl<'d> SlamPipeline<'d> {
             let w2c = self.trajectory[target_index].inverse();
 
             let t0 = Instant::now();
-            let projection = project_scene(&self.scene, &w2c, &camera, Some(&self.mask));
+            let projection =
+                project_scene_with(&self.scene, &w2c, &camera, Some(&self.mask), &*self.backend);
             let t1 = Instant::now();
             self.mapping_timings.preprocess += t1 - t0;
-            let tiles = TileAssignment::build(&projection, &camera);
+            let tiles = TileAssignment::build_with(&projection, &camera, &*self.backend);
             let t2 = Instant::now();
             self.mapping_timings.sorting += t2 - t1;
-            let output = render(&projection, &tiles, &camera);
+            let output = render_with(&projection, &tiles, &camera, &*self.backend);
             let t3 = Instant::now();
             self.mapping_timings.render += t3 - t2;
 
@@ -651,16 +680,16 @@ impl<'d> SlamPipeline<'d> {
                 frame.depth.as_ref(),
                 &self.config.tracking.loss,
             );
-            let grads = backward(
+            let grads = backward_with(
                 &self.scene,
                 &projection,
                 &tiles,
                 &camera,
                 &w2c,
                 &loss.pixel_grads,
+                &*self.backend,
             );
-            self.mapping_timings.render_bp +=
-                Duration::from_nanos(grads.stats.rendering_bp_nanos);
+            self.mapping_timings.render_bp += Duration::from_nanos(grads.stats.rendering_bp_nanos);
             self.mapping_timings.preprocess_bp +=
                 Duration::from_nanos(grads.stats.preprocessing_bp_nanos);
             let t4 = Instant::now();
@@ -727,7 +756,13 @@ impl<'d> SlamPipeline<'d> {
         let mut psnr_acc = 0.0f64;
         let mut psnr_n = 0usize;
         for (i, pose) in self.trajectory.iter().enumerate() {
-            let ctx = render_frame(&self.scene, &pose.inverse(), &self.dataset.camera, None);
+            let ctx = render_frame_with(
+                &self.scene,
+                &pose.inverse(),
+                &self.dataset.camera,
+                None,
+                &*self.backend,
+            );
             let p = psnr(&ctx.output.image, &self.dataset.frames[i].color);
             if p.is_finite() {
                 psnr_acc += p;
@@ -795,7 +830,7 @@ mod tests {
             &ds,
         );
         p.step();
-        assert!(p.scene().len() > 0);
+        assert!(!p.scene().is_empty());
         let report = p.report();
         assert!(report.frames[0].is_keyframe);
     }
@@ -838,7 +873,11 @@ mod tests {
             "ATE too large: {} m",
             report.ate.rmse
         );
-        assert!(report.mean_psnr > 10.0, "PSNR too low: {}", report.mean_psnr);
+        assert!(
+            report.mean_psnr > 10.0,
+            "PSNR too low: {}",
+            report.mean_psnr
+        );
     }
 
     #[test]

@@ -23,7 +23,12 @@ pub struct StageTimings {
 impl StageTimings {
     /// Sum over all stages.
     pub fn total(&self) -> Duration {
-        self.preprocess + self.sorting + self.render + self.render_bp + self.preprocess_bp + self.other
+        self.preprocess
+            + self.sorting
+            + self.render
+            + self.render_bp
+            + self.preprocess_bp
+            + self.other
     }
 
     /// Adds another accumulator's times into this one.

@@ -1,0 +1,103 @@
+//! Multi-session SLAM serving: adapts [`SlamPipeline`] to the
+//! `rtgs-runtime` [`Session`] interface so N concurrent SLAM workloads
+//! multiplex over one thread pool with round-robin frame scheduling.
+//!
+//! One scheduler step is one SLAM frame, so fairness is per-frame: no
+//! tenant ever runs more than one frame ahead of another. Sessions may
+//! themselves use a [`rtgs_runtime::BackendChoice::Parallel`] backend —
+//! intra-frame fan-out nests on the same pool without deadlock.
+
+use crate::pipeline::{SlamPipeline, SlamReport};
+use rtgs_runtime::{Session, SessionOutcome, SessionScheduler, SessionStatus};
+
+impl Session for SlamPipeline<'_> {
+    type Report = SlamReport;
+
+    fn step(&mut self) -> SessionStatus {
+        // `Finished` is reported together with the last frame so the
+        // scheduler never spends a round on an already-exhausted session.
+        if SlamPipeline::step(self).is_some() && !self.is_complete() {
+            SessionStatus::Running
+        } else {
+            SessionStatus::Finished
+        }
+    }
+
+    fn finish(self) -> SlamReport {
+        self.report()
+    }
+}
+
+/// Runs the given labelled SLAM pipelines to completion as concurrent
+/// sessions over the shared pool with `threads` workers (`0` = machine
+/// size). Returns one outcome (scheduling stats + [`SlamReport`]) per
+/// session, in input order.
+pub fn serve_sessions<'d>(
+    sessions: Vec<(String, SlamPipeline<'d>)>,
+    threads: usize,
+) -> Vec<SessionOutcome<SlamReport>> {
+    let mut scheduler = SessionScheduler::new(threads);
+    for (label, pipeline) in sessions {
+        scheduler.add_session(label, pipeline);
+    }
+    scheduler.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{BaseAlgorithm, SlamConfig};
+    use rtgs_runtime::BackendChoice;
+    use rtgs_scene::{DatasetProfile, SyntheticDataset};
+
+    fn quick_config(algorithm: BaseAlgorithm, frames: usize) -> SlamConfig {
+        let mut cfg = SlamConfig::for_algorithm(algorithm).with_frames(frames);
+        cfg.tracking.iterations = 2;
+        cfg.mapping_iterations = 2;
+        cfg
+    }
+
+    #[test]
+    fn serves_four_concurrent_sessions_to_completion() {
+        // One session per base algorithm, all sharing one dataset, served
+        // concurrently in a single process (the acceptance scenario).
+        let ds = SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 3);
+        let sessions = BaseAlgorithm::all()
+            .into_iter()
+            .map(|algo| {
+                let cfg =
+                    quick_config(algo, 3).with_backend(BackendChoice::Parallel { threads: 2 });
+                (algo.name().to_string(), SlamPipeline::new(cfg, &ds))
+            })
+            .collect();
+        let outcomes = serve_sessions(sessions, 4);
+        assert_eq!(outcomes.len(), 4);
+        for outcome in &outcomes {
+            assert!(
+                outcome.stats.completed,
+                "{} did not finish",
+                outcome.stats.label
+            );
+            assert_eq!(outcome.stats.steps, 3, "one step per frame");
+            assert_eq!(outcome.report.frames_processed, 3);
+            assert_eq!(outcome.report.trajectory.len(), 3);
+        }
+    }
+
+    #[test]
+    fn served_report_matches_standalone_run() {
+        // Scheduling must not change results: a served session's report is
+        // bitwise-identical to running the same pipeline standalone.
+        let ds = SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 3);
+        let cfg = quick_config(BaseAlgorithm::GsSlam, 3);
+        let standalone = SlamPipeline::new(cfg, &ds).run();
+        let outcomes = serve_sessions(vec![("solo".to_string(), SlamPipeline::new(cfg, &ds))], 2);
+        let served = &outcomes[0].report;
+        assert_eq!(standalone.trajectory.len(), served.trajectory.len());
+        for (a, b) in standalone.trajectory.iter().zip(served.trajectory.iter()) {
+            assert_eq!(a.translation, b.translation);
+            assert_eq!(a.rotation, b.rotation);
+        }
+        assert_eq!(standalone.ate.rmse, served.ate.rmse);
+    }
+}

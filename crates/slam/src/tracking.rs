@@ -4,9 +4,10 @@
 use crate::profile::StageTimings;
 use rtgs_math::Se3;
 use rtgs_render::{
-    backward, compute_loss, project_scene, render, BackwardOutput, GaussianScene, LossConfig,
-    PinholeCamera, RenderOutput, TileAssignment, WorkloadTrace,
+    backward_with, compute_loss, project_scene_with, render_with, BackwardOutput, GaussianScene,
+    LossConfig, PinholeCamera, RenderOutput, TileAssignment, WorkloadTrace,
 };
+use rtgs_runtime::Backend;
 use rtgs_scene::RgbdFrame;
 use std::time::Instant;
 
@@ -155,15 +156,44 @@ pub struct TrackResult {
 ///
 /// Panics if `mask.len() != scene.len()` or the frame resolution differs
 /// from the camera.
+#[allow(clippy::too_many_arguments)]
 pub fn track_frame<O: TrackingObserver>(
     scene: &GaussianScene,
     init_w2c: Se3,
     frame: &RgbdFrame,
     camera: &PinholeCamera,
     config: &TrackingConfig,
-    mask: &mut Vec<bool>,
+    mask: &mut [bool],
     observer: &mut O,
     timings: &mut StageTimings,
+) -> TrackResult {
+    track_frame_with(
+        scene,
+        init_w2c,
+        frame,
+        camera,
+        config,
+        mask,
+        observer,
+        timings,
+        &rtgs_runtime::Serial,
+    )
+}
+
+/// [`track_frame`] on an explicit execution backend: every render and
+/// backward inside the pose optimization runs through `backend`, with
+/// results bitwise-identical to the serial path at any pool size.
+#[allow(clippy::too_many_arguments)]
+pub fn track_frame_with<O: TrackingObserver>(
+    scene: &GaussianScene,
+    init_w2c: Se3,
+    frame: &RgbdFrame,
+    camera: &PinholeCamera,
+    config: &TrackingConfig,
+    mask: &mut [bool],
+    observer: &mut O,
+    timings: &mut StageTimings,
+    backend: &dyn Backend,
 ) -> TrackResult {
     assert_eq!(mask.len(), scene.len(), "mask must cover the scene");
     assert_eq!(frame.color.width(), camera.width, "frame/camera resolution");
@@ -184,34 +214,41 @@ pub fn track_frame<O: TrackingObserver>(
 
     for iteration in 0..config.iterations {
         let t0 = Instant::now();
-        let projection = project_scene(scene, &w2c, camera, Some(mask));
+        let projection = project_scene_with(scene, &w2c, camera, Some(mask), backend);
         let t1 = Instant::now();
         timings.preprocess += t1 - t0;
-        let tiles = TileAssignment::build(&projection, camera);
+        let tiles = TileAssignment::build_with(&projection, camera, backend);
         let t2 = Instant::now();
         timings.sorting += t2 - t1;
-        let output = render(&projection, &tiles, camera);
+        let output = render_with(&projection, &tiles, camera, backend);
         let t3 = Instant::now();
         timings.render += t3 - t2;
 
         let loss = compute_loss(&output, &frame.color, frame.depth.as_ref(), &config.loss);
-        let grads = backward(scene, &projection, &tiles, camera, &w2c, &loss.pixel_grads);
+        let grads = backward_with(
+            scene,
+            &projection,
+            &tiles,
+            camera,
+            &w2c,
+            &loss.pixel_grads,
+            backend,
+        );
         timings.render_bp += std::time::Duration::from_nanos(grads.stats.rendering_bp_nanos);
         timings.preprocess_bp +=
             std::time::Duration::from_nanos(grads.stats.preprocessing_bp_nanos);
         let t4 = Instant::now();
-        timings.other += (t4 - t3)
-            .saturating_sub(std::time::Duration::from_nanos(
-                grads.stats.rendering_bp_nanos + grads.stats.preprocessing_bp_nanos,
-            ));
+        timings.other += (t4 - t3).saturating_sub(std::time::Duration::from_nanos(
+            grads.stats.rendering_bp_nanos + grads.stats.preprocessing_bp_nanos,
+        ));
 
         // Trust-region accept/reject: keep the best pose, adapt the step.
-        for i in 0..6 {
-            let g2 = grads.pose[i] * grads.pose[i];
-            rms[i] = if iteration == 0 {
+        for (r, g) in rms.iter_mut().zip(grads.pose.iter()) {
+            let g2 = g * g;
+            *r = if iteration == 0 {
                 g2.sqrt()
             } else {
-                (0.9 * rms[i] * rms[i] + 0.1 * g2).sqrt()
+                (0.9 * *r * *r + 0.1 * g2).sqrt()
             };
         }
         if loss.loss <= best_loss {

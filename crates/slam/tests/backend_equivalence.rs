@@ -1,0 +1,72 @@
+//! End-to-end backend equivalence: full SLAM runs on the parallel backend
+//! are bitwise-identical to serial runs, for all four base algorithms.
+//!
+//! Everything downstream of the rasterizer — losses, pose optimization,
+//! keyframe decisions, mapping, densification, pruning — consumes only
+//! rasterizer outputs and deterministic state, so bitwise-equal kernels
+//! must produce bitwise-equal trajectories and maps.
+
+use rtgs_runtime::BackendChoice;
+use rtgs_scene::{DatasetProfile, SyntheticDataset};
+use rtgs_slam::{BaseAlgorithm, SlamConfig, SlamPipeline, SlamReport};
+
+fn run(algorithm: BaseAlgorithm, ds: &SyntheticDataset, backend: BackendChoice) -> SlamReport {
+    let mut cfg = SlamConfig::for_algorithm(algorithm)
+        .with_frames(4)
+        .with_backend(backend);
+    cfg.tracking.iterations = 3;
+    cfg.mapping_iterations = 3;
+    SlamPipeline::new(cfg, ds).run()
+}
+
+fn assert_reports_bitwise_equal(
+    algorithm: BaseAlgorithm,
+    serial: &SlamReport,
+    parallel: &SlamReport,
+) {
+    let name = algorithm.name();
+    assert_eq!(
+        serial.frames_processed, parallel.frames_processed,
+        "{name}: frames"
+    );
+    assert_eq!(serial.keyframes, parallel.keyframes, "{name}: keyframes");
+    assert_eq!(
+        serial.peak_gaussians, parallel.peak_gaussians,
+        "{name}: peak map"
+    );
+    for (i, (a, b)) in serial
+        .trajectory
+        .iter()
+        .zip(parallel.trajectory.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            a.translation, b.translation,
+            "{name}: frame {i} translation"
+        );
+        assert_eq!(a.rotation, b.rotation, "{name}: frame {i} rotation");
+    }
+    assert_eq!(serial.ate.rmse, parallel.ate.rmse, "{name}: ATE");
+    assert_eq!(serial.mean_psnr, parallel.mean_psnr, "{name}: PSNR");
+    for (i, (a, b)) in serial.frames.iter().zip(parallel.frames.iter()).enumerate() {
+        assert_eq!(a.tracking_loss, b.tracking_loss, "{name}: frame {i} loss");
+        assert_eq!(a.gaussians, b.gaussians, "{name}: frame {i} map size");
+        assert_eq!(a.is_keyframe, b.is_keyframe, "{name}: frame {i} keyframe");
+        assert_eq!(
+            a.tracking_fragments, b.tracking_fragments,
+            "{name}: frame {i} fragments"
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_bitwise_identical_across_backends() {
+    let ds = SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 4);
+    for algorithm in BaseAlgorithm::all() {
+        let serial = run(algorithm, &ds, BackendChoice::Serial);
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = run(algorithm, &ds, BackendChoice::Parallel { threads });
+            assert_reports_bitwise_equal(algorithm, &serial, &parallel);
+        }
+    }
+}

@@ -39,8 +39,8 @@ fn main() {
 
     println!("Capturing workload traces (GS-SLAM on ScanNet-analog)...");
     let base = SlamPipeline::new(config, &dataset).run();
-    let ours = SlamPipeline::with_extension(config, &dataset, RtgsConfig::full().into_extension())
-        .run();
+    let ours =
+        SlamPipeline::with_extension(config, &dataset, RtgsConfig::full().into_extension()).run();
     let base_run = to_workload(&base);
     let ours_run = to_workload(&ours);
 
@@ -53,7 +53,11 @@ fn main() {
     let configs: [(&str, HardwareModel, &RunWorkload); 4] = [
         ("ONX edge GPU", HardwareModel::onx(), &base_run),
         ("ONX + DISTWAR", HardwareModel::onx_distwar(), &base_run),
-        ("ONX + RTGS (tracking only)", HardwareModel::rtgs(), &ours_run),
+        (
+            "ONX + RTGS (tracking only)",
+            HardwareModel::rtgs(),
+            &ours_run,
+        ),
         ("ONX + RTGS (full)", HardwareModel::rtgs(), &ours_run),
     ];
     for (i, (name, hw, run)) in configs.iter().enumerate() {
@@ -64,7 +68,11 @@ fn main() {
             name,
             cost.overall_fps,
             cost.energy_per_frame_j * 1e3,
-            if cost.overall_fps >= 30.0 { "yes" } else { "no" }
+            if cost.overall_fps >= 30.0 {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!(

@@ -27,8 +27,8 @@ fn main() {
     let base = SlamPipeline::new(config, &dataset).run();
 
     println!("Running MonoGS + RTGS...");
-    let ours = SlamPipeline::with_extension(config, &dataset, RtgsConfig::full().into_extension())
-        .run();
+    let ours =
+        SlamPipeline::with_extension(config, &dataset, RtgsConfig::full().into_extension()).run();
 
     // 3. Compare.
     println!("\n{:<22}{:>12}{:>12}", "metric", "base", "ours");

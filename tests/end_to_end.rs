@@ -32,8 +32,7 @@ fn full_stack_base_vs_rtgs() {
     let ds = SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 5);
     let cfg = quick_config(BaseAlgorithm::MonoGs, 5);
     let base = SlamPipeline::new(cfg, &ds).run();
-    let ours =
-        SlamPipeline::with_extension(cfg, &ds, RtgsConfig::full().into_extension()).run();
+    let ours = SlamPipeline::with_extension(cfg, &ds, RtgsConfig::full().into_extension()).run();
 
     assert_eq!(base.frames_processed, 5);
     assert_eq!(ours.frames_processed, 5);
@@ -97,8 +96,7 @@ fn splatam_has_most_keyframes() {
 fn rtgs_prunes_and_downsamples() {
     let ds = SyntheticDataset::generate(DatasetProfile::replica_analog().tiny(), 6);
     let cfg = quick_config(BaseAlgorithm::MonoGs, 6);
-    let ours =
-        SlamPipeline::with_extension(cfg, &ds, RtgsConfig::full().into_extension()).run();
+    let ours = SlamPipeline::with_extension(cfg, &ds, RtgsConfig::full().into_extension()).run();
     // Downsampling: at least one non-keyframe tracked below native res
     // (the tiny profile may clamp, so accept factor >= 1 but expect the
     // schedule to have been consulted).
