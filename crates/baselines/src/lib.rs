@@ -4,14 +4,14 @@
 //! Each baseline reproduces the *selection rule* and *cost profile* of the
 //! original method on our Gaussian model:
 //!
-//! - [`TamingPruner`] — Taming 3DGS [29]: importance from gradient
+//! - [`TamingPruner`] — Taming 3DGS \[29\]: importance from gradient
 //!   statistics collected over a long warm-up horizon. Effective for
 //!   offline training; with SLAM's 15–100 iterations per frame the scores
 //!   never converge, which is exactly the weakness Tab. 6 exposes.
-//! - [`LightGaussianPruner`] — LightGaussian [7]: global one-shot
+//! - [`LightGaussianPruner`] — LightGaussian \[7\]: global one-shot
 //!   importance from volume × opacity × hit-count, requiring a dedicated
 //!   scoring pass over all training views (extra cost, better quality).
-//! - [`FlashGsPruner`] — FlashGS [8]-style precise selection: adds an
+//! - [`FlashGsPruner`] — FlashGS \[8\]-style precise selection: adds an
 //!   image-saliency weighting on top of hit counts, the most expensive
 //!   evaluation of the three.
 //!

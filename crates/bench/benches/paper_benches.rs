@@ -14,9 +14,10 @@ use rtgs_accel::{
     HardwareModel, PluginConfig, RunWorkload, Scheduling, TechNode,
 };
 use rtgs_core::{AdaptivePruner, PruningConfig, RtgsConfig};
+use rtgs_render::reference;
 use rtgs_render::{
-    backward, backward_with, compute_loss, render_frame, render_frame_with, LossConfig,
-    WorkloadTrace,
+    backward, backward_fused_with, backward_with, compute_loss, render_frame, render_frame_with,
+    render_fused_with, render_with, LossConfig, WorkloadTrace,
 };
 use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
@@ -91,6 +92,124 @@ fn bench_render_kernels(c: &mut Criterion) {
                 &w2c,
                 &loss.pixel_grads,
             )
+        })
+    });
+    group.finish();
+}
+
+/// SoA vs AoS: the production structure-of-arrays kernels against the
+/// seed's preserved array-of-structs reference path, same scene, same
+/// camera, serial execution — what the layout refactor buys by itself.
+fn bench_soa_vs_aos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soa_vs_aos");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let ds = small_dataset();
+    let scene = ds.reference_scene.clone();
+    let w2c = ds.poses_c2w[0].inverse();
+
+    group.bench_function("forward/soa", |b| {
+        b.iter(|| render_frame(&scene, &w2c, &ds.camera, None))
+    });
+    group.bench_function("forward/aos", |b| {
+        b.iter(|| reference::render_frame_aos(&scene, &w2c, &ds.camera, None))
+    });
+
+    let ctx = render_frame(&scene, &w2c, &ds.camera, None);
+    let (aos_proj, aos_tiles, _) = reference::render_frame_aos(&scene, &w2c, &ds.camera, None);
+    let loss = compute_loss(
+        &ctx.output,
+        &ds.frames[0].color,
+        ds.frames[0].depth.as_ref(),
+        &LossConfig::default(),
+    );
+    group.bench_function("backward/soa", |b| {
+        b.iter(|| {
+            backward(
+                &scene,
+                &ctx.projection,
+                &ctx.tiles,
+                &ds.camera,
+                &w2c,
+                &loss.pixel_grads,
+            )
+        })
+    });
+    group.bench_function("backward/aos", |b| {
+        b.iter(|| {
+            reference::backward_aos(
+                &scene,
+                &aos_proj,
+                &aos_tiles,
+                &ds.camera,
+                &w2c,
+                &loss.pixel_grads,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Fused tile pass: one render+backward iteration with the forward pass
+/// recording fragment sequences (backward consumes them) versus the unfused
+/// pair (backward re-walks every pixel's splat list).
+///
+/// Pixel gradients are dense (every pixel carries color and depth loss), as
+/// in a mid-optimization tracking/mapping iteration — the workload the
+/// fusion exists for; at the converged pose gradients vanish and the
+/// backward pass is free either way.
+fn bench_fused_tile_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_tile_pass");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let ds = small_dataset();
+    let scene = ds.reference_scene.clone();
+    let w2c = ds.poses_c2w[0].inverse();
+    let backend = Serial;
+
+    // Fixed dense upstream gradients so both variants time render +
+    // backward on identical, non-degenerate inputs.
+    let mut pixel_grads = rtgs_render::PixelGrads::zeros(ds.camera.width, ds.camera.height);
+    for (i, g) in pixel_grads.color.iter_mut().enumerate() {
+        *g = rtgs_math::Vec3::splat(1.0) * (((i % 13) as f32 - 6.0) * 0.1);
+    }
+    for (i, g) in pixel_grads.depth.iter_mut().enumerate() {
+        *g = ((i % 7) as f32 - 3.0) * 0.05;
+    }
+    let ctx = render_frame(&scene, &w2c, &ds.camera, None);
+    let (projection, tiles) = (&ctx.projection, &ctx.tiles);
+
+    group.bench_function("render_backward/unfused", |b| {
+        b.iter(|| {
+            let output = render_with(projection, tiles, &ds.camera, &backend);
+            let grads = backward_with(
+                &scene,
+                projection,
+                tiles,
+                &ds.camera,
+                &w2c,
+                &pixel_grads,
+                &backend,
+            );
+            (output, grads)
+        })
+    });
+    group.bench_function("render_backward/fused", |b| {
+        b.iter(|| {
+            let fused = render_fused_with(projection, tiles, &ds.camera, &backend);
+            let grads = backward_fused_with(
+                &scene,
+                projection,
+                tiles,
+                &ds.camera,
+                &w2c,
+                &pixel_grads,
+                &fused.fragments,
+                &backend,
+            );
+            (fused.output, grads)
         })
     });
     group.finish();
@@ -460,6 +579,8 @@ fn bench_session_serving(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_render_kernels,
+    bench_soa_vs_aos,
+    bench_fused_tile_pass,
     bench_table2_baseline_slams,
     bench_table6_rtgs_algorithm,
     bench_fig15_hardware_models,

@@ -1,0 +1,422 @@
+//! Perf-regression comparator for the CI `perf-smoke` gate.
+//!
+//! Compares a freshly produced `BENCH_RESULTS.json` against the committed
+//! baseline and fails (exit code 1) when any benchmark *group* regresses
+//! beyond the allowed percentage. A group's metric is the **sum of the
+//! median_ns of its benchmarks present in both files** — summing makes the
+//! gate robust to individual noisy microbenches while still catching a real
+//! regression anywhere in the group.
+//!
+//! ```text
+//! compare <baseline.json> <current.json> [--max-regression <percent>]
+//! ```
+//!
+//! Benchmarks present only in the current file (new benches) or only in the
+//! baseline (removed benches) are reported but never fail the gate; refresh
+//! the committed baseline to adopt them (see CONTRIBUTING.md).
+//!
+//! The parser is a minimal, std-only reader for the flat
+//! `[{"group": .., "bench": .., "median_ns": ..}, ..]` schema the criterion
+//! shim writes (string and numeric values only).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Default failure threshold: a group regressing more than this fraction
+/// versus the baseline fails the gate.
+const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+
+/// One benchmark entry from a results file.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    group: String,
+    bench: String,
+    median_ns: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--max-regression requires a numeric percentage");
+                    return ExitCode::from(2);
+                };
+                max_regression = v / 100.0;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: compare <baseline.json> <current.json> [--max-regression <pct>]");
+                return ExitCode::SUCCESS;
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: compare <baseline.json> <current.json> [--max-regression <pct>]");
+        return ExitCode::from(2);
+    }
+
+    let read = |path: &str| -> Result<Vec<Entry>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_entries(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let baseline = match read(&paths[0]) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match read(&paths[1]) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = compare(&baseline, &current, max_regression);
+    print!("{}", report.text);
+    if report.failed {
+        eprintln!(
+            "\nperf gate FAILED: at least one group regressed more than {:.0}%",
+            max_regression * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "\nperf gate passed (threshold {:.0}%)",
+            max_regression * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Result of one comparison run.
+struct Report {
+    text: String,
+    failed: bool,
+}
+
+/// Compares current medians against the baseline, grouping by bench group.
+fn compare(baseline: &[Entry], current: &[Entry], max_regression: f64) -> Report {
+    let index = |entries: &[Entry]| -> BTreeMap<(String, String), f64> {
+        entries
+            .iter()
+            .map(|e| ((e.group.clone(), e.bench.clone()), e.median_ns))
+            .collect()
+    };
+    let base = index(baseline);
+    let cur = index(current);
+
+    // Per-group sums over the shared benches.
+    let mut groups: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for ((g, b), &b_ns) in &base {
+        if let Some(&c_ns) = cur.get(&(g.clone(), b.clone())) {
+            let e = groups.entry(g.clone()).or_insert((0.0, 0.0));
+            e.0 += b_ns;
+            e.1 += c_ns;
+        }
+    }
+
+    let mut text = String::new();
+    let mut failed = false;
+    text.push_str(&format!(
+        "{:<28} {:>14} {:>14} {:>9}  {}\n",
+        "group", "baseline (ns)", "current (ns)", "delta", "status"
+    ));
+    for (g, (b_ns, c_ns)) in &groups {
+        let delta = if *b_ns > 0.0 { c_ns / b_ns - 1.0 } else { 0.0 };
+        let status = if delta > max_regression {
+            failed = true;
+            "REGRESSED"
+        } else if delta < -0.05 {
+            "improved"
+        } else {
+            "ok"
+        };
+        text.push_str(&format!(
+            "{:<28} {:>14.0} {:>14.0} {:>+8.1}%  {}\n",
+            g,
+            b_ns,
+            c_ns,
+            delta * 100.0,
+            status
+        ));
+    }
+
+    // Informational: benches not shared between the files.
+    let new: Vec<_> = cur.keys().filter(|k| !base.contains_key(*k)).collect();
+    let gone: Vec<_> = base.keys().filter(|k| !cur.contains_key(*k)).collect();
+    if !new.is_empty() {
+        text.push_str(&format!(
+            "\n{} new benchmark(s) not in baseline (not gated): ",
+            new.len()
+        ));
+        let names: Vec<String> = new.iter().map(|(g, b)| format!("{g}/{b}")).collect();
+        text.push_str(&names.join(", "));
+        text.push('\n');
+    }
+    if !gone.is_empty() {
+        text.push_str(&format!(
+            "\n{} baseline benchmark(s) missing from current run: ",
+            gone.len()
+        ));
+        let names: Vec<String> = gone.iter().map(|(g, b)| format!("{g}/{b}")).collect();
+        text.push_str(&names.join(", "));
+        text.push('\n');
+    }
+
+    Report { text, failed }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for `[{"key": value, ..}, ..]` with string/number
+// values (the schema the criterion shim writes).
+// ---------------------------------------------------------------------------
+
+/// Parses the benchmark entries out of a results file.
+fn parse_entries(text: &str) -> Result<Vec<Entry>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut entries = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.expect(b']')?;
+        return Ok(entries);
+    }
+    loop {
+        let obj = p.parse_object()?;
+        let get_str = |k: &str| -> Result<String, String> {
+            match obj.get(k) {
+                Some(Value::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("entry missing string field '{k}'")),
+            }
+        };
+        let get_num = |k: &str| -> Result<f64, String> {
+            match obj.get(k) {
+                Some(Value::Num(n)) => Ok(*n),
+                _ => Err(format!("entry missing numeric field '{k}'")),
+            }
+        };
+        entries.push(Entry {
+            group: get_str("group")?,
+            bench: get_str("bench")?,
+            median_ns: get_num("median_ns")?,
+        });
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => p.skip_ws(),
+            Some(b']') => break,
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+    Ok(entries)
+}
+
+/// A parsed JSON scalar.
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    Num(f64),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected '{}', got {other:?}", want as char)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<BTreeMap<String, Value>, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = match self.peek() {
+                Some(b'"') => Value::Str(self.parse_string()?),
+                Some(_) => Value::Num(self.parse_number()?),
+                None => return Err("unexpected end of input in object".into()),
+            };
+            map.insert(key, value);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        Ok(map)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(b) => out.push(b as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(group: &str, bench: &str, median_ns: f64) -> Entry {
+        Entry {
+            group: group.into(),
+            bench: bench.into(),
+            median_ns,
+        }
+    }
+
+    #[test]
+    fn parses_shim_schema() {
+        let text = r#"[
+  {"group": "render_kernels", "bench": "forward_full_frame", "min_ns": 1, "median_ns": 100, "mean_ns": 110, "samples": 10},
+  {"group": "g2", "bench": "b/param", "min_ns": 2, "median_ns": 200, "mean_ns": 210, "samples": 5}
+]
+"#;
+        let entries = parse_entries(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0],
+            entry("render_kernels", "forward_full_frame", 100.0)
+        );
+        assert_eq!(entries[1], entry("g2", "b/param", 200.0));
+    }
+
+    #[test]
+    fn parses_empty_array() {
+        assert!(parse_entries("[]").unwrap().is_empty());
+        assert!(parse_entries(" [ ] ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_entries("not json").is_err());
+        assert!(parse_entries(r#"[{"group": 3}]"#).is_err());
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = vec![entry("g", "a", 100.0), entry("g", "b", 100.0)];
+        let cur = vec![entry("g", "a", 110.0), entry("g", "b", 110.0)];
+        let r = compare(&base, &cur, 0.25);
+        assert!(!r.failed, "{}", r.text);
+        assert!(r.text.contains("ok"));
+    }
+
+    #[test]
+    fn group_regression_fails() {
+        let base = vec![entry("g", "a", 100.0), entry("g", "b", 100.0)];
+        let cur = vec![entry("g", "a", 160.0), entry("g", "b", 160.0)];
+        let r = compare(&base, &cur, 0.25);
+        assert!(r.failed, "{}", r.text);
+        assert!(r.text.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn one_noisy_bench_is_absorbed_by_the_group_sum() {
+        // One microbench doubles (noise) but the group total stays within
+        // the threshold because the heavyweight bench dominates the sum.
+        let base = vec![entry("g", "micro", 10.0), entry("g", "heavy", 1000.0)];
+        let cur = vec![entry("g", "micro", 20.0), entry("g", "heavy", 1000.0)];
+        let r = compare(&base, &cur, 0.25);
+        assert!(!r.failed, "{}", r.text);
+    }
+
+    #[test]
+    fn improvement_reported() {
+        let base = vec![entry("g", "a", 1000.0)];
+        let cur = vec![entry("g", "a", 500.0)];
+        let r = compare(&base, &cur, 0.25);
+        assert!(!r.failed);
+        assert!(r.text.contains("improved"));
+    }
+
+    #[test]
+    fn new_and_missing_benches_do_not_gate() {
+        let base = vec![entry("g", "a", 100.0), entry("old", "gone", 50.0)];
+        let cur = vec![entry("g", "a", 100.0), entry("new", "fresh", 9999.0)];
+        let r = compare(&base, &cur, 0.25);
+        assert!(!r.failed, "{}", r.text);
+        assert!(r.text.contains("new/fresh"));
+        assert!(r.text.contains("old/gone"));
+    }
+
+    #[test]
+    fn empty_baseline_passes() {
+        let r = compare(&[], &[entry("g", "a", 1.0)], 0.25);
+        assert!(!r.failed);
+    }
+}

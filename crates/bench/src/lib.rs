@@ -1,12 +1,22 @@
 //! Benchmark harness crate. The Criterion benchmarks live in
-//! `benches/paper_benches.rs`, one group per paper table/figure:
+//! `benches/paper_benches.rs`, one group per paper table/figure plus the
+//! perf-trajectory groups of this reproduction's own subsystems:
 //!
 //! | group | artifact |
 //! |---|---|
 //! | `render_kernels` | substrate (Steps ❶–❺ wall-clock) |
+//! | `soa_vs_aos` | SoA kernels vs the preserved AoS reference path |
+//! | `fused_tile_pass` | fused render+backward vs the unfused pair |
 //! | `table2_baseline_slams` | Tab. 2 |
 //! | `table6_rtgs_algorithm` | Tab. 6 / Fig. 14 |
 //! | `fig15_hardware_fps` | Fig. 15 / Tab. 7 |
 //! | `fig17_ablation` | Fig. 17(a)/(b) |
 //! | `ablation_pruning_overhead` | the "zero-overhead scoring" claim |
 //! | `tracking_iteration` | per-iteration tracking unit cost |
+//! | `runtime_scaling` | serial vs parallel kernels at pool sizes 1–8 |
+//! | `session_serving` | multi-session scheduling vs back-to-back runs |
+//!
+//! Results land in `BENCH_RESULTS.json` at the workspace root — the
+//! committed copy is the CI perf gate's baseline (see CONTRIBUTING.md and
+//! `src/bin/compare.rs`). Set `BENCH_QUICK=1` for the capped quick mode the
+//! `perf-smoke` job uses.

@@ -2,7 +2,7 @@
 //! kernel scaling and the multi-session serving demonstration.
 
 use crate::common::{f, slam_config, Scale, Table};
-use rtgs_render::{backward_with, compute_loss, render_frame_with, LossConfig};
+use rtgs_render::{compute_loss, render_frame_fused_with, LossConfig};
 use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
 use rtgs_slam::{serve_sessions, BaseAlgorithm, SlamPipeline};
@@ -17,7 +17,9 @@ pub fn runtime_scaling(scale: Scale) -> String {
 
     let time_backend = |backend: &dyn Backend| {
         let t0 = Instant::now();
-        let ctx = render_frame_with(&scene, &w2c, &ds.camera, None, backend);
+        // Fused tile pass: the forward records fragment sequences, the
+        // backward consumes them (one tile traversal shared by both).
+        let ctx = render_frame_fused_with(&scene, &w2c, &ds.camera, None, backend);
         let forward = t0.elapsed();
         let loss = compute_loss(
             &ctx.output,
@@ -26,15 +28,7 @@ pub fn runtime_scaling(scale: Scale) -> String {
             &LossConfig::default(),
         );
         let t1 = Instant::now();
-        let grads = backward_with(
-            &scene,
-            &ctx.projection,
-            &ctx.tiles,
-            &ds.camera,
-            &w2c,
-            &loss.pixel_grads,
-            backend,
-        );
+        let grads = ctx.backward(&scene, &ds.camera, &w2c, &loss.pixel_grads, backend);
         (forward, t1.elapsed(), ctx, grads)
     };
 

@@ -6,14 +6,26 @@
 //! accelerates in hardware). Step ❺ chains 2D gradients to the 3D Gaussian
 //! parameters and — during tracking — to the camera pose tangent.
 //!
-//! The implementation mirrors the reference CUDA rasterizer: the backward
-//! pass re-walks each pixel's fragment list in forward order (recomputing
-//! alpha and transmittance), then runs the reverse recursion of Eq. 4 with
-//! suffix accumulators. Analytic gradients are verified against central
-//! finite differences in `tests/grad_check.rs`.
+//! Two Step-❹ drivers share all surrounding machinery:
+//!
+//! * [`backward_with`] mirrors the reference CUDA rasterizer: each pixel's
+//!   fragment list is re-walked in forward order (recomputing alpha and
+//!   transmittance from the SoA splat arrays), then the reverse recursion of
+//!   Eq. 4 runs with suffix accumulators.
+//! * [`backward_fused_with`] consumes the fragment records a fused forward
+//!   pass ([`crate::render_fused_with`]) cached — the re-walk disappears and
+//!   forward + backward share one tile traversal. Because the cache holds
+//!   exactly the values the re-walk would recompute, the gradients are
+//!   bitwise-identical.
+//!
+//! Analytic gradients are verified against central finite differences in
+//! `tests/grad_check.rs`.
 
 use crate::camera::PinholeCamera;
-use crate::forward::{fragment_alpha, pixel_center, ALPHA_MAX, ALPHA_MIN, TERMINATION_THRESHOLD};
+use crate::forward::{
+    fragment_alpha_fast, gather_tile, pixel_center, FragmentCache, TileSplat, ALPHA_MAX,
+    TERMINATION_THRESHOLD,
+};
 use crate::gaussian::{GaussianGrad, GaussianScene};
 use crate::project::{jacobian_with_clamp, Projected2d, Projection};
 use crate::tiles::TileAssignment;
@@ -81,25 +93,25 @@ pub struct BackwardOutput {
 /// Per-Gaussian accumulator of 2D (image-plane) gradients — the data the
 /// hardware's Stage Buffer holds between GMU and PE.
 #[derive(Debug, Clone, Copy, Default)]
-struct Accum2d {
+pub(crate) struct Accum2d {
     /// `dL/dμ★` (2D mean).
-    mean: Vec2,
+    pub(crate) mean: Vec2,
     /// `dL/d conic` in full-matrix convention (`xy` is the gradient of each
     /// off-diagonal entry).
-    conic: Sym2,
+    pub(crate) conic: Sym2,
     /// `dL/d color`.
-    color: Vec3,
+    pub(crate) color: Vec3,
     /// `dL/d o` (activated opacity).
-    opacity: f32,
+    pub(crate) opacity: f32,
     /// `dL/d t_z` via the blended depth map.
-    depth: f32,
+    pub(crate) depth: f32,
     /// Whether any fragment touched this Gaussian.
-    hit: bool,
+    pub(crate) hit: bool,
 }
 
 impl Accum2d {
     /// Adds another tile's partial accumulation for the same Gaussian.
-    fn merge(&mut self, rhs: &Accum2d) {
+    pub(crate) fn merge(&mut self, rhs: &Accum2d) {
         self.mean += rhs.mean;
         self.conic = self.conic + rhs.conic;
         self.color += rhs.color;
@@ -116,19 +128,19 @@ impl Accum2d {
 /// by the tile grid alone and the result is bitwise-identical on every
 /// backend and pool size.
 #[derive(Default)]
-struct TilePartial {
+pub(crate) struct TilePartial {
     /// One accumulator per entry of the tile's splat list (empty when the
     /// tile received no gradient).
-    accum: Vec<Accum2d>,
+    pub(crate) accum: Vec<Accum2d>,
     /// Fragment-level gradient events in this tile.
-    events: u64,
+    pub(crate) events: u64,
 }
 
 /// One recomputed fragment during the backward re-walk.
-struct FragmentRecord<'a> {
-    splat: &'a Projected2d,
-    /// Position of the splat in the tile's list (indexes the tile partial).
-    slot: usize,
+struct FragmentRecord {
+    /// Position of the splat in the tile's list (indexes the gathered
+    /// working set and the tile partial).
+    list_pos: usize,
     alpha: f32,
     weight: f32,
     t_before: f32,
@@ -156,12 +168,12 @@ pub fn backward(
 /// [`backward`] on an explicit execution backend.
 ///
 /// Step ❹ runs chunked over tiles: each tile accumulates gradients into its
-/// own [`TilePartial`] and the calling thread folds the partials in tile
+/// own `TilePartial` and the calling thread folds the partials in tile
 /// order (the software analog of the paper's GMU gradient merging — the
 /// atomic-add contention of Observation 4 is what this structure removes).
 /// Step ❺ runs chunked over Gaussians with per-chunk pose-tangent partials
 /// folded in chunk order. Both reduction trees are fixed by constants
-/// ([`BP_TILE_CHUNK`], [`BP_GAUSS_CHUNK`]) rather than the worker count, so
+/// (`BP_TILE_CHUNK`, `BP_GAUSS_CHUNK`) rather than the worker count, so
 /// gradients are bitwise-identical on every backend and pool size.
 ///
 /// # Panics
@@ -174,6 +186,70 @@ pub fn backward_with(
     camera: &PinholeCamera,
     w2c: &Se3,
     pixel_grads: &PixelGrads,
+    backend: &dyn Backend,
+) -> BackwardOutput {
+    backward_impl(
+        scene,
+        projection,
+        tiles,
+        camera,
+        w2c,
+        pixel_grads,
+        None,
+        backend,
+    )
+}
+
+/// [`backward_with`] consuming the fragment records of a fused forward pass
+/// instead of re-walking each pixel's splat list.
+///
+/// `fragments` must come from [`crate::render_fused_with`] over the same
+/// `(projection, tiles, camera)` triple. The cached records hold exactly
+/// the values the re-walk recomputes (fragment order, alpha, Gaussian
+/// weight, incoming transmittance), so the output is bitwise-identical to
+/// [`backward_with`] — property-tested in `tests/soa_equivalence.rs`.
+///
+/// # Panics
+///
+/// Panics if the gradient buffers do not match `camera`'s pixel count or if
+/// `fragments` does not cover the tile grid.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_fused_with(
+    scene: &GaussianScene,
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    w2c: &Se3,
+    pixel_grads: &PixelGrads,
+    fragments: &FragmentCache,
+    backend: &dyn Backend,
+) -> BackwardOutput {
+    assert_eq!(
+        fragments.tiles.len(),
+        tiles.tile_count(),
+        "fragment cache must cover the tile grid"
+    );
+    backward_impl(
+        scene,
+        projection,
+        tiles,
+        camera,
+        w2c,
+        pixel_grads,
+        Some(fragments),
+        backend,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backward_impl(
+    scene: &GaussianScene,
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    w2c: &Se3,
+    pixel_grads: &PixelGrads,
+    fragments: Option<&FragmentCache>,
     backend: &dyn Backend,
 ) -> BackwardOutput {
     assert_eq!(pixel_grads.color.len(), camera.pixel_count());
@@ -190,8 +266,23 @@ pub fn backward_with(
     {
         let partial_view = SharedSlice::new(&mut partials);
         backend.for_each_chunk(tile_count, BP_TILE_CHUNK, &|_, range| {
+            // Per-chunk scratch, reused across the chunk's tiles.
+            let mut gathered: Vec<TileSplat> = Vec::new();
             for tile in range {
-                let partial = backward_tile(tile, projection, tiles, camera, pixel_grads);
+                let partial = match fragments {
+                    Some(cache) => backward_tile_fused(
+                        tile,
+                        projection,
+                        tiles,
+                        camera,
+                        pixel_grads,
+                        &cache.tiles[tile],
+                        &mut gathered,
+                    ),
+                    None => {
+                        backward_tile(tile, projection, tiles, camera, pixel_grads, &mut gathered)
+                    }
+                };
                 // SAFETY: one partial slot per tile.
                 unsafe { partial_view.write(tile, partial) };
             }
@@ -200,16 +291,17 @@ pub fn backward_with(
 
     // Deterministic fold: tile order, then tile-list order within a tile —
     // the same tree regardless of how the partials were computed.
+    let soa = &projection.soa;
     let mut accum = vec![Accum2d::default(); scene.len()];
     for (tile, partial) in partials.iter().enumerate() {
         stats.fragment_grad_events += partial.events;
         if partial.accum.is_empty() {
             continue;
         }
-        for (slot, &id) in tiles.tile_lists[tile].iter().enumerate() {
-            let a = &partial.accum[slot];
+        for (pos, &slot) in tiles.tile_lists[tile].iter().enumerate() {
+            let a = &partial.accum[pos];
             if a.hit {
-                accum[id as usize].merge(a);
+                accum[soa.gaussian_ids[slot as usize] as usize].merge(a);
             }
         }
     }
@@ -235,15 +327,16 @@ pub fn backward_with(
                 if !a.hit {
                     continue;
                 }
-                let Some(splat) = projection.splats[id].as_ref() else {
+                let Some(slot) = soa.slot(id) else {
                     continue;
                 };
+                let splat = soa.get(slot);
                 touched += 1;
                 // SAFETY: each Gaussian id is written by at most one chunk.
                 let out = unsafe { grad_view.get_mut(id) };
                 preprocess_one(
                     &scene.gaussians[id],
-                    splat,
+                    &splat,
                     a,
                     camera,
                     &rot_w2c,
@@ -273,7 +366,8 @@ pub fn backward_with(
     }
 }
 
-/// Step ❹ for one tile: re-walks every pixel of the tile and accumulates
+/// Step ❹ for one tile (re-walk variant): reconstructs every pixel's
+/// fragment sequence from the gathered SoA working set and accumulates
 /// per-Gaussian 2D gradients into a tile-local partial.
 fn backward_tile(
     tile: usize,
@@ -281,12 +375,14 @@ fn backward_tile(
     tiles: &TileAssignment,
     camera: &PinholeCamera,
     pixel_grads: &PixelGrads,
+    gathered: &mut Vec<TileSplat>,
 ) -> TilePartial {
     let list = &tiles.tile_lists[tile];
     let mut partial = TilePartial::default();
     if list.is_empty() {
         return partial;
     }
+    gather_tile(&projection.soa, list, gathered);
     let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
     let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
     let mut fragments: Vec<FragmentRecord> = Vec::with_capacity(64);
@@ -310,17 +406,12 @@ fn backward_tile(
             // Re-walk forward to reconstruct the fragment sequence.
             fragments.clear();
             let mut t = 1.0f32;
-            for (slot, &id) in list.iter().enumerate() {
-                let Some(splat) = projection.splats[id as usize].as_ref() else {
+            for (pos, s) in gathered.iter().enumerate() {
+                let Some((alpha, weight)) = fragment_alpha_fast(s, p) else {
                     continue;
                 };
-                let (alpha, weight) = fragment_alpha(splat, p);
-                if alpha < ALPHA_MIN {
-                    continue;
-                }
                 fragments.push(FragmentRecord {
-                    splat,
-                    slot,
+                    list_pos: pos,
                     alpha,
                     weight,
                     t_before: t,
@@ -331,55 +422,140 @@ fn backward_tile(
                 }
             }
 
-            // Reverse recursion (Eq. 4) with suffix accumulators. `t` now
-            // holds the pixel's final transmittance; the T-channel chain is
-            // dT_final/dα_k = -T_final/(1-α_k).
-            let t_final = t;
-            let mut suffix_color = Vec3::ZERO;
-            let mut suffix_depth = 0.0f32;
-            for frag in fragments.iter().rev() {
-                let s = frag.splat;
-                let t_k = frag.t_before;
-                let alpha = frag.alpha;
-                let w = t_k * alpha;
-                let one_minus = 1.0 - alpha;
-
-                let dc_dalpha = s.color * t_k - suffix_color / one_minus;
-                let dd_dalpha = s.depth * t_k - suffix_depth / one_minus;
-                let dt_dalpha = -t_final / one_minus;
-                let dl_dalpha = g_color.dot(dc_dalpha) + g_depth * dd_dalpha + g_trans * dt_dalpha;
-
-                let a = &mut partial.accum[frag.slot];
-                a.hit = true;
-                a.color += g_color * w;
-                a.depth += g_depth * w;
-
-                // Alpha clamping (Eq. 2 output capped at ALPHA_MAX) zeroes
-                // the parameter gradient at the cap.
-                if alpha < ALPHA_MAX {
-                    a.opacity += dl_dalpha * frag.weight;
-                    let dl_dq = -0.5 * dl_dalpha * s.opacity * frag.weight;
-                    let delta = p - s.mean;
-                    let conic_delta = s.conic.mul_vec(delta);
-                    a.mean += conic_delta * (-2.0 * dl_dq);
-                    a.conic = a.conic
-                        + Sym2::new(delta.x * delta.x, delta.x * delta.y, delta.y * delta.y)
-                            * dl_dq;
-                }
-                partial.events += 1;
-
-                suffix_color += s.color * w;
-                suffix_depth += s.depth * w;
-            }
+            // `t` now holds the pixel's final transmittance.
+            reverse_recursion(
+                gathered,
+                &mut partial,
+                p,
+                t,
+                g_color,
+                g_depth,
+                g_trans,
+                fragments
+                    .iter()
+                    .map(|f| (f.list_pos, f.alpha, f.weight, f.t_before)),
+            );
         }
     }
     partial
 }
 
+/// Step ❹ for one tile (fused variant): consumes the fragment records the
+/// fused forward pass cached — no re-walk, no alpha recomputation.
+fn backward_tile_fused(
+    tile: usize,
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    pixel_grads: &PixelGrads,
+    cached: &crate::forward::TileFragments,
+    gathered: &mut Vec<TileSplat>,
+) -> TilePartial {
+    let list = &tiles.tile_lists[tile];
+    let mut partial = TilePartial::default();
+    if list.is_empty() {
+        return partial;
+    }
+    gather_tile(&projection.soa, list, gathered);
+    let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
+    let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
+    let mut touched = false;
+
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let idx = y * camera.width + x;
+            let g_color = pixel_grads.color[idx];
+            let g_depth = pixel_grads.depth[idx];
+            let g_trans = pixel_grads.transmittance[idx];
+            if g_color == Vec3::ZERO && g_depth == 0.0 && g_trans == 0.0 {
+                continue;
+            }
+            if !touched {
+                touched = true;
+                partial.accum = vec![Accum2d::default(); list.len()];
+            }
+            let p = pixel_center(x, y);
+            let pi = (y - y0) * (x1 - x0) + (x - x0);
+            let frags = cached.pixel_fragments(pi);
+            // The final transmittance is one multiply past the last cached
+            // fragment — exactly the forward pass's last update of `t`.
+            let t_final = frags
+                .last()
+                .map(|f| f.t_before * (1.0 - f.alpha))
+                .unwrap_or(1.0);
+            reverse_recursion(
+                gathered,
+                &mut partial,
+                p,
+                t_final,
+                g_color,
+                g_depth,
+                g_trans,
+                frags
+                    .iter()
+                    .map(|f| (f.list_pos as usize, f.alpha, f.weight, f.t_before)),
+            );
+        }
+    }
+    partial
+}
+
+/// The reverse recursion of Eq. 4 with suffix accumulators, over one pixel's
+/// fragment sequence `(list_pos, alpha, weight, t_before)` given in forward
+/// order. Shared between the re-walk and fused Step-❹ drivers so both run
+/// the identical floating-point program.
+#[allow(clippy::too_many_arguments)]
+fn reverse_recursion<I>(
+    gathered: &[TileSplat],
+    partial: &mut TilePartial,
+    p: Vec2,
+    t_final: f32,
+    g_color: Vec3,
+    g_depth: f32,
+    g_trans: f32,
+    fragments: I,
+) where
+    I: Iterator<Item = (usize, f32, f32, f32)> + DoubleEndedIterator,
+{
+    let mut suffix_color = Vec3::ZERO;
+    let mut suffix_depth = 0.0f32;
+    for (list_pos, alpha, weight, t_k) in fragments.rev() {
+        let s = &gathered[list_pos];
+        let w = t_k * alpha;
+        let one_minus = 1.0 - alpha;
+
+        let dc_dalpha = s.color * t_k - suffix_color / one_minus;
+        let dd_dalpha = s.depth * t_k - suffix_depth / one_minus;
+        let dt_dalpha = -t_final / one_minus;
+        let dl_dalpha = g_color.dot(dc_dalpha) + g_depth * dd_dalpha + g_trans * dt_dalpha;
+
+        let a = &mut partial.accum[list_pos];
+        a.hit = true;
+        a.color += g_color * w;
+        a.depth += g_depth * w;
+
+        // Alpha clamping (Eq. 2 output capped at ALPHA_MAX) zeroes
+        // the parameter gradient at the cap.
+        if alpha < ALPHA_MAX {
+            a.opacity += dl_dalpha * weight;
+            let dl_dq = -0.5 * dl_dalpha * s.opacity * weight;
+            let delta = p - s.mean;
+            let conic_delta = s.conic.mul_vec(delta);
+            a.mean += conic_delta * (-2.0 * dl_dq);
+            a.conic = a.conic
+                + Sym2::new(delta.x * delta.x, delta.x * delta.y, delta.y * delta.y) * dl_dq;
+        }
+        partial.events += 1;
+
+        suffix_color += s.color * w;
+        suffix_depth += s.depth * w;
+    }
+}
+
 /// Step ❺ for one Gaussian: chains the aggregated 2D gradients to the 3D
 /// parameters and accumulates the camera-pose tangent contribution.
 #[allow(clippy::too_many_arguments)]
-fn preprocess_one(
+pub(crate) fn preprocess_one(
     g: &crate::gaussian::Gaussian3d,
     splat: &Projected2d,
     a: &Accum2d,
@@ -546,7 +722,7 @@ fn quat_backward(q_raw: rtgs_math::Quat, dl_dr: &Mat3) -> [f32; 4] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::forward::render;
+    use crate::forward::{render, render_fused};
     use crate::gaussian::Gaussian3d;
     use crate::project::project_scene;
     use rtgs_math::Quat;
@@ -648,5 +824,50 @@ mod tests {
         let out = backward(&scene, &proj, &tiles, &cam, &Se3::IDENTITY, &grads);
         assert!(out.gaussians[0].cov_frobenius > 0.0);
         assert!(out.gaussians[0].importance_score(0.8) > 0.0);
+    }
+
+    #[test]
+    fn fused_backward_matches_rewalk_bitwise() {
+        let scene = GaussianScene::from_gaussians(vec![
+            one_gaussian_scene().gaussians[0],
+            Gaussian3d::from_activated(
+                Vec3::new(0.3, -0.2, 3.0),
+                Vec3::splat(0.8),
+                Quat::IDENTITY,
+                0.8,
+                Vec3::new(0.1, 0.9, 0.4),
+            ),
+        ]);
+        let (proj, tiles) = setup(&scene);
+        let cam = camera();
+        let fused = render_fused(&proj, &tiles, &cam);
+        let mut grads = PixelGrads::zeros(cam.width, cam.height);
+        for (i, g) in grads.color.iter_mut().enumerate() {
+            *g = Vec3::new(1.0, -0.5, 0.25) * ((i % 7) as f32 - 3.0);
+        }
+        for (i, g) in grads.depth.iter_mut().enumerate() {
+            *g = ((i % 5) as f32 - 2.0) * 0.1;
+        }
+        let rewalk = backward_with(&scene, &proj, &tiles, &cam, &Se3::IDENTITY, &grads, &Serial);
+        let fused_out = backward_fused_with(
+            &scene,
+            &proj,
+            &tiles,
+            &cam,
+            &Se3::IDENTITY,
+            &grads,
+            &fused.fragments,
+            &Serial,
+        );
+        assert_eq!(rewalk.gaussians, fused_out.gaussians);
+        assert_eq!(rewalk.pose, fused_out.pose);
+        assert_eq!(
+            rewalk.stats.fragment_grad_events,
+            fused_out.stats.fragment_grad_events
+        );
+        assert_eq!(
+            rewalk.stats.gaussians_touched,
+            fused_out.stats.gaussians_touched
+        );
     }
 }

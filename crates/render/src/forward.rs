@@ -1,10 +1,21 @@
 //! Step ❸ Rendering: per-pixel alpha computing and alpha blending
 //! (paper Eqs. 2–3) with early ray termination.
+//!
+//! The kernel walks the projection's structure-of-arrays splat storage
+//! ([`crate::ProjectedSoA`]): each tile first gathers its (depth-sorted)
+//! splats into a compact contiguous working set — the software analog of
+//! staging a tile's Gaussians in shared memory — and every pixel of the tile
+//! then streams that working set sequentially. The fused variant
+//! ([`render_fused_with`]) additionally records, per pixel, the exact
+//! fragment sequence the blend produced (alpha, Gaussian weight, incoming
+//! transmittance), which is precisely the bookkeeping the backward pass
+//! otherwise has to reconstruct by re-walking the sorted splat list — so
+//! forward and backward share one tile traversal.
 
 use crate::camera::{DepthImage, Image, PinholeCamera};
-use crate::project::Projection;
+use crate::project::{ProjectedSoA, Projection};
 use crate::tiles::TileAssignment;
-use rtgs_math::{Vec2, Vec3};
+use rtgs_math::{Sym2, Vec2, Vec3};
 use rtgs_runtime::{Backend, Serial, SharedSlice};
 
 /// Tiles per chunk in the parallel forward render (fixed by the algorithm,
@@ -58,25 +69,167 @@ impl RenderOutput {
     }
 }
 
+/// One fragment the forward blend produced at one pixel, cached for the
+/// fused backward pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedFragment {
+    /// Position of the splat in the tile's depth-sorted list (indexes both
+    /// the tile's gathered working set and the backward tile partial).
+    pub list_pos: u32,
+    /// Blended alpha (Eq. 2, clamped to [`ALPHA_MAX`]).
+    pub alpha: f32,
+    /// Gaussian weight `G = exp(-q/2)` (pre-opacity), needed by Eq. 4.
+    pub weight: f32,
+    /// Transmittance *before* this fragment was blended.
+    pub t_before: f32,
+}
+
+/// Per-tile fragment records from one fused forward pass.
+#[derive(Debug, Clone, Default)]
+pub struct TileFragments {
+    /// Blended fragments of the whole tile, pixel-major (row-major pixel
+    /// order within the tile rectangle, front-to-back within each pixel).
+    pub frags: Vec<CachedFragment>,
+    /// Per-pixel exclusive offsets into [`Self::frags`]; length is the
+    /// tile's pixel count + 1. Empty when the tile had no splats.
+    pub offsets: Vec<u32>,
+}
+
+impl TileFragments {
+    /// The fragments of pixel `pi` (row-major index within the tile rect).
+    #[inline]
+    pub fn pixel_fragments(&self, pi: usize) -> &[CachedFragment] {
+        if self.offsets.is_empty() {
+            return &[];
+        }
+        let start = self.offsets[pi] as usize;
+        let end = self.offsets[pi + 1] as usize;
+        &self.frags[start..end]
+    }
+}
+
+/// The transmittance bookkeeping a fused forward pass hands to the backward
+/// pass: per tile, the exact fragment sequence every pixel blended.
+#[derive(Debug, Clone, Default)]
+pub struct FragmentCache {
+    /// One record set per tile (row-major tile grid).
+    pub tiles: Vec<TileFragments>,
+}
+
+impl FragmentCache {
+    /// Total cached fragments (equals the forward pass's
+    /// [`RenderStats::fragments_blended`]).
+    pub fn total_fragments(&self) -> u64 {
+        self.tiles.iter().map(|t| t.frags.len() as u64).sum()
+    }
+}
+
+/// Result of a fused forward render: the image plus the per-tile fragment
+/// records the backward pass consumes instead of re-walking the splat lists.
+#[derive(Debug, Clone)]
+pub struct FusedRender {
+    /// Forward render output (bitwise-identical to [`render_with`]).
+    pub output: RenderOutput,
+    /// Fragment records for [`crate::backward_fused_with`].
+    pub fragments: FragmentCache,
+}
+
 /// Center of pixel `(x, y)` in continuous pixel coordinates.
 #[inline]
 pub(crate) fn pixel_center(x: usize, y: usize) -> Vec2 {
     Vec2::new(x as f32 + 0.5, y as f32 + 0.5)
 }
 
-/// Evaluates the alpha of splat `s` at pixel position `p` (Eq. 2), returning
-/// `(alpha_clamped, gaussian_weight)`. The weight `G = exp(-q/2)` is
-/// returned separately because backpropagation needs it.
+/// Evaluates the alpha of a splat (given its 2D mean, conic and activated
+/// opacity) at pixel position `p` (Eq. 2), returning `(alpha_clamped,
+/// gaussian_weight)`. The weight `G = exp(-q/2)` is returned separately
+/// because backpropagation needs it.
 #[inline]
-pub(crate) fn fragment_alpha(s: &crate::project::Projected2d, p: Vec2) -> (f32, f32) {
-    let d = p - s.mean;
-    let q = s.conic.quadratic_form(d);
+pub(crate) fn fragment_alpha(mean: Vec2, conic: &Sym2, opacity: f32, p: Vec2) -> (f32, f32) {
+    let d = p - mean;
+    let q = conic.quadratic_form(d);
     if q < 0.0 {
         // Numerically indefinite conic; treat as no contribution.
         return (0.0, 0.0);
     }
     let g = (-0.5 * q).exp();
-    ((s.opacity * g).min(ALPHA_MAX), g)
+    ((opacity * g).min(ALPHA_MAX), g)
+}
+
+/// Safety margin added to the per-splat quadratic-form cutoff. An exact
+/// real-valued cutoff sits where `opacity·exp(-q/2) == ALPHA_MIN`; fragments
+/// beyond `q_cut = cutoff + margin` have an exact alpha at least a factor
+/// `exp(margin/2) − 1 ≈ 5·10⁻⁴` below `ALPHA_MIN`, which dominates the few
+/// ULP of f32 rounding in `ln`/`exp` — so skipping them can never disagree
+/// with the exact `alpha < ALPHA_MIN` test.
+const Q_CUT_MARGIN: f32 = 1e-3;
+
+/// The conservative quadratic-form cutoff of a splat with the given
+/// activated opacity (see [`Q_CUT_MARGIN`]). Depends only on the opacity,
+/// so the projection scatter computes it once per visible splat.
+#[inline]
+pub(crate) fn splat_q_cut(opacity: f32) -> f32 {
+    2.0 * (opacity / ALPHA_MIN).ln() + Q_CUT_MARGIN
+}
+
+/// The hot-loop working set of one splat, gathered per tile from the SoA
+/// arrays so the per-pixel fragment walk is a sequential stream over a
+/// compact buffer (no cold fields, no indirection).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TileSplat {
+    /// 2D mean in pixel coordinates.
+    pub mean: Vec2,
+    /// Conic (inverse 2D covariance).
+    pub conic: Sym2,
+    /// Activated opacity.
+    pub opacity: f32,
+    /// RGB color.
+    pub color: Vec3,
+    /// Camera-frame depth.
+    pub depth: f32,
+    /// Conservative quadratic-form cutoff: `q > q_cut` proves
+    /// `alpha < ALPHA_MIN` without evaluating the exponential.
+    pub q_cut: f32,
+}
+
+/// Gathers a tile's depth-sorted splat list from the SoA arrays into a
+/// reusable contiguous working set (cleared first).
+pub(crate) fn gather_tile(soa: &ProjectedSoA, list: &[u32], out: &mut Vec<TileSplat>) {
+    out.clear();
+    out.reserve(list.len());
+    for &slot in list {
+        let s = slot as usize;
+        out.push(TileSplat {
+            mean: soa.means[s],
+            conic: soa.conics[s],
+            opacity: soa.opacities[s],
+            color: soa.colors[s],
+            depth: soa.depths[s],
+            q_cut: soa.q_cuts[s],
+        });
+    }
+}
+
+/// [`fragment_alpha`] over a gathered [`TileSplat`], short-circuiting the
+/// exponential when the quadratic form alone proves the fragment cannot
+/// reach [`ALPHA_MIN`]. Returns `None` exactly when the exact test would
+/// have skipped the fragment; `Some` values are bitwise-identical to
+/// [`fragment_alpha`].
+#[inline]
+pub(crate) fn fragment_alpha_fast(s: &TileSplat, p: Vec2) -> Option<(f32, f32)> {
+    let d = p - s.mean;
+    let q = s.conic.quadratic_form(d);
+    // q < 0: numerically indefinite conic — the exact path treats it as no
+    // contribution. q > q_cut: alpha provably below ALPHA_MIN.
+    if q < 0.0 || q > s.q_cut {
+        return None;
+    }
+    let g = (-0.5 * q).exp();
+    let alpha = (s.opacity * g).min(ALPHA_MAX);
+    if alpha < ALPHA_MIN {
+        return None;
+    }
+    Some((alpha, g))
 }
 
 /// Renders the projected splats into an image (Step ❸).
@@ -105,12 +258,59 @@ pub fn render_with(
     camera: &PinholeCamera,
     backend: &dyn Backend,
 ) -> RenderOutput {
+    render_impl::<false>(projection, tiles, camera, backend).0
+}
+
+/// Fused forward render: [`render`] plus per-pixel fragment records for the
+/// backward pass, from one tile traversal (serial backend).
+pub fn render_fused(
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+) -> FusedRender {
+    render_fused_with(projection, tiles, camera, &Serial)
+}
+
+/// [`render_fused`] on an explicit execution backend.
+///
+/// The blend math is the same monomorphized kernel as [`render_with`] —
+/// recording only copies values the blend already computed — so the
+/// [`RenderOutput`] is bitwise-identical to the unfused pass, and the
+/// cached fragments are bitwise-identical to what a backward re-walk would
+/// reconstruct.
+pub fn render_fused_with(
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    backend: &dyn Backend,
+) -> FusedRender {
+    let (output, fragments) = render_impl::<true>(projection, tiles, camera, backend);
+    FusedRender {
+        output,
+        fragments: fragments.expect("recording pass returns a cache"),
+    }
+}
+
+/// Shared tile-traversal kernel; `RECORD` statically selects the fused
+/// (fragment-recording) instantiation.
+fn render_impl<const RECORD: bool>(
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    backend: &dyn Backend,
+) -> (RenderOutput, Option<FragmentCache>) {
+    let soa = &projection.soa;
     let mut image = Image::new(camera.width, camera.height);
     let mut depth = DepthImage::new(camera.width, camera.height);
     let mut final_t = vec![1.0f32; camera.pixel_count()];
     let mut workloads = vec![0u32; camera.pixel_count()];
     let tile_count = tiles.tile_count();
     let mut tile_stats = vec![RenderStats::default(); tile_count];
+    let mut frag_tiles: Vec<TileFragments> = if RECORD {
+        vec![TileFragments::default(); tile_count]
+    } else {
+        Vec::new()
+    };
 
     {
         let image_view = SharedSlice::new(image.data_mut());
@@ -118,15 +318,25 @@ pub fn render_with(
         let t_view = SharedSlice::new(&mut final_t);
         let workload_view = SharedSlice::new(&mut workloads);
         let stats_view = SharedSlice::new(&mut tile_stats);
+        let frag_view = SharedSlice::new(&mut frag_tiles);
         backend.for_each_chunk(tile_count, RENDER_CHUNK, &|_, range| {
+            // Per-chunk scratch: the gathered working set is reused across
+            // the chunk's tiles to amortize allocation.
+            let mut gathered: Vec<TileSplat> = Vec::new();
             for tile in range {
                 let list = &tiles.tile_lists[tile];
                 if list.is_empty() {
                     continue;
                 }
+                gather_tile(soa, list, &mut gathered);
                 let mut stats = RenderStats::default();
                 let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
                 let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
+                let mut tf = TileFragments::default();
+                if RECORD {
+                    tf.offsets = Vec::with_capacity((y1 - y0) * (x1 - x0) + 1);
+                    tf.offsets.push(0);
+                }
                 for y in y0..y1 {
                     for x in x0..x1 {
                         let p = pixel_center(x, y);
@@ -134,24 +344,31 @@ pub fn render_with(
                         let mut d_acc = 0.0f32;
                         let mut t = 1.0f32;
                         let mut processed = 0u32;
-                        for &id in list {
-                            let Some(splat) = projection.splats[id as usize].as_ref() else {
+                        for (pos, s) in gathered.iter().enumerate() {
+                            processed += 1;
+                            let Some((alpha, weight)) = fragment_alpha_fast(s, p) else {
                                 continue;
                             };
-                            processed += 1;
-                            stats.fragments_processed += 1;
-                            let (alpha, _) = fragment_alpha(splat, p);
-                            if alpha < ALPHA_MIN {
-                                continue;
-                            }
                             stats.fragments_blended += 1;
-                            color += splat.color * (t * alpha);
-                            d_acc += splat.depth * (t * alpha);
+                            if RECORD {
+                                tf.frags.push(CachedFragment {
+                                    list_pos: pos as u32,
+                                    alpha,
+                                    weight,
+                                    t_before: t,
+                                });
+                            }
+                            color += s.color * (t * alpha);
+                            d_acc += s.depth * (t * alpha);
                             t *= 1.0 - alpha;
                             if t < TERMINATION_THRESHOLD {
                                 stats.early_terminated_pixels += 1;
                                 break;
                             }
+                        }
+                        stats.fragments_processed += processed as u64;
+                        if RECORD {
+                            tf.offsets.push(tf.frags.len() as u32);
                         }
                         let idx = y * camera.width + x;
                         // SAFETY: tiles partition the image, so this pixel
@@ -164,8 +381,11 @@ pub fn render_with(
                         }
                     }
                 }
-                // SAFETY: one stats slot per tile.
+                // SAFETY: one stats (and fragment) slot per tile.
                 unsafe { stats_view.write(tile, stats) };
+                if RECORD {
+                    unsafe { frag_view.write(tile, tf) };
+                }
             }
         });
     }
@@ -177,13 +397,19 @@ pub fn render_with(
         stats.early_terminated_pixels += ts.early_terminated_pixels;
     }
 
-    RenderOutput {
+    let output = RenderOutput {
         image,
         depth,
         final_transmittance: final_t,
         pixel_workloads: workloads,
         stats,
-    }
+    };
+    let cache = if RECORD {
+        Some(FragmentCache { tiles: frag_tiles })
+    } else {
+        None
+    };
+    (output, cache)
 }
 
 #[cfg(test)]
@@ -313,8 +539,61 @@ mod tests {
         let scene = GaussianScene::from_gaussians(vec![big_gaussian(2.0, 0.9999, Vec3::X)]);
         let cam = camera();
         let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
-        let splat = proj.splats[0].unwrap();
-        let (alpha, _) = fragment_alpha(&splat, splat.mean);
+        let splat = proj.splat_for_gaussian(0).unwrap();
+        let (alpha, _) = fragment_alpha(splat.mean, &splat.conic, splat.opacity, splat.mean);
         assert!(alpha <= ALPHA_MAX);
+    }
+
+    #[test]
+    fn fused_render_matches_unfused_bitwise() {
+        let scene = GaussianScene::from_gaussians(vec![
+            big_gaussian(2.0, 0.5, Vec3::X),
+            big_gaussian(3.0, 0.7, Vec3::Y),
+        ]);
+        let cam = camera();
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        let plain = render(&proj, &tiles, &cam);
+        let fused = render_fused(&proj, &tiles, &cam);
+        assert_eq!(plain.image, fused.output.image);
+        assert_eq!(plain.depth, fused.output.depth);
+        assert_eq!(plain.final_transmittance, fused.output.final_transmittance);
+        assert_eq!(plain.stats, fused.output.stats);
+        // Every blended fragment was recorded.
+        assert_eq!(
+            fused.fragments.total_fragments(),
+            plain.stats.fragments_blended
+        );
+    }
+
+    #[test]
+    fn cached_fragments_reproduce_transmittance() {
+        let scene = GaussianScene::from_gaussians(vec![
+            big_gaussian(2.0, 0.5, Vec3::X),
+            big_gaussian(3.0, 0.7, Vec3::Y),
+        ]);
+        let cam = camera();
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        let fused = render_fused(&proj, &tiles, &cam);
+        // Replaying each pixel's cached fragments must land exactly on the
+        // recorded final transmittance.
+        for (tile, tf) in fused.fragments.tiles.iter().enumerate() {
+            if tf.offsets.is_empty() {
+                continue;
+            }
+            let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
+            let (x0, y0, x1, _) = tiles.tile_pixel_rect(tx, ty, &cam);
+            let width = x1 - x0;
+            for pi in 0..tf.offsets.len() - 1 {
+                let frags = tf.pixel_fragments(pi);
+                let t = frags
+                    .last()
+                    .map(|f| f.t_before * (1.0 - f.alpha))
+                    .unwrap_or(1.0);
+                let (x, y) = (x0 + pi % width, y0 + pi / width);
+                assert_eq!(t, fused.output.final_transmittance[y * cam.width + x]);
+            }
+        }
     }
 }

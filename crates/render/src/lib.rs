@@ -3,18 +3,24 @@
 //! Implements the five pipeline steps of the paper (Sec. 2.1–2.2):
 //!
 //! 1. **Preprocessing** ([`project_scene`]) — EWA projection of 3D Gaussians
-//!    to 2D splats plus tile intersection ([`TileAssignment`]).
+//!    to 2D splats compacted into a structure-of-arrays layout
+//!    ([`ProjectedSoA`]) plus tile intersection ([`TileAssignment`]).
 //! 2. **Sorting** — per-tile front-to-back depth sort (inside
-//!    [`TileAssignment::build`]).
+//!    [`TileAssignment::build`]) straight off the SoA depth array.
 //! 3. **Rendering** ([`render`]) — per-pixel alpha computing and blending
-//!    with early ray termination (Eqs. 2–3).
+//!    with early ray termination (Eqs. 2–3), streaming a per-tile gathered
+//!    working set. The fused variant ([`render_fused`]) also records every
+//!    pixel's fragment sequence for step 4.
 //! 4. **Rendering BP** ([`backward`]) — loss gradients to per-Gaussian 2D
-//!    gradients (Eq. 4).
+//!    gradients (Eq. 4); [`backward_fused_with`] consumes the fused
+//!    forward's fragment records instead of re-walking the splat lists.
 //! 5. **Preprocessing BP** (also in [`backward`]) — 2D gradients to 3D
 //!    parameter gradients and the camera-pose tangent.
 //!
-//! The analytic backward pass is verified against finite differences in
-//! `tests/grad_check.rs`.
+//! The seed's array-of-structs path survives in [`mod@reference`] as the bitwise
+//! ground truth; `tests/soa_equivalence.rs` proves AoS == SoA == fused, bit
+//! for bit, over random scenes. The analytic backward pass is verified
+//! against finite differences in `tests/grad_check.rs`.
 //!
 //! # Example
 //!
@@ -51,19 +57,24 @@ mod forward;
 mod gaussian;
 mod loss;
 mod project;
+pub mod reference;
 mod tiles;
 mod trace;
 
-pub use backward::{backward, backward_with, BackwardOutput, BackwardStats, PixelGrads};
+pub use backward::{
+    backward, backward_fused_with, backward_with, BackwardOutput, BackwardStats, PixelGrads,
+};
 pub use camera::{DepthImage, Image, PinholeCamera};
 pub use forward::{
-    render, render_with, RenderOutput, RenderStats, ALPHA_MAX, ALPHA_MIN, TERMINATION_THRESHOLD,
+    render, render_fused, render_fused_with, render_with, CachedFragment, FragmentCache,
+    FusedRender, RenderOutput, RenderStats, TileFragments, ALPHA_MAX, ALPHA_MIN,
+    TERMINATION_THRESHOLD,
 };
 pub use gaussian::{Gaussian3d, GaussianGrad, GaussianScene};
 pub use loss::{compute_loss, LossConfig, LossKind, LossOutput};
 pub use project::{
-    project_scene, project_scene_with, projection_jacobian, Projected2d, Projection, COV2D_BLUR,
-    NEAR_PLANE,
+    jacobian_with_clamp, project_scene, project_scene_with, projection_jacobian, Projected2d,
+    ProjectedSoA, Projection, TileRect, COV2D_BLUR, FRUSTUM_CLAMP, NEAR_PLANE, NO_SLOT,
 };
 pub use tiles::{TileAssignment, SUBTILES_PER_TILE, SUBTILE_SIZE, TILE_SIZE};
 pub use trace::WorkloadTrace;
@@ -73,12 +84,54 @@ pub use trace::WorkloadTrace;
 /// triple.
 #[derive(Debug, Clone)]
 pub struct ForwardContext {
-    /// Projected splats.
+    /// Projected splats (SoA).
     pub projection: Projection,
     /// Tile assignment (sorted).
     pub tiles: TileAssignment,
     /// Forward render output.
     pub output: RenderOutput,
+}
+
+/// A [`ForwardContext`] from a *fused* forward pass: additionally carries
+/// the per-pixel fragment records so [`backward_fused_with`] can skip the
+/// backward re-walk — forward and backward share one tile traversal.
+#[derive(Debug, Clone)]
+pub struct FusedContext {
+    /// Projected splats (SoA).
+    pub projection: Projection,
+    /// Tile assignment (sorted).
+    pub tiles: TileAssignment,
+    /// Forward render output.
+    pub output: RenderOutput,
+    /// Fragment records for the fused backward pass.
+    pub fragments: FragmentCache,
+}
+
+impl FusedContext {
+    /// Runs the fused backward pass over this context's fragment records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient buffers do not match the camera resolution.
+    pub fn backward(
+        &self,
+        scene: &GaussianScene,
+        camera: &PinholeCamera,
+        w2c: &rtgs_math::Se3,
+        pixel_grads: &PixelGrads,
+        backend: &dyn rtgs_runtime::Backend,
+    ) -> BackwardOutput {
+        backward_fused_with(
+            scene,
+            &self.projection,
+            &self.tiles,
+            camera,
+            w2c,
+            pixel_grads,
+            &self.fragments,
+            backend,
+        )
+    }
 }
 
 /// Convenience wrapper running preprocessing, sorting and rendering in one
@@ -113,6 +166,28 @@ pub fn render_frame_with(
     }
 }
 
+/// [`render_frame_with`], fused: the render additionally records the
+/// per-pixel fragment sequences so a subsequent [`backward_fused_with`]
+/// (or [`FusedContext::backward`]) skips the fragment re-walk. Output is
+/// bitwise-identical to the unfused path at any pool size.
+pub fn render_frame_fused_with(
+    scene: &GaussianScene,
+    w2c: &rtgs_math::Se3,
+    camera: &PinholeCamera,
+    active: Option<&[bool]>,
+    backend: &dyn rtgs_runtime::Backend,
+) -> FusedContext {
+    let projection = project_scene_with(scene, w2c, camera, active, backend);
+    let tiles = TileAssignment::build_with(&projection, camera, backend);
+    let fused = render_fused_with(&projection, &tiles, camera, backend);
+    FusedContext {
+        projection,
+        tiles,
+        output: fused.output,
+        fragments: fused.fragments,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +207,25 @@ mod tests {
         assert_eq!(ctx.projection.visible_count(), 1);
         assert!(ctx.output.stats.fragments_blended > 0);
         assert!(ctx.output.image.pixel(16, 16).x > 0.0);
+    }
+
+    #[test]
+    fn fused_frame_matches_plain_frame() {
+        let scene = GaussianScene::from_gaussians(vec![Gaussian3d::from_activated(
+            Vec3::new(0.1, -0.1, 2.0),
+            Vec3::splat(0.4),
+            Quat::IDENTITY,
+            0.7,
+            Vec3::new(0.2, 0.9, 0.4),
+        )]);
+        let cam = PinholeCamera::from_fov(32, 32, 1.2);
+        let plain = render_frame(&scene, &Se3::IDENTITY, &cam, None);
+        let fused =
+            render_frame_fused_with(&scene, &Se3::IDENTITY, &cam, None, &rtgs_runtime::Serial);
+        assert_eq!(plain.output.image, fused.output.image);
+        assert_eq!(
+            fused.fragments.total_fragments(),
+            plain.output.stats.fragments_blended
+        );
     }
 }

@@ -1,10 +1,20 @@
 //! Step ❶ Preprocessing: projection of 3D Gaussians to 2D splats
 //! (paper Fig. 1, Step ❶-1) via EWA splatting.
+//!
+//! The output is a dense structure-of-arrays layout ([`ProjectedSoA`]): one
+//! contiguous array per splat field (means, conic coefficients, colors,
+//! opacities, depths, tile ranges, …), indexed by *slot* — the rank of the
+//! splat among visible splats in Gaussian-ID order. The render and backward
+//! kernels walk these arrays sequentially per tile, which vectorizes and
+//! avoids dragging cold fields (covariance, camera-frame position) through
+//! the cache on the per-fragment hot path. The seed's array-of-structs path
+//! is preserved in [`crate::reference`] as the bitwise ground truth.
 
 use crate::camera::PinholeCamera;
 use crate::gaussian::{Gaussian3d, GaussianScene};
+use crate::tiles::TILE_SIZE;
 use rtgs_math::{Mat3, Se3, Sym2, Vec2, Vec3};
-use rtgs_runtime::{Backend, Serial, SharedSlice};
+use rtgs_runtime::{exclusive_prefix_sum, Backend, Serial, SharedSlice};
 
 /// Gaussians per chunk in the chunked projection. Fixed by the algorithm —
 /// never derived from the worker count — so per-chunk statistics fold
@@ -25,7 +35,14 @@ pub const FRUSTUM_CLAMP: f32 = 1.3;
 /// reference 3DGS rasterizer (ensures every splat covers at least ~1 pixel).
 pub const COV2D_BLUR: f32 = 0.3;
 
+/// Sentinel in [`ProjectedSoA::slot_of_gaussian`] for culled/masked
+/// Gaussians.
+pub const NO_SLOT: u32 = u32::MAX;
+
 /// A 3D Gaussian projected onto the image plane (a 2D splat).
+///
+/// This is the array-of-structs *view* of one [`ProjectedSoA`] slot (see
+/// [`ProjectedSoA::get`]); the pipeline stores splats field-per-array.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Projected2d {
     /// ID (index) of the source Gaussian in the scene.
@@ -48,12 +65,122 @@ pub struct Projected2d {
     pub t_cam: Vec3,
 }
 
-/// Output of the preprocessing step: one optional splat per scene Gaussian
-/// (`None` when culled or masked) plus counts for the trace model.
-#[derive(Debug, Clone)]
+/// Inclusive tile-index rectangle `[tx0, tx1, ty0, ty1]` covered by one
+/// splat's 3σ bounding square, precomputed at projection time so tile
+/// binning is a pure scatter.
+pub type TileRect = [u16; 4];
+
+/// Dense structure-of-arrays storage for the visible splats of one frame.
+///
+/// All per-splat arrays share the same length and are indexed by *slot*;
+/// slots enumerate visible splats in ascending Gaussian-ID order, so the
+/// layout — and everything derived from it — is independent of the backend
+/// and pool size that produced it. [`Self::gaussian_ids`] maps slot → source
+/// Gaussian, [`Self::slot_of_gaussian`] maps the other way ([`NO_SLOT`] when
+/// culled or masked).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProjectedSoA {
+    /// Slot → source Gaussian ID.
+    pub gaussian_ids: Vec<u32>,
+    /// Gaussian ID → slot, [`NO_SLOT`] when the Gaussian produced no splat.
+    pub slot_of_gaussian: Vec<u32>,
+    /// 2D means in pixel coordinates (`μ★`).
+    pub means: Vec<Vec2>,
+    /// Conics (inverse 2D covariances), the Eq. 2 coefficients.
+    pub conics: Vec<Sym2>,
+    /// 2D covariances with low-pass blur (`Σ★`; cold — kept off the render
+    /// hot path, used by preprocessing BP and diagnostics).
+    pub covs: Vec<Sym2>,
+    /// View-independent RGB colors.
+    pub colors: Vec<Vec3>,
+    /// Activated opacities `o`.
+    pub opacities: Vec<f32>,
+    /// Camera-frame depths `t_z` (the sort keys).
+    pub depths: Vec<f32>,
+    /// Bounding radii in pixels (3σ).
+    pub radii: Vec<f32>,
+    /// Camera-frame mean positions (cold; backpropagation only).
+    pub t_cams: Vec<Vec3>,
+    /// Per-splat conservative quadratic-form cutoffs: a fragment with
+    /// `q > q_cut` provably falls below `ALPHA_MIN`, so the render kernels
+    /// skip its exponential. Computed once here (it depends only on the
+    /// opacity) rather than at every tile gather.
+    pub q_cuts: Vec<f32>,
+    /// Inclusive tile rectangles covered by each splat.
+    pub tile_rects: Vec<TileRect>,
+    /// Tile-grid width the tile rectangles were computed for.
+    pub tiles_x: usize,
+    /// Tile-grid height the tile rectangles were computed for.
+    pub tiles_y: usize,
+}
+
+impl ProjectedSoA {
+    /// Number of visible splats.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gaussian_ids.len()
+    }
+
+    /// True when no splat survived projection.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gaussian_ids.is_empty()
+    }
+
+    /// The slot of Gaussian `id`, or `None` when it was culled or masked.
+    #[inline]
+    pub fn slot(&self, id: usize) -> Option<usize> {
+        match self.slot_of_gaussian.get(id) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Gathers slot `i` back into the array-of-structs view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    pub fn get(&self, i: usize) -> Projected2d {
+        Projected2d {
+            id: self.gaussian_ids[i],
+            mean: self.means[i],
+            cov: self.covs[i],
+            conic: self.conics[i],
+            color: self.colors[i],
+            opacity: self.opacities[i],
+            depth: self.depths[i],
+            radius: self.radii[i],
+            t_cam: self.t_cams[i],
+        }
+    }
+
+    fn with_capacity(visible: usize, scene_len: usize, tiles_x: usize, tiles_y: usize) -> Self {
+        Self {
+            gaussian_ids: vec![0; visible],
+            slot_of_gaussian: vec![NO_SLOT; scene_len],
+            means: vec![Vec2::ZERO; visible],
+            conics: vec![Sym2::default(); visible],
+            covs: vec![Sym2::default(); visible],
+            colors: vec![Vec3::ZERO; visible],
+            opacities: vec![0.0; visible],
+            depths: vec![0.0; visible],
+            radii: vec![0.0; visible],
+            t_cams: vec![Vec3::ZERO; visible],
+            q_cuts: vec![0.0; visible],
+            tile_rects: vec![[0; 4]; visible],
+            tiles_x,
+            tiles_y,
+        }
+    }
+}
+
+/// Output of the preprocessing step: the dense SoA splat arrays plus counts
+/// for the trace model.
+#[derive(Debug, Clone, Default)]
 pub struct Projection {
-    /// Per-Gaussian projection results, indexed by Gaussian ID.
-    pub splats: Vec<Option<Projected2d>>,
+    /// Visible splats in structure-of-arrays layout.
+    pub soa: ProjectedSoA,
     /// Number of Gaussians culled by the near plane or out-of-frustum test.
     pub culled: usize,
     /// Number of Gaussians skipped because the active mask excluded them.
@@ -62,9 +189,32 @@ pub struct Projection {
 
 impl Projection {
     /// Number of visible splats.
+    #[inline]
     pub fn visible_count(&self) -> usize {
-        self.splats.iter().filter(|s| s.is_some()).count()
+        self.soa.len()
     }
+
+    /// The splat of Gaussian `id` as an array-of-structs view, or `None`
+    /// when it was culled or masked.
+    pub fn splat_for_gaussian(&self, id: usize) -> Option<Projected2d> {
+        self.soa.slot(id).map(|s| self.soa.get(s))
+    }
+}
+
+/// The inclusive tile rectangle covered by a splat's 3σ bounding square.
+pub(crate) fn tile_rect_of(mean: Vec2, radius: f32, tiles_x: usize, tiles_y: usize) -> TileRect {
+    let tx0 = ((mean.x - radius) / TILE_SIZE as f32).floor().max(0.0) as usize;
+    let ty0 = ((mean.y - radius) / TILE_SIZE as f32).floor().max(0.0) as usize;
+    let tx1 = (((mean.x + radius) / TILE_SIZE as f32).floor() as isize)
+        .clamp(0, tiles_x as isize - 1) as usize;
+    let ty1 = (((mean.y + radius) / TILE_SIZE as f32).floor() as isize)
+        .clamp(0, tiles_y as isize - 1) as usize;
+    [
+        tx0.min(tiles_x - 1) as u16,
+        tx1 as u16,
+        ty0.min(tiles_y - 1) as u16,
+        ty1 as u16,
+    ]
 }
 
 /// Projects every active Gaussian into the image plane of `camera` under the
@@ -90,9 +240,13 @@ pub fn project_scene(
 /// [`project_scene`] on an explicit execution backend (Step ❶, chunked over
 /// Gaussians).
 ///
-/// Every Gaussian's projection is independent and written to its own output
-/// slot, and the cull/mask counters are integer sums over fixed chunks, so
-/// the result is bitwise-identical on every backend and pool size.
+/// Runs in three phases: (1) chunked projection into per-Gaussian scratch
+/// slots with per-chunk visible/cull/mask counters, (2) a serial exclusive
+/// prefix sum over the per-chunk visible counts, (3) a chunked scatter that
+/// compacts each chunk's visible splats into the dense SoA arrays at its
+/// precomputed offset. Chunk geometry is a constant (`PROJECT_CHUNK`) and
+/// slots are assigned in Gaussian-ID order, so the result is
+/// bitwise-identical on every backend and pool size.
 ///
 /// # Panics
 ///
@@ -113,15 +267,19 @@ pub fn project_scene_with(
     }
     let rot = w2c.rotation_matrix();
     let n = scene.len();
-    let mut splats: Vec<Option<Projected2d>> = vec![None; n];
+    let tiles_x = camera.width.div_ceil(TILE_SIZE);
+    let tiles_y = camera.height.div_ceil(TILE_SIZE);
     let chunks = n.div_ceil(PROJECT_CHUNK).max(1);
-    // One (culled, masked) counter pair per chunk, summed afterwards.
-    let mut counts = vec![(0usize, 0usize); chunks];
 
+    // Phase 1: chunked projection into scratch (one slot per Gaussian) with
+    // per-chunk (visible, culled, masked) counters.
+    let mut scratch: Vec<Option<Projected2d>> = vec![None; n];
+    let mut counts = vec![(0usize, 0usize, 0usize); chunks];
     {
-        let splat_view = SharedSlice::new(&mut splats);
+        let scratch_view = SharedSlice::new(&mut scratch);
         let count_view = SharedSlice::new(&mut counts);
         backend.for_each_chunk(n, PROJECT_CHUNK, &|chunk, range| {
+            let mut visible = 0usize;
             let mut culled = 0usize;
             let mut masked = 0usize;
             for id in range {
@@ -134,26 +292,81 @@ pub fn project_scene_with(
                 match project_one(&scene.gaussians[id], id as u32, &rot, w2c, camera) {
                     // SAFETY: each Gaussian id is written by exactly one
                     // chunk, and each chunk index is written once.
-                    Some(splat) => unsafe { splat_view.write(id, Some(splat)) },
+                    Some(splat) => {
+                        visible += 1;
+                        unsafe { scratch_view.write(id, Some(splat)) }
+                    }
                     None => culled += 1,
                 }
             }
-            unsafe { count_view.write(chunk, (culled, masked)) };
+            unsafe { count_view.write(chunk, (visible, culled, masked)) };
+        });
+    }
+
+    // Phase 2: serial scan fixes every chunk's output offset (and thereby
+    // the slot order: ascending Gaussian ID).
+    let visible_counts: Vec<usize> = counts.iter().map(|&(v, _, _)| v).collect();
+    let (offsets, total_visible) = exclusive_prefix_sum(&visible_counts);
+
+    // Phase 3: chunked scatter into the dense SoA arrays.
+    let mut soa = ProjectedSoA::with_capacity(total_visible, n, tiles_x, tiles_y);
+    {
+        let ids_view = SharedSlice::new(&mut soa.gaussian_ids);
+        let slot_view = SharedSlice::new(&mut soa.slot_of_gaussian);
+        let mean_view = SharedSlice::new(&mut soa.means);
+        let conic_view = SharedSlice::new(&mut soa.conics);
+        let cov_view = SharedSlice::new(&mut soa.covs);
+        let color_view = SharedSlice::new(&mut soa.colors);
+        let opacity_view = SharedSlice::new(&mut soa.opacities);
+        let depth_view = SharedSlice::new(&mut soa.depths);
+        let radius_view = SharedSlice::new(&mut soa.radii);
+        let t_cam_view = SharedSlice::new(&mut soa.t_cams);
+        let q_cut_view = SharedSlice::new(&mut soa.q_cuts);
+        let rect_view = SharedSlice::new(&mut soa.tile_rects);
+        let scratch_ref = &scratch;
+        backend.for_each_chunk(n, PROJECT_CHUNK, &|chunk, range| {
+            let mut slot = offsets[chunk];
+            for id in range {
+                let Some(splat) = scratch_ref[id].as_ref() else {
+                    continue;
+                };
+                // SAFETY: chunk offsets partition the slot space, so each
+                // slot (and each Gaussian id) is written by exactly one
+                // chunk.
+                unsafe {
+                    ids_view.write(slot, splat.id);
+                    slot_view.write(id, slot as u32);
+                    mean_view.write(slot, splat.mean);
+                    conic_view.write(slot, splat.conic);
+                    cov_view.write(slot, splat.cov);
+                    color_view.write(slot, splat.color);
+                    opacity_view.write(slot, splat.opacity);
+                    depth_view.write(slot, splat.depth);
+                    radius_view.write(slot, splat.radius);
+                    t_cam_view.write(slot, splat.t_cam);
+                    q_cut_view.write(slot, crate::forward::splat_q_cut(splat.opacity));
+                    rect_view.write(
+                        slot,
+                        tile_rect_of(splat.mean, splat.radius, tiles_x, tiles_y),
+                    );
+                }
+                slot += 1;
+            }
         });
     }
 
     let (culled, masked) = counts
         .iter()
-        .fold((0, 0), |(c, m), &(dc, dm)| (c + dc, m + dm));
+        .fold((0, 0), |(c, m), &(_, dc, dm)| (c + dc, m + dm));
     Projection {
-        splats,
+        soa,
         culled,
         masked,
     }
 }
 
 /// Projects a single Gaussian (EWA splatting); `None` when culled.
-fn project_one(
+pub(crate) fn project_one(
     g: &Gaussian3d,
     id: u32,
     rot: &Mat3,
@@ -261,7 +474,7 @@ mod tests {
     fn projects_centered_gaussian_to_image_center() {
         let scene = GaussianScene::from_gaussians(vec![centered_gaussian(2.0)]);
         let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
-        let splat = proj.splats[0].expect("should be visible");
+        let splat = proj.splat_for_gaussian(0).expect("should be visible");
         assert!((splat.mean - Vec2::new(32.0, 24.0)).max_abs() < 1e-4);
         assert!((splat.depth - 2.0).abs() < 1e-6);
         assert!(splat.radius > 0.0);
@@ -272,7 +485,7 @@ mod tests {
     fn culls_behind_camera() {
         let scene = GaussianScene::from_gaussians(vec![centered_gaussian(-1.0)]);
         let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
-        assert!(proj.splats[0].is_none());
+        assert!(proj.splat_for_gaussian(0).is_none());
         assert_eq!(proj.culled, 1);
     }
 
@@ -287,7 +500,7 @@ mod tests {
         );
         let scene = GaussianScene::from_gaussians(vec![g]);
         let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
-        assert!(proj.splats[0].is_none());
+        assert!(proj.splat_for_gaussian(0).is_none());
     }
 
     #[test]
@@ -295,8 +508,8 @@ mod tests {
         let scene =
             GaussianScene::from_gaussians(vec![centered_gaussian(2.0), centered_gaussian(3.0)]);
         let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), Some(&[false, true]));
-        assert!(proj.splats[0].is_none());
-        assert!(proj.splats[1].is_some());
+        assert!(proj.splat_for_gaussian(0).is_none());
+        assert!(proj.splat_for_gaussian(1).is_some());
         assert_eq!(proj.masked, 1);
     }
 
@@ -304,7 +517,7 @@ mod tests {
     fn conic_is_inverse_of_cov() {
         let scene = GaussianScene::from_gaussians(vec![centered_gaussian(2.0)]);
         let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
-        let s = proj.splats[0].unwrap();
+        let s = proj.splat_for_gaussian(0).unwrap();
         let prod = s.cov.to_mat2() * s.conic.to_mat2();
         assert!((prod.m[0][0] - 1.0).abs() < 1e-4);
         assert!(prod.m[0][1].abs() < 1e-4);
@@ -315,8 +528,8 @@ mod tests {
         let scene =
             GaussianScene::from_gaussians(vec![centered_gaussian(1.0), centered_gaussian(4.0)]);
         let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
-        let near = proj.splats[0].unwrap();
-        let far = proj.splats[1].unwrap();
+        let near = proj.splat_for_gaussian(0).unwrap();
+        let far = proj.splat_for_gaussian(1).unwrap();
         assert!(near.radius > far.radius);
     }
 
@@ -327,8 +540,39 @@ mod tests {
         // Move the camera left: the point should appear to move right.
         let w2c = Se3::from_translation(Vec3::new(0.5, 0.0, 0.0));
         let proj = project_scene(&scene, &w2c, &cam, None);
-        let splat = proj.splats[0].unwrap();
+        let splat = proj.splat_for_gaussian(0).unwrap();
         assert!(splat.mean.x > 32.0);
+    }
+
+    #[test]
+    fn soa_slots_follow_gaussian_id_order() {
+        let scene = GaussianScene::from_gaussians(vec![
+            centered_gaussian(3.0),
+            centered_gaussian(-1.0), // culled
+            centered_gaussian(2.0),
+            centered_gaussian(4.0),
+        ]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &test_camera(), None);
+        assert_eq!(proj.soa.gaussian_ids, vec![0, 2, 3]);
+        assert_eq!(proj.soa.slot_of_gaussian, vec![0, NO_SLOT, 1, 2]);
+        assert_eq!(proj.soa.len(), 3);
+        // The gathered view round-trips every stored field.
+        let s = proj.soa.get(1);
+        assert_eq!(s.id, 2);
+        assert!((s.depth - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tile_rects_cover_splat_extent() {
+        let scene = GaussianScene::from_gaussians(vec![centered_gaussian(2.0)]);
+        let cam = test_camera();
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let [tx0, tx1, ty0, ty1] = proj.soa.tile_rects[0];
+        let s = proj.soa.get(0);
+        assert!(tx0 as usize <= (s.mean.x as usize) / TILE_SIZE);
+        assert!(ty0 as usize <= (s.mean.y as usize) / TILE_SIZE);
+        assert!((tx1 as usize) < proj.soa.tiles_x && (ty1 as usize) < proj.soa.tiles_y);
+        assert!(tx0 <= tx1 && ty0 <= ty1);
     }
 
     #[test]

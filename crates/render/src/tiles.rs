@@ -3,10 +3,12 @@
 //! The image is partitioned into 16×16-pixel tiles, each subdivided into
 //! 4×4-pixel subtiles — the tile/subtile geometry of the RTGS architecture
 //! (paper Sec. 5.1). Each tile holds a depth-sorted list of the splats that
-//! overlap it.
+//! overlap it, referenced by SoA *slot* (dense index into
+//! [`crate::ProjectedSoA`]) so the render kernels never touch the sparse
+//! per-Gaussian index space on the hot path.
 
 use crate::camera::PinholeCamera;
-use crate::project::{Projected2d, Projection};
+use crate::project::Projection;
 use rtgs_runtime::{Backend, Serial, SharedSlice};
 
 /// Tiles per chunk in the parallel per-tile sort (fixed by the algorithm,
@@ -27,14 +29,21 @@ pub struct TileAssignment {
     pub tiles_x: usize,
     /// Number of tiles along y.
     pub tiles_y: usize,
-    /// For each tile (row-major), the IDs of intersecting Gaussians sorted
-    /// by ascending depth (front to back).
+    /// For each tile (row-major), the SoA slots of intersecting splats
+    /// sorted by ascending depth (front to back). Slots index the
+    /// [`crate::ProjectedSoA`] arrays of the projection this assignment was
+    /// built from.
     pub tile_lists: Vec<Vec<u32>>,
+    /// Slot → source Gaussian ID, copied from the projection so tile lists
+    /// can be reported in the stable per-scene ID space (workload traces,
+    /// inter-frame change ratios) without keeping the projection alive.
+    pub slot_ids: Vec<u32>,
 }
 
 impl TileAssignment {
     /// Builds tile lists from a projection: assigns each visible splat to
-    /// every tile its 3σ bounding square overlaps, then sorts each tile's
+    /// every tile its 3σ bounding square overlaps (precomputed at projection
+    /// time as [`crate::ProjectedSoA::tile_rects`]), then sorts each tile's
     /// list front-to-back.
     pub fn build(projection: &Projection, camera: &PinholeCamera) -> Self {
         Self::build_with(projection, camera, &Serial)
@@ -42,31 +51,39 @@ impl TileAssignment {
 
     /// [`TileAssignment::build`] on an explicit execution backend (Step ❷).
     ///
-    /// Binning walks the splats once on the calling thread (it appends to
-    /// shared per-tile lists in splat order); the per-tile depth sorts are
-    /// independent and run chunked on the backend. `sort_by` is
+    /// Binning walks the slots once on the calling thread (it appends to
+    /// shared per-tile lists in slot order, which is Gaussian-ID order); the
+    /// per-tile depth sorts are independent and run chunked on the backend.
+    /// The sort reads the contiguous SoA depth array and `sort_by` is
     /// deterministic for a given input list, so the result is
     /// bitwise-identical on every backend and pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection's tile grid does not match `camera`.
     pub fn build_with(
         projection: &Projection,
         camera: &PinholeCamera,
         backend: &dyn Backend,
     ) -> Self {
+        let soa = &projection.soa;
         let tiles_x = camera.width.div_ceil(TILE_SIZE);
         let tiles_y = camera.height.div_ceil(TILE_SIZE);
+        assert_eq!(soa.tiles_x, tiles_x, "projection/camera tile grid");
+        assert_eq!(soa.tiles_y, tiles_y, "projection/camera tile grid");
         let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); tiles_x * tiles_y];
 
-        for splat in projection.splats.iter().flatten() {
-            let (tx0, tx1, ty0, ty1) = tile_range(splat, tiles_x, tiles_y);
+        for (slot, &[tx0, tx1, ty0, ty1]) in soa.tile_rects.iter().enumerate() {
             for ty in ty0..=ty1 {
                 for tx in tx0..=tx1 {
-                    tile_lists[ty * tiles_x + tx].push(splat.id);
+                    tile_lists[ty as usize * tiles_x + tx as usize].push(slot as u32);
                 }
             }
         }
 
-        // Sort each tile front-to-back by depth. Splat lookup goes through
-        // the projection (IDs index `projection.splats`).
+        // Sort each tile front-to-back by depth, straight off the SoA depth
+        // array.
+        let depths = &soa.depths;
         {
             let lists = SharedSlice::new(&mut tile_lists);
             backend.for_each_chunk(lists.len(), SORT_CHUNK, &|_, range| {
@@ -74,9 +91,9 @@ impl TileAssignment {
                     // SAFETY: each tile index belongs to exactly one chunk.
                     let list = unsafe { lists.get_mut(tile) };
                     list.sort_by(|&a, &b| {
-                        let da = projection.splats[a as usize].as_ref().map(|s| s.depth);
-                        let db = projection.splats[b as usize].as_ref().map(|s| s.depth);
-                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        depths[a as usize]
+                            .partial_cmp(&depths[b as usize])
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     });
                 }
             });
@@ -86,6 +103,7 @@ impl TileAssignment {
             tiles_x,
             tiles_y,
             tile_lists,
+            slot_ids: soa.gaussian_ids.clone(),
         }
     }
 
@@ -102,9 +120,21 @@ impl TileAssignment {
         self.tile_lists.iter().map(Vec::len).sum()
     }
 
+    /// The depth-sorted *Gaussian ID* list of one tile (slots mapped through
+    /// [`Self::slot_ids`]) — the stable address stream consumed by workload
+    /// traces and cross-frame comparisons.
+    pub fn tile_gaussian_ids(&self, tile: usize) -> Vec<u32> {
+        self.tile_lists[tile]
+            .iter()
+            .map(|&slot| self.slot_ids[slot as usize])
+            .collect()
+    }
+
     /// Relative change in tile–Gaussian intersections versus a previous
     /// assignment, computed per tile as symmetric set difference over the
-    /// union. Returns 0.0 when both are empty.
+    /// union. Comparison happens in Gaussian-ID space (slots are frame-local
+    /// and not comparable across assignments). Returns 0.0 when both are
+    /// empty.
     ///
     /// # Panics
     ///
@@ -114,9 +144,11 @@ impl TileAssignment {
         assert_eq!(self.tiles_y, prev.tiles_y, "tile grids must match");
         let mut differing = 0usize;
         let mut union = 0usize;
-        for (now, before) in self.tile_lists.iter().zip(prev.tile_lists.iter()) {
-            let a: std::collections::HashSet<u32> = now.iter().copied().collect();
-            let b: std::collections::HashSet<u32> = before.iter().copied().collect();
+        for tile in 0..self.tile_count() {
+            let a: std::collections::HashSet<u32> =
+                self.tile_gaussian_ids(tile).into_iter().collect();
+            let b: std::collections::HashSet<u32> =
+                prev.tile_gaussian_ids(tile).into_iter().collect();
             union += a.union(&b).count();
             differing += a.symmetric_difference(&b).count();
         }
@@ -135,29 +167,26 @@ impl TileAssignment {
         ty: usize,
         camera: &PinholeCamera,
     ) -> (usize, usize, usize, usize) {
-        let x0 = tx * TILE_SIZE;
-        let y0 = ty * TILE_SIZE;
-        (
-            x0,
-            y0,
-            (x0 + TILE_SIZE).min(camera.width),
-            (y0 + TILE_SIZE).min(camera.height),
-        )
+        tile_pixel_rect(tx, ty, camera)
     }
 }
 
-fn tile_range(splat: &Projected2d, tiles_x: usize, tiles_y: usize) -> (usize, usize, usize, usize) {
-    let x0 = ((splat.mean.x - splat.radius) / TILE_SIZE as f32)
-        .floor()
-        .max(0.0) as usize;
-    let y0 = ((splat.mean.y - splat.radius) / TILE_SIZE as f32)
-        .floor()
-        .max(0.0) as usize;
-    let x1 = (((splat.mean.x + splat.radius) / TILE_SIZE as f32).floor() as isize)
-        .clamp(0, tiles_x as isize - 1) as usize;
-    let y1 = (((splat.mean.y + splat.radius) / TILE_SIZE as f32).floor() as isize)
-        .clamp(0, tiles_y as isize - 1) as usize;
-    (x0.min(tiles_x - 1), x1, y0.min(tiles_y - 1), y1)
+/// The pixel rectangle `(x0, y0, x1_exclusive, y1_exclusive)` of tile
+/// `(tx, ty)` clamped to the image bounds (free function shared with the
+/// reference pipeline).
+pub(crate) fn tile_pixel_rect(
+    tx: usize,
+    ty: usize,
+    camera: &PinholeCamera,
+) -> (usize, usize, usize, usize) {
+    let x0 = tx * TILE_SIZE;
+    let y0 = ty * TILE_SIZE;
+    (
+        x0,
+        y0,
+        (x0 + TILE_SIZE).min(camera.width),
+        (y0 + TILE_SIZE).min(camera.height),
+    )
 }
 
 #[cfg(test)]
@@ -220,13 +249,30 @@ mod tests {
         let tiles = TileAssignment::build(&proj, &cam);
         for list in &tiles.tile_lists {
             if list.len() == 2 {
-                let d0 = proj.splats[list[0] as usize].unwrap().depth;
-                let d1 = proj.splats[list[1] as usize].unwrap().depth;
+                let d0 = proj.soa.depths[list[0] as usize];
+                let d1 = proj.soa.depths[list[1] as usize];
                 assert!(d0 <= d1, "tile list not depth sorted");
                 return;
             }
         }
         panic!("expected a tile containing both splats");
+    }
+
+    #[test]
+    fn tile_lists_reference_soa_slots() {
+        let cam = camera();
+        let scene = scene_with(&[(0.0, 0.0, -1.0), (0.0, 0.0, 2.0)]);
+        let proj = project_scene(&scene, &Se3::IDENTITY, &cam, None);
+        let tiles = TileAssignment::build(&proj, &cam);
+        // Gaussian 0 is culled, so the visible splat (Gaussian 1) occupies
+        // slot 0, and the ID map recovers the source Gaussian.
+        let non_empty = tiles
+            .tile_lists
+            .iter()
+            .position(|l| !l.is_empty())
+            .expect("splat must land somewhere");
+        assert_eq!(tiles.tile_lists[non_empty][0], 0);
+        assert_eq!(tiles.tile_gaussian_ids(non_empty), vec![1]);
     }
 
     #[test]
@@ -246,7 +292,9 @@ mod tests {
         let pb = project_scene(&scene, &Se3::IDENTITY, &cam, Some(&[false, true]));
         let ta = TileAssignment::build(&pa, &cam);
         let tb = TileAssignment::build(&pb, &cam);
-        // Same tiles, but the IDs differ everywhere they appear.
+        // Same tiles — and identical slot indices — but the underlying
+        // Gaussian IDs differ everywhere, which the ID-space comparison must
+        // detect.
         assert!((ta.change_ratio(&tb) - 1.0).abs() < 1e-6);
     }
 

@@ -60,7 +60,12 @@ impl WorkloadTrace {
             tile_gaussian_counts: tiles.tile_lists.iter().map(|l| l.len() as u32).collect(),
             tiles_x: tiles.tiles_x,
             tiles_y: tiles.tiles_y,
-            tile_gaussian_ids: tiles.tile_lists.clone(),
+            // Tile lists are SoA slots on the hot path; traces report the
+            // stable per-scene Gaussian IDs so the aggregation address
+            // stream is comparable across iterations.
+            tile_gaussian_ids: (0..tiles.tile_count())
+                .map(|t| tiles.tile_gaussian_ids(t))
+                .collect(),
             fragments_blended: output.stats.fragments_blended,
             fragment_grad_events,
             visible_gaussians,

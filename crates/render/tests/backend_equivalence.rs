@@ -68,10 +68,10 @@ fn assert_bitwise_identical(
 ) {
     let (sc, sg) = serial;
     let (pc, pg) = parallel;
-    // Forward: projection, tile lists, image, depth, transmittance,
-    // workloads and integer statistics.
+    // Forward: projection (every SoA array), tile lists, image, depth,
+    // transmittance, workloads and integer statistics.
     assert_eq!(
-        sc.projection.splats, pc.projection.splats,
+        sc.projection.soa, pc.projection.soa,
         "{threads} threads: splats"
     );
     assert_eq!(
@@ -155,7 +155,7 @@ fn parallel_matches_serial_with_active_mask() {
             Some(&mask),
             &Parallel::new(threads),
         );
-        assert_eq!(serial.projection.splats, parallel.projection.splats);
+        assert_eq!(serial.projection.soa, parallel.projection.soa);
         assert_eq!(serial.projection.masked, parallel.projection.masked);
         assert_eq!(serial.output.image, parallel.output.image);
     }

@@ -134,6 +134,26 @@ pub fn shared_pool(threads: usize) -> Arc<ThreadPool> {
     )
 }
 
+/// Exclusive prefix sum over per-chunk counts, used by chunked kernels that
+/// compact variable-sized per-chunk output into one dense
+/// structure-of-arrays buffer (count in parallel, scan serially, scatter in
+/// parallel at `offsets[chunk]`).
+///
+/// Returns `(offsets, total)` where `offsets[i]` is the output position of
+/// chunk `i`'s first element and `total` the summed count. The scan runs on
+/// the calling thread — it is O(chunks) — so the resulting offsets, and
+/// therefore the scatter layout, are identical on every backend and pool
+/// size.
+pub fn exclusive_prefix_sum(counts: &[usize]) -> (Vec<usize>, usize) {
+    let mut offsets = Vec::with_capacity(counts.len());
+    let mut total = 0usize;
+    for &c in counts {
+        offsets.push(total);
+        total += c;
+    }
+    (offsets, total)
+}
+
 /// Copyable backend selector for configuration structs (`SlamConfig` stays
 /// `Copy`); [`BackendChoice::instantiate`] resolves it to a backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -285,6 +305,16 @@ mod tests {
             "parallel(auto)"
         );
         assert_eq!(BackendChoice::default(), BackendChoice::Serial);
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_offsets() {
+        let (offsets, total) = exclusive_prefix_sum(&[3, 0, 2, 5]);
+        assert_eq!(offsets, vec![0, 3, 3, 5]);
+        assert_eq!(total, 10);
+        let (empty, zero) = exclusive_prefix_sum(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(zero, 0);
     }
 
     #[test]

@@ -47,7 +47,9 @@ mod backend;
 mod pool;
 mod scheduler;
 
-pub use backend::{shared_pool, Backend, BackendChoice, Parallel, Serial, SharedSlice};
+pub use backend::{
+    exclusive_prefix_sum, shared_pool, Backend, BackendChoice, Parallel, Serial, SharedSlice,
+};
 pub use pool::{Scope, ThreadPool};
 pub use scheduler::{
     Session, SessionOutcome, SessionScheduler, SessionStats, SessionStatus, ShutdownHandle,

@@ -8,10 +8,54 @@
 //! warmed up, sampled, and summarized (min / median / mean); all results are
 //! additionally appended to `BENCH_RESULTS.json` at the workspace root so
 //! the performance trajectory is machine-readable across PRs.
+//!
+//! # Quick mode
+//!
+//! Setting `BENCH_QUICK=1` (any non-empty value other than `0`) caps every
+//! group at [`QUICK_MAX_SAMPLES`] samples and [`QUICK_MAX_MEASUREMENT`] of
+//! measurement wall-clock, overriding whatever the benchmarks request. The
+//! CI `perf-smoke` job uses this to finish the whole suite in minutes while
+//! keeping medians meaningful enough for a coarse (>25%) regression gate.
 
 use std::fmt::Display;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Sample-count cap applied per benchmark when `BENCH_QUICK` is set.
+pub const QUICK_MAX_SAMPLES: usize = 3;
+
+/// Measurement wall-clock cap per benchmark when `BENCH_QUICK` is set.
+pub const QUICK_MAX_MEASUREMENT: Duration = Duration::from_millis(400);
+
+/// Whether quick mode is active (`BENCH_QUICK` set to a non-empty value
+/// other than `0`). Read once per process.
+pub fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::var("BENCH_QUICK")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// Clamps a requested sample count to the quick-mode cap when active.
+fn clamp_samples(n: usize, quick: bool) -> usize {
+    if quick {
+        n.clamp(1, QUICK_MAX_SAMPLES)
+    } else {
+        n.max(1)
+    }
+}
+
+/// Clamps a requested measurement time to the quick-mode cap when active.
+fn clamp_measurement(d: Duration, quick: bool) -> Duration {
+    if quick {
+        d.min(QUICK_MAX_MEASUREMENT)
+    } else {
+        d
+    }
+}
 
 /// One benchmark measurement.
 #[derive(Debug, Clone)]
@@ -110,15 +154,16 @@ pub struct BenchmarkGroup<'c> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of samples per benchmark.
+    /// Sets the number of samples per benchmark (clamped in quick mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = clamp_samples(n, quick_mode());
         self
     }
 
-    /// Caps the measurement wall-clock per benchmark.
+    /// Caps the measurement wall-clock per benchmark (clamped in quick
+    /// mode).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement_time = d;
+        self.measurement_time = clamp_measurement(d, quick_mode());
         self
     }
 
@@ -200,13 +245,14 @@ pub struct Criterion {
 }
 
 impl Criterion {
-    /// Starts a benchmark group.
+    /// Starts a benchmark group (defaults clamped in quick mode).
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = quick_mode();
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
-            sample_size: 10,
-            measurement_time: Duration::from_secs(2),
+            sample_size: clamp_samples(10, quick),
+            measurement_time: clamp_measurement(Duration::from_secs(2), quick),
         }
     }
 
@@ -311,6 +357,26 @@ mod tests {
         assert_eq!(c.records.len(), 2);
         assert!(!c.records[0].samples_ns.is_empty());
         assert_eq!(c.records[1].bench, "param/4");
+    }
+
+    #[test]
+    fn quick_clamps_apply_only_in_quick_mode() {
+        assert_eq!(clamp_samples(10, true), QUICK_MAX_SAMPLES);
+        assert_eq!(clamp_samples(2, true), 2);
+        assert_eq!(clamp_samples(0, true), 1);
+        assert_eq!(clamp_samples(10, false), 10);
+        assert_eq!(
+            clamp_measurement(Duration::from_secs(3), true),
+            QUICK_MAX_MEASUREMENT
+        );
+        assert_eq!(
+            clamp_measurement(Duration::from_millis(100), true),
+            Duration::from_millis(100)
+        );
+        assert_eq!(
+            clamp_measurement(Duration::from_secs(3), false),
+            Duration::from_secs(3)
+        );
     }
 
     #[test]

@@ -118,7 +118,7 @@ const MAX_REJECTS: u32 = 4096;
 ///
 /// # Panics
 ///
-/// Panics when the strategy rejects [`MAX_REJECTS`] draws in a row.
+/// Panics when the strategy rejects `MAX_REJECTS` draws in a row.
 pub fn sample<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
     for _ in 0..MAX_REJECTS {
         if let Some(v) = strategy.generate(rng) {
@@ -209,7 +209,7 @@ pub mod prop {
             len: core::ops::Range<usize>,
         }
 
-        /// Length specifications accepted by [`vec`]: a `usize` (exact
+        /// Length specifications accepted by [`vec()`]: a `usize` (exact
         /// length) or a `Range<usize>`.
         pub trait IntoSizeRange {
             /// The half-open length range.

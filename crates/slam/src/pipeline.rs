@@ -10,8 +10,8 @@ use crate::tracking::{track_frame_with, IterationArtifacts, TrackingConfig, Trac
 use rtgs_math::Se3;
 use rtgs_metrics::{absolute_trajectory_error, psnr, AteResult};
 use rtgs_render::{
-    backward_with, compute_loss, project_scene_with, render_frame_with, render_with, GaussianScene,
-    Image, TileAssignment, WorkloadTrace,
+    backward_fused_with, compute_loss, project_scene_with, render_frame_with, render_fused_with,
+    GaussianScene, Image, TileAssignment, WorkloadTrace,
 };
 use rtgs_runtime::{Backend, BackendChoice};
 use rtgs_scene::{RgbdFrame, SyntheticDataset};
@@ -670,7 +670,10 @@ impl<'d> SlamPipeline<'d> {
             let tiles = TileAssignment::build_with(&projection, &camera, &*self.backend);
             let t2 = Instant::now();
             self.mapping_timings.sorting += t2 - t1;
-            let output = render_with(&projection, &tiles, &camera, &*self.backend);
+            // Fused tile pass: forward records fragment sequences so the
+            // backward pass skips the re-walk (bitwise-identical output).
+            let fused = render_fused_with(&projection, &tiles, &camera, &*self.backend);
+            let output = fused.output;
             let t3 = Instant::now();
             self.mapping_timings.render += t3 - t2;
 
@@ -680,13 +683,14 @@ impl<'d> SlamPipeline<'d> {
                 frame.depth.as_ref(),
                 &self.config.tracking.loss,
             );
-            let grads = backward_with(
+            let grads = backward_fused_with(
                 &self.scene,
                 &projection,
                 &tiles,
                 &camera,
                 &w2c,
                 &loss.pixel_grads,
+                &fused.fragments,
                 &*self.backend,
             );
             self.mapping_timings.render_bp += Duration::from_nanos(grads.stats.rendering_bp_nanos);

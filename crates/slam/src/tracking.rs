@@ -4,8 +4,8 @@
 use crate::profile::StageTimings;
 use rtgs_math::Se3;
 use rtgs_render::{
-    backward_with, compute_loss, project_scene_with, render_with, BackwardOutput, GaussianScene,
-    LossConfig, PinholeCamera, RenderOutput, TileAssignment, WorkloadTrace,
+    backward_fused_with, compute_loss, project_scene_with, render_fused_with, BackwardOutput,
+    GaussianScene, LossConfig, PinholeCamera, RenderOutput, TileAssignment, WorkloadTrace,
 };
 use rtgs_runtime::Backend;
 use rtgs_scene::RgbdFrame;
@@ -220,18 +220,23 @@ pub fn track_frame_with<O: TrackingObserver>(
         let tiles = TileAssignment::build_with(&projection, camera, backend);
         let t2 = Instant::now();
         timings.sorting += t2 - t1;
-        let output = render_with(&projection, &tiles, camera, backend);
+        // Fused tile pass: the render records each pixel's fragment
+        // sequence so the backward pass consumes it instead of re-walking
+        // the sorted splat lists (bitwise-identical to the unfused path).
+        let fused = render_fused_with(&projection, &tiles, camera, backend);
+        let output = fused.output;
         let t3 = Instant::now();
         timings.render += t3 - t2;
 
         let loss = compute_loss(&output, &frame.color, frame.depth.as_ref(), &config.loss);
-        let grads = backward_with(
+        let grads = backward_fused_with(
             scene,
             &projection,
             &tiles,
             camera,
             &w2c,
             &loss.pixel_grads,
+            &fused.fragments,
             backend,
         );
         timings.render_bp += std::time::Duration::from_nanos(grads.stats.rendering_bp_nanos);
