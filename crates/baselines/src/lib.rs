@@ -16,20 +16,27 @@
 //!   evaluation of the three.
 //!
 //! All baselines implement [`Pruner`] and plug into the SLAM pipeline
-//! through [`BaselineExtension`].
+//! through [`BaselineExtension`]. Like the RTGS pruner, their per-Gaussian
+//! statistics are keyed by the sharded map's **stable IDs**: tracking
+//! iterations deliver frame-local gradients plus the ID map, observations
+//! scatter through it, and selection emits a capacity-sized keep-mask that
+//! the pipeline applies by tombstoning — no statistic ever has to survive a
+//! reindexing, because there is none.
 
-use rtgs_render::{GaussianGrad, GaussianScene, WorkloadTrace};
+use rtgs_render::{GaussianGrad, ShardedScene, WorkloadTrace};
 use rtgs_slam::{IterationArtifacts, PipelineExtension};
 
 /// A Gaussian-pruning baseline: observes training, then selects which
 /// Gaussians to keep.
 pub trait Pruner {
-    /// Observes one optimization iteration.
-    fn observe(&mut self, grads: &[GaussianGrad], trace: Option<&WorkloadTrace>);
+    /// Observes one optimization iteration: `grads[k]` belongs to the
+    /// Gaussian with stable ID `ids[k]` (the frame's visible working set).
+    fn observe(&mut self, ids: &[u32], grads: &[GaussianGrad], trace: Option<&WorkloadTrace>);
 
-    /// Returns the keep-mask that prunes `ratio` of the scene (0.0–1.0),
-    /// or `None` if the method has not gathered enough evidence yet.
-    fn select(&mut self, scene: &GaussianScene, ratio: f32) -> Option<Vec<bool>>;
+    /// Returns the keep-mask (one entry per stable ID, `map.capacity()`
+    /// long) that prunes `ratio` of the live Gaussians (0.0–1.0), or
+    /// `None` if the method has not gathered enough evidence yet.
+    fn select(&mut self, map: &ShardedScene, ratio: f32) -> Option<Vec<bool>>;
 
     /// Extra *score-evaluation* work performed per observed iteration, in
     /// fragment-equivalent operations. RTGS's score is free (gradients are
@@ -39,6 +46,15 @@ pub trait Pruner {
 
     /// Method name.
     fn name(&self) -> &'static str;
+}
+
+/// Grows an ID-keyed statistic buffer to cover every observed ID.
+fn ensure_len(buf: &mut Vec<f32>, ids: &[u32]) {
+    if let Some(&max_id) = ids.iter().max() {
+        if buf.len() <= max_id as usize {
+            buf.resize(max_id as usize + 1, 0.0);
+        }
+    }
 }
 
 /// Taming-3DGS-style pruner: accumulates gradient-change statistics and
@@ -84,30 +100,42 @@ impl Default for TamingPruner {
 }
 
 impl Pruner for TamingPruner {
-    fn observe(&mut self, grads: &[GaussianGrad], _trace: Option<&WorkloadTrace>) {
+    fn observe(&mut self, ids: &[u32], grads: &[GaussianGrad], _trace: Option<&WorkloadTrace>) {
         self.seen += 1;
-        if self.scores.len() != grads.len() {
-            self.scores.resize(grads.len(), 0.0);
-            self.prev_scores.resize(grads.len(), 0.0);
-        }
+        ensure_len(&mut self.scores, ids);
+        ensure_len(&mut self.prev_scores, ids);
         // Gradient-change statistic: |g_t| blended with the previous
-        // estimate; Taming 3DGS predicts importance from how scores evolve.
-        for (i, g) in grads.iter().enumerate() {
+        // estimate; Taming 3DGS predicts importance from how scores
+        // evolve. The decay applies to *every* tracked Gaussian — an
+        // invisible one contributes a zero gradient, exactly as in the
+        // flat-map formulation — so the ranking cannot depend on which
+        // shard a Gaussian happens to sit in. This full-map pass is the
+        // method's genuine cost profile (the weakness Tab. 6 charges it
+        // for), not an artifact of our store.
+        for (prev, score) in self.prev_scores.iter_mut().zip(self.scores.iter_mut()) {
+            *prev = *score;
+            *score *= 0.99;
+        }
+        for (&id, g) in ids.iter().zip(grads.iter()) {
             let s = g.position.norm() + g.cov_frobenius;
-            self.prev_scores[i] = self.scores[i];
-            self.scores[i] = 0.99 * self.scores[i] + 0.01 * s;
+            self.scores[id as usize] += 0.01 * s;
         }
         // Maintaining the dual score buffers costs one pass over the map.
-        self.overhead += grads.len() as u64;
+        self.overhead += self.scores.len() as u64;
     }
 
-    fn select(&mut self, scene: &GaussianScene, ratio: f32) -> Option<Vec<bool>> {
-        if self.seen < self.warmup_iterations || self.scores.len() != scene.len() {
+    fn select(&mut self, map: &ShardedScene, ratio: f32) -> Option<Vec<bool>> {
+        if self.seen < self.warmup_iterations {
             // Scores have not converged: acting now would prune the wrong
             // Gaussians (the paper's footnote 5).
             return None;
         }
-        Some(keep_top(&self.scores, 1.0 - ratio))
+        self.scores.resize(map.capacity(), 0.0);
+        Some(keep_top_live(
+            map,
+            |id| self.scores[id as usize],
+            1.0 - ratio,
+        ))
     }
 
     fn evaluation_overhead(&self) -> u64 {
@@ -135,14 +163,12 @@ impl LightGaussianPruner {
 }
 
 impl Pruner for LightGaussianPruner {
-    fn observe(&mut self, grads: &[GaussianGrad], _trace: Option<&WorkloadTrace>) {
-        if self.hits.len() != grads.len() {
-            self.hits.resize(grads.len(), 0.0);
-        }
-        for (i, g) in grads.iter().enumerate() {
+    fn observe(&mut self, ids: &[u32], grads: &[GaussianGrad], _trace: Option<&WorkloadTrace>) {
+        ensure_len(&mut self.hits, ids);
+        for (&id, g) in ids.iter().zip(grads.iter()) {
             // A Gaussian that received gradient was rendered (hit).
             if g.color.norm_squared() > 0.0 || g.opacity != 0.0 {
-                self.hits[i] += 1.0;
+                self.hits[id as usize] += 1.0;
             }
         }
         // Hit counting plus the global score pass below are extra work the
@@ -150,22 +176,20 @@ impl Pruner for LightGaussianPruner {
         self.overhead += 2 * grads.len() as u64;
     }
 
-    fn select(&mut self, scene: &GaussianScene, ratio: f32) -> Option<Vec<bool>> {
-        if self.hits.len() != scene.len() {
-            self.hits.resize(scene.len(), 0.0);
-        }
-        let scores: Vec<f32> = scene
-            .gaussians
-            .iter()
-            .zip(self.hits.iter())
-            .map(|(g, &h)| {
+    fn select(&mut self, map: &ShardedScene, ratio: f32) -> Option<Vec<bool>> {
+        self.hits.resize(map.capacity(), 0.0);
+        self.overhead += map.len() as u64;
+        let hits = &self.hits;
+        Some(keep_top_live(
+            map,
+            |id| {
+                let g = map.gaussian(id);
                 let s = g.scale();
                 let volume = s.x * s.y * s.z;
-                g.opacity_activated() * volume.cbrt() * (1.0 + h)
-            })
-            .collect();
-        self.overhead += scene.len() as u64;
-        Some(keep_top(&scores, 1.0 - ratio))
+                g.opacity_activated() * volume.cbrt() * (1.0 + hits[id as usize])
+            },
+            1.0 - ratio,
+        ))
     }
 
     fn evaluation_overhead(&self) -> u64 {
@@ -193,31 +217,28 @@ impl FlashGsPruner {
 }
 
 impl Pruner for FlashGsPruner {
-    fn observe(&mut self, grads: &[GaussianGrad], trace: Option<&WorkloadTrace>) {
-        if self.weighted_hits.len() != grads.len() {
-            self.weighted_hits.resize(grads.len(), 0.0);
-        }
+    fn observe(&mut self, ids: &[u32], grads: &[GaussianGrad], trace: Option<&WorkloadTrace>) {
+        ensure_len(&mut self.weighted_hits, ids);
         // Saliency proxy: busier images weight hits more.
         let saliency = trace
             .map(|t| (1.0 + t.mean_pixel_workload() as f32).ln())
             .unwrap_or(1.0);
-        for (i, g) in grads.iter().enumerate() {
+        for (&id, g) in ids.iter().zip(grads.iter()) {
             let mag = g.position.norm() + g.color.norm();
             if mag > 0.0 {
-                self.weighted_hits[i] += saliency * (1.0 + mag);
+                self.weighted_hits[id as usize] += saliency * (1.0 + mag);
             }
         }
-        // Saliency evaluation walks the image as well as the map.
+        // Saliency evaluation walks the image as well as the observed set.
         let image_cost = trace.map(|t| (t.width * t.height) as u64).unwrap_or(0);
         self.overhead += 3 * grads.len() as u64 + image_cost;
     }
 
-    fn select(&mut self, scene: &GaussianScene, ratio: f32) -> Option<Vec<bool>> {
-        if self.weighted_hits.len() != scene.len() {
-            self.weighted_hits.resize(scene.len(), 0.0);
-        }
-        self.overhead += scene.len() as u64;
-        Some(keep_top(&self.weighted_hits, 1.0 - ratio))
+    fn select(&mut self, map: &ShardedScene, ratio: f32) -> Option<Vec<bool>> {
+        self.weighted_hits.resize(map.capacity(), 0.0);
+        self.overhead += map.len() as u64;
+        let hits = &self.weighted_hits;
+        Some(keep_top_live(map, |id| hits[id as usize], 1.0 - ratio))
     }
 
     fn evaluation_overhead(&self) -> u64 {
@@ -229,19 +250,16 @@ impl Pruner for FlashGsPruner {
     }
 }
 
-/// Keeps the top `keep_fraction` of entries by score.
-fn keep_top(scores: &[f32], keep_fraction: f32) -> Vec<bool> {
-    let n = scores.len();
-    let keep_n = ((n as f32 * keep_fraction).round() as usize).min(n);
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let mut keep = vec![false; n];
-    for &i in order.iter().take(keep_n) {
-        keep[i] = true;
+/// Keeps the top `keep_fraction` of *live* Gaussians by score. The
+/// returned mask is `map.capacity()` long; tombstoned IDs read `true`
+/// (nothing to remove there).
+fn keep_top_live(map: &ShardedScene, score: impl Fn(u32) -> f32, keep_fraction: f32) -> Vec<bool> {
+    let mut scored: Vec<(f32, u32)> = map.live_ids().map(|id| (score(id), id)).collect();
+    let keep_n = ((scored.len() as f32 * keep_fraction).round() as usize).min(scored.len());
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep = vec![true; map.capacity()];
+    for &(_, id) in scored.iter().skip(keep_n) {
+        keep[id as usize] = false;
     }
     keep
 }
@@ -273,19 +291,20 @@ impl<P: Pruner> BaselineExtension<P> {
 
 impl<P: Pruner> PipelineExtension for BaselineExtension<P> {
     fn after_tracking_iteration(&mut self, artifacts: &IterationArtifacts<'_>, _mask: &mut [bool]) {
-        self.pruner.observe(&artifacts.grads.gaussians, None);
+        self.pruner
+            .observe(artifacts.visible_ids, &artifacts.grads.gaussians, None);
     }
 
     fn end_of_frame(
         &mut self,
-        scene: &GaussianScene,
+        map: &ShardedScene,
         _mask: &[bool],
         is_keyframe: bool,
     ) -> Option<Vec<bool>> {
         if is_keyframe || self.pruned_once {
             return None;
         }
-        let keep = self.pruner.select(scene, self.prune_ratio)?;
+        let keep = self.pruner.select(map, self.prune_ratio)?;
         self.pruned_once = true;
         Some(keep)
     }
@@ -301,18 +320,22 @@ mod tests {
     use rtgs_math::{Quat, Vec3};
     use rtgs_render::Gaussian3d;
 
-    fn scene_of(n: usize) -> GaussianScene {
-        (0..n)
-            .map(|i| {
-                Gaussian3d::from_activated(
-                    Vec3::new(i as f32 * 0.1, 0.0, 2.0),
-                    Vec3::splat(0.05 + 0.01 * (i % 5) as f32),
-                    Quat::IDENTITY,
-                    0.3 + 0.05 * (i % 10) as f32,
-                    Vec3::splat(0.5),
-                )
-            })
-            .collect()
+    fn map_of(n: usize) -> ShardedScene {
+        let mut map = ShardedScene::new(1.0);
+        for i in 0..n {
+            map.insert(Gaussian3d::from_activated(
+                Vec3::new(i as f32 * 0.1, 0.0, 2.0),
+                Vec3::splat(0.05 + 0.01 * (i % 5) as f32),
+                Quat::IDENTITY,
+                0.3 + 0.05 * (i % 10) as f32,
+                Vec3::splat(0.5),
+            ));
+        }
+        map
+    }
+
+    fn ids_of(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
     }
 
     fn grads_with_signal(n: usize, strong: &[usize]) -> Vec<GaussianGrad> {
@@ -329,21 +352,21 @@ mod tests {
     #[test]
     fn taming_refuses_before_warmup() {
         let mut p = TamingPruner::with_warmup(100);
-        let scene = scene_of(10);
-        p.observe(&grads_with_signal(10, &[0, 1]), None);
-        assert!(p.select(&scene, 0.5).is_none());
+        let map = map_of(10);
+        p.observe(&ids_of(10), &grads_with_signal(10, &[0, 1]), None);
+        assert!(p.select(&map, 0.5).is_none());
         assert_eq!(p.iterations_seen(), 1);
     }
 
     #[test]
     fn taming_acts_after_warmup() {
         let mut p = TamingPruner::with_warmup(5);
-        let scene = scene_of(10);
+        let map = map_of(10);
         for _ in 0..6 {
-            p.observe(&grads_with_signal(10, &[0, 1, 2]), None);
+            p.observe(&ids_of(10), &grads_with_signal(10, &[0, 1, 2]), None);
         }
-        let keep = p.select(&scene, 0.5).unwrap();
-        assert_eq!(keep.iter().filter(|&&k| k).count(), 5);
+        let keep = p.select(&map, 0.5).unwrap();
+        assert_eq!(keep.iter().filter(|&&k| !k).count(), 5);
         // The strong-gradient Gaussians survive.
         assert!(keep[0] && keep[1] && keep[2]);
     }
@@ -351,11 +374,11 @@ mod tests {
     #[test]
     fn lightgaussian_prefers_hit_and_opaque() {
         let mut p = LightGaussianPruner::new();
-        let scene = scene_of(10);
+        let map = map_of(10);
         for _ in 0..3 {
-            p.observe(&grads_with_signal(10, &[7, 8, 9]), None);
+            p.observe(&ids_of(10), &grads_with_signal(10, &[7, 8, 9]), None);
         }
-        let keep = p.select(&scene, 0.7).unwrap();
+        let keep = p.select(&map, 0.7).unwrap();
         assert_eq!(keep.iter().filter(|&&k| k).count(), 3);
         assert!(keep[7] && keep[8] && keep[9]);
     }
@@ -363,11 +386,45 @@ mod tests {
     #[test]
     fn flashgs_prunes_to_requested_ratio() {
         let mut p = FlashGsPruner::new();
-        let scene = scene_of(20);
-        p.observe(&grads_with_signal(20, &[1, 3, 5, 7]), None);
-        let keep = p.select(&scene, 0.5).unwrap();
+        let map = map_of(20);
+        p.observe(&ids_of(20), &grads_with_signal(20, &[1, 3, 5, 7]), None);
+        let keep = p.select(&map, 0.5).unwrap();
         assert_eq!(keep.iter().filter(|&&k| k).count(), 10);
         assert!(keep[1] && keep[3] && keep[5] && keep[7]);
+    }
+
+    /// Frame-local observations scattered through a sparse visible-ID set
+    /// must land on the right stable IDs (the post-shard contract).
+    #[test]
+    fn sparse_visible_set_scatters_by_id() {
+        let mut p = FlashGsPruner::new();
+        let map = map_of(10);
+        // Only IDs 4 and 9 visible this iteration, both with signal.
+        let ids = vec![4u32, 9u32];
+        p.observe(&ids, &grads_with_signal(2, &[0, 1]), None);
+        let keep = p.select(&map, 0.8).unwrap();
+        assert_eq!(keep.iter().filter(|&&k| k).count(), 2);
+        assert!(keep[4] && keep[9]);
+    }
+
+    /// Tombstoned IDs stay out of the ranking and read `true` in the mask.
+    #[test]
+    fn selection_ignores_tombstoned_ids() {
+        let mut p = FlashGsPruner::new();
+        let mut map = map_of(10);
+        p.observe(&ids_of(10), &grads_with_signal(10, &[0, 1, 2, 3]), None);
+        map.tombstone(0);
+        map.tombstone(5);
+        let keep = p.select(&map, 0.5).unwrap();
+        assert_eq!(keep.len(), map.capacity());
+        assert!(keep[0] && keep[5], "dead IDs are not selected for removal");
+        // Half of the 8 live Gaussians are marked for removal.
+        let removed_live = keep
+            .iter()
+            .enumerate()
+            .filter(|&(id, &k)| !k && map.is_live(id as u32))
+            .count();
+        assert_eq!(removed_live, 4);
     }
 
     #[test]
@@ -375,11 +432,12 @@ mod tests {
         let mut taming = TamingPruner::with_warmup(5);
         let mut light = LightGaussianPruner::new();
         let mut flash = FlashGsPruner::new();
+        let ids = ids_of(100);
         let grads = grads_with_signal(100, &[0]);
         for _ in 0..4 {
-            taming.observe(&grads, None);
-            light.observe(&grads, None);
-            flash.observe(&grads, None);
+            taming.observe(&ids, &grads, None);
+            light.observe(&ids, &grads, None);
+            flash.observe(&ids, &grads, None);
         }
         assert!(taming.evaluation_overhead() > 0);
         // FlashGS is the most expensive evaluator per design.
@@ -388,12 +446,15 @@ mod tests {
     }
 
     #[test]
-    fn keep_top_handles_edge_ratios() {
-        let scores = vec![3.0, 1.0, 2.0];
-        assert_eq!(keep_top(&scores, 1.0), vec![true, true, true]);
-        assert_eq!(keep_top(&scores, 0.0), vec![false, false, false]);
-        let keep = keep_top(&scores, 1.0 / 3.0);
-        assert_eq!(keep, vec![true, false, false]);
+    fn keep_top_live_handles_edge_ratios() {
+        let map = map_of(3);
+        let scores = [3.0f32, 1.0, 2.0];
+        let all = keep_top_live(&map, |id| scores[id as usize], 1.0);
+        assert_eq!(all, vec![true, true, true]);
+        let none = keep_top_live(&map, |id| scores[id as usize], 0.0);
+        assert_eq!(none, vec![false, false, false]);
+        let third = keep_top_live(&map, |id| scores[id as usize], 1.0 / 3.0);
+        assert_eq!(third, vec![true, false, false]);
     }
 
     #[test]

@@ -398,12 +398,14 @@ fn bench_pruning_overhead(c: &mut Criterion) {
             },
             scene.len(),
         );
+        let all_ids: Vec<u32> = (0..scene.len() as u32).collect();
         b.iter(|| {
             let mut mask = vec![true; scene.len()];
             let artifacts = rtgs_slam::IterationArtifacts {
                 iteration: 0,
                 loss: loss.loss,
                 grads: &grads,
+                visible_ids: &all_ids,
                 tiles: &ctx.tiles,
                 output: &ctx.output,
             };
@@ -437,14 +439,14 @@ fn bench_tracking_iteration(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));
     let ds = small_dataset();
-    let scene = ds.reference_scene.clone();
+    let map = rtgs_render::ShardedScene::from_scene(&ds.reference_scene, 1.0);
     use rtgs_slam::{track_frame, NoObserver, StageTimings, TrackingConfig};
     group.bench_function("track_frame_4_iters", |b| {
         b.iter(|| {
-            let mut mask = vec![true; scene.len()];
+            let mut mask = vec![true; map.capacity()];
             let mut t = StageTimings::default();
             track_frame(
-                &scene,
+                &map,
                 ds.poses_c2w[1].inverse(),
                 &ds.frames[1],
                 &ds.camera,
@@ -461,10 +463,10 @@ fn bench_tracking_iteration(c: &mut Criterion) {
     // With 50% of the map masked (the pruning speedup source).
     group.bench_function("track_frame_4_iters_half_masked", |b| {
         b.iter(|| {
-            let mut mask: Vec<bool> = (0..scene.len()).map(|i| i % 2 == 0).collect();
+            let mut mask: Vec<bool> = (0..map.capacity()).map(|i| i % 2 == 0).collect();
             let mut t = StageTimings::default();
             track_frame(
-                &scene,
+                &map,
                 ds.poses_c2w[1].inverse(),
                 &ds.frames[1],
                 &ds.camera,
@@ -535,6 +537,66 @@ fn bench_runtime_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Large-scene scaling: per-frame projection + render cost as the *total*
+/// map size grows from 60k to 500k Gaussians while the frustum's contents
+/// stay fixed (the camera sees the same slab of a long lateral strip; the
+/// rest of the map extends outside the field of view).
+///
+/// `sharded/N` runs the production path — shard frustum cull, gather,
+/// chunked projection, tile build, render — whose cost should stay
+/// near-flat in N. `flat/N` runs the same kernels over the flat full
+/// scene, which must walk (and individually cull) every Gaussian and
+/// therefore degrades linearly. Both produce bitwise-identical images
+/// (see `crates/render/tests/shard_equivalence.rs`).
+fn bench_large_scene_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_scene_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let cam = rtgs_render::PinholeCamera::from_fov(96, 64, 1.2);
+    let w2c = rtgs_math::Se3::IDENTITY;
+
+    for &n in &[60_000usize, 160_000, 500_000] {
+        // A long strip along +x at viewing depth: fixed Gaussian density,
+        // so the camera (looking down +z from the origin) always has the
+        // same ~frustum occupancy while the strip — and the map — grows.
+        let mut map = rtgs_render::ShardedScene::new(1.0);
+        for i in 0..n {
+            let x = i as f32 * 0.02;
+            let z = 2.0 + (i % 50) as f32 * 0.06;
+            let y = ((i % 7) as f32 - 3.0) * 0.12;
+            map.insert(rtgs_render::Gaussian3d::from_activated(
+                rtgs_math::Vec3::new(x, y, z),
+                rtgs_math::Vec3::splat(0.03),
+                rtgs_math::Quat::IDENTITY,
+                0.6,
+                rtgs_math::Vec3::new(0.4, 0.6, 0.8),
+            ));
+        }
+        map.refresh_bounds();
+        let (flat, _) = map.flatten();
+        let backend = Serial;
+
+        group.bench_with_input(BenchmarkId::new("sharded", n), &map, |b, map| {
+            b.iter(|| {
+                let vf = map.visible_frame_with(&w2c, &cam, None, &backend);
+                let projection =
+                    rtgs_render::project_scene_with(&vf.scene, &w2c, &cam, None, &backend);
+                let tiles = rtgs_render::TileAssignment::build_with(&projection, &cam, &backend);
+                render_with(&projection, &tiles, &cam, &backend)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat", n), &flat, |b, flat| {
+            b.iter(|| {
+                let projection = rtgs_render::project_scene_with(flat, &w2c, &cam, None, &backend);
+                let tiles = rtgs_render::TileAssignment::build_with(&projection, &cam, &backend);
+                render_with(&projection, &tiles, &cam, &backend)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Runtime subsystem: serving 4 concurrent SLAM sessions versus running
 /// them back-to-back.
 fn bench_session_serving(c: &mut Criterion) {
@@ -588,6 +650,7 @@ criterion_group!(
     bench_pruning_overhead,
     bench_config_layer,
     bench_tracking_iteration,
+    bench_large_scene_scaling,
     bench_runtime_scaling,
     bench_session_serving,
 );

@@ -151,6 +151,55 @@ fn compare(baseline: &[Entry], current: &[Entry], max_regression: f64) -> Report
         ));
     }
 
+    // Groups with no benchmark shared with the baseline fall into two
+    // cases. A group absent from the baseline entirely is *new* and
+    // informational: its total is reported so reviewers see the cost, but
+    // it never fails the gate — a group can land in the same PR as its
+    // first baseline entry and starts gating on the next refresh. A group
+    // that *does* exist in the baseline but shares no bench names had all
+    // its benches renamed; letting it drop out would silently un-gate it,
+    // so it gates on the whole-group totals instead.
+    let base_group_totals: BTreeMap<&String, f64> =
+        base.iter().fold(BTreeMap::new(), |mut m, ((g, _), &ns)| {
+            *m.entry(g).or_insert(0.0) += ns;
+            m
+        });
+    let mut unshared_groups: BTreeMap<String, f64> = BTreeMap::new();
+    for ((g, _), &c_ns) in &cur {
+        if !groups.contains_key(g) {
+            *unshared_groups.entry(g.clone()).or_insert(0.0) += c_ns;
+        }
+    }
+    for (g, c_ns) in &unshared_groups {
+        match base_group_totals.get(g) {
+            Some(&b_ns) => {
+                let delta = if b_ns > 0.0 { c_ns / b_ns - 1.0 } else { 0.0 };
+                let status = if delta > max_regression {
+                    failed = true;
+                    "REGRESSED (renamed benches)"
+                } else if delta < -0.05 {
+                    "improved (renamed benches)"
+                } else {
+                    "ok (renamed benches)"
+                };
+                text.push_str(&format!(
+                    "{:<28} {:>14.0} {:>14.0} {:>+8.1}%  {}\n",
+                    g,
+                    b_ns,
+                    c_ns,
+                    delta * 100.0,
+                    status
+                ));
+            }
+            None => {
+                text.push_str(&format!(
+                    "{:<28} {:>14} {:>14.0} {:>9}  {}\n",
+                    g, "-", c_ns, "", "new (informational)"
+                ));
+            }
+        }
+    }
+
     // Informational: benches not shared between the files.
     let new: Vec<_> = cur.keys().filter(|k| !base.contains_key(*k)).collect();
     let gone: Vec<_> = base.keys().filter(|k| !cur.contains_key(*k)).collect();
@@ -412,6 +461,59 @@ mod tests {
         assert!(!r.failed, "{}", r.text);
         assert!(r.text.contains("new/fresh"));
         assert!(r.text.contains("old/gone"));
+    }
+
+    /// A bench group that exists only in the current run (its baseline
+    /// lands in the same PR) is reported with its total, marked
+    /// informational, and never fails the gate — however heavy it is.
+    #[test]
+    fn new_group_is_informational_not_gated() {
+        let base = vec![entry("g", "a", 100.0)];
+        let cur = vec![
+            entry("g", "a", 100.0),
+            entry("large_scene_scaling", "sharded/60000", 5.0e6),
+            entry("large_scene_scaling", "sharded/500000", 9.0e6),
+        ];
+        let r = compare(&base, &cur, 0.25);
+        assert!(!r.failed, "{}", r.text);
+        assert!(
+            r.text.contains("new (informational)"),
+            "missing informational marker:\n{}",
+            r.text
+        );
+        // The group's summed total appears in the table.
+        assert!(r.text.contains("large_scene_scaling"));
+        assert!(r.text.contains("14000000"), "summed total:\n{}", r.text);
+        // Existing groups still gate as usual alongside a new group.
+        let regressed = vec![entry("g", "a", 200.0), entry("new_grp", "x", 1.0)];
+        let r2 = compare(&base, &regressed, 0.25);
+        assert!(r2.failed, "{}", r2.text);
+    }
+
+    /// Renaming every bench inside an existing group must not let it slip
+    /// out of the gate as "new": it gates on the whole-group totals.
+    #[test]
+    fn fully_renamed_group_still_gates() {
+        let base = vec![
+            entry("g", "size/1000", 100.0),
+            entry("g", "size/2000", 100.0),
+        ];
+        // Renamed params and regressed 10x: must fail.
+        let cur = vec![
+            entry("g", "size/1024", 1000.0),
+            entry("g", "size/2048", 1000.0),
+        ];
+        let r = compare(&base, &cur, 0.25);
+        assert!(r.failed, "{}", r.text);
+        assert!(r.text.contains("renamed benches"), "{}", r.text);
+        // Renamed but within threshold: passes, still labeled.
+        let ok = vec![
+            entry("g", "size/1024", 110.0),
+            entry("g", "size/2048", 110.0),
+        ];
+        let r2 = compare(&base, &ok, 0.25);
+        assert!(!r2.failed, "{}", r2.text);
+        assert!(r2.text.contains("ok (renamed benches)"), "{}", r2.text);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::downsample::DownsamplingConfig;
 use crate::pruning::{AdaptivePruner, PruningConfig};
-use rtgs_render::GaussianScene;
+use rtgs_render::ShardedScene;
 use rtgs_slam::{FrameDirectives, IterationArtifacts, PipelineExtension};
 
 /// Full RTGS algorithm configuration.
@@ -123,7 +123,7 @@ impl PipelineExtension for RtgsExtension {
 
     fn end_of_frame(
         &mut self,
-        scene: &GaussianScene,
+        map: &ShardedScene,
         _mask: &[bool],
         is_keyframe: bool,
     ) -> Option<Vec<bool>> {
@@ -132,15 +132,15 @@ impl PipelineExtension for RtgsExtension {
         }
         self.frame_active = false;
         let pruner = self.pruner.as_mut()?;
-        pruner.resize(scene.len());
+        pruner.resize(map.capacity());
         let keep = pruner.end_frame(is_keyframe)?;
         self.stats.gaussians_pruned += keep.iter().filter(|&&k| !k).count();
         Some(keep)
     }
 
-    fn on_scene_resized(&mut self, new_len: usize) {
+    fn on_scene_resized(&mut self, new_capacity: usize) {
         if let Some(pruner) = &mut self.pruner {
-            pruner.begin_frame(new_len);
+            pruner.begin_frame(new_capacity);
         }
     }
 

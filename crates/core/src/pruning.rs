@@ -122,16 +122,21 @@ impl AdaptivePruner {
     /// the gradients the backward pass already produced, and — every K
     /// iterations — masks the lowest-scoring active Gaussians and adapts K.
     ///
-    /// `mask` is the pipeline's active mask; masked-off entries are excluded
-    /// from rendering in subsequent iterations.
+    /// `mask` is the pipeline's active mask in stable-ID space; masked-off
+    /// entries are excluded from rendering in subsequent iterations. The
+    /// iteration's gradients arrive in the frame-local (frustum-survivor)
+    /// layout, so scoring walks only the visible working set and scatters
+    /// through [`IterationArtifacts::visible_ids`] into the stable-ID score
+    /// buffer — cost follows the frustum's contents, not the map size.
     pub fn observe_iteration(&mut self, artifacts: &IterationArtifacts<'_>, mask: &mut [bool]) {
         let n = mask.len();
         self.resize(n);
 
         // Zero-overhead importance evaluation: the gradients are reused from
         // the optimization backward pass (Eq. 7).
-        for (i, g) in artifacts.grads.gaussians.iter().enumerate() {
-            self.scores[i] += g.importance_score(self.config.lambda);
+        for (k, g) in artifacts.grads.gaussians.iter().enumerate() {
+            let id = artifacts.visible_ids[k] as usize;
+            self.scores[id] += g.importance_score(self.config.lambda);
         }
         self.since_prune += 1;
 
@@ -245,8 +250,13 @@ mod tests {
     }
 
     /// Drives the pruner through `iters` real tracking-style iterations.
+    ///
+    /// The gradients come from a flat full-scene backward pass, so the
+    /// frame-local index space coincides with the stable-ID space and
+    /// `visible_ids` is the identity map.
     fn drive(pruner: &mut AdaptivePruner, iters: usize, mask: &mut [bool]) {
         let (scene, cam) = make_artifacts_scene();
+        let all_ids: Vec<u32> = (0..scene.len() as u32).collect();
         let gt = Image::from_data(32, 32, vec![Vec3::splat(0.3); 32 * 32]);
         for it in 0..iters {
             let ctx = render_frame(&scene, &Se3::IDENTITY, &cam, Some(mask));
@@ -263,6 +273,7 @@ mod tests {
                 iteration: it,
                 loss: loss.loss,
                 grads: &grads,
+                visible_ids: &all_ids,
                 tiles: &ctx.tiles,
                 output: &ctx.output,
             };

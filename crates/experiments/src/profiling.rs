@@ -76,15 +76,15 @@ pub fn fig4(scale: Scale) -> String {
     use rtgs_slam::{track_frame, StageTimings, TrackingConfig};
     let report = run_variant(BaseAlgorithm::MonoGs, &ds, scale, Variant::Base, false);
     // Re-track the last frame against the final map, collecting gradients.
-    let scene = {
+    let map = {
         // Rebuild via a short pipeline run is costly; instead track frame 1
         // against the reference scene (the distribution shape is a property
         // of the scene structure).
-        ds.reference_scene.clone()
+        rtgs_render::ShardedScene::from_scene(&ds.reference_scene, 1.0)
     };
-    let mut mask = vec![true; scene.len()];
+    let mut mask = vec![true; map.capacity()];
     let mut timings = StageTimings::default();
-    let mut scores = vec![0.0f64; scene.len()];
+    let mut scores = vec![0.0f64; map.capacity()];
     struct Collect<'a> {
         scores: &'a mut Vec<f64>,
     }
@@ -94,8 +94,9 @@ pub fn fig4(scale: Scale) -> String {
             artifacts: &rtgs_slam::IterationArtifacts<'_>,
             _mask: &mut [bool],
         ) {
-            for (i, g) in artifacts.grads.gaussians.iter().enumerate() {
-                self.scores[i] += g.importance_score(0.8) as f64;
+            for (k, g) in artifacts.grads.gaussians.iter().enumerate() {
+                let id = artifacts.visible_ids[k] as usize;
+                self.scores[id] += g.importance_score(0.8) as f64;
             }
         }
     }
@@ -103,7 +104,7 @@ pub fn fig4(scale: Scale) -> String {
         scores: &mut scores,
     };
     let _ = track_frame(
-        &scene,
+        &map,
         ds.poses_c2w[1].inverse(),
         &ds.frames[1],
         &ds.camera,

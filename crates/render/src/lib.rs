@@ -58,6 +58,7 @@ mod gaussian;
 mod loss;
 mod project;
 pub mod reference;
+mod shard;
 mod tiles;
 mod trace;
 
@@ -76,6 +77,7 @@ pub use project::{
     jacobian_with_clamp, project_scene, project_scene_with, projection_jacobian, Projected2d,
     ProjectedSoA, Projection, TileRect, COV2D_BLUR, FRUSTUM_CLAMP, NEAR_PLANE, NO_SLOT,
 };
+pub use shard::{Aabb, GaussianHandle, Shard, ShardedScene, VisibleFrame, DEFAULT_CELL_SIZE};
 pub use tiles::{TileAssignment, SUBTILES_PER_TILE, SUBTILE_SIZE, TILE_SIZE};
 pub use trace::WorkloadTrace;
 

@@ -1,11 +1,19 @@
 //! Map management: seeding from RGB-D observations, densification at
 //! high-error regions, and low-opacity cleanup.
+//!
+//! The map is a [`ShardedScene`]: seeding and densification insert through
+//! the spatial hash (recycling tombstoned slots), cleanup tombstones in
+//! place, and no operation ever reindexes a surviving Gaussian — the stable
+//! IDs the optimizer moments, pruning scores and active masks are keyed by
+//! stay valid across any interleaving.
 
 use crate::optimizer::MapOptimizer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtgs_math::{Quat, Se3, Vec3};
-use rtgs_render::{Gaussian3d, GaussianScene, Image, PinholeCamera, RenderOutput};
+use rtgs_render::{
+    Gaussian3d, Image, PinholeCamera, RenderOutput, ShardedScene, DEFAULT_CELL_SIZE,
+};
 use rtgs_scene::RgbdFrame;
 
 /// Map management parameters.
@@ -29,6 +37,8 @@ pub struct MapConfig {
     pub max_gaussians: usize,
     /// Depth assumed for monocular seeding when no depth image exists.
     pub mono_depth_prior: f32,
+    /// World-grid cell edge length (meters) of the sharded map store.
+    pub shard_cell_size: f32,
 }
 
 impl Default for MapConfig {
@@ -42,27 +52,46 @@ impl Default for MapConfig {
             prune_opacity_threshold: 0.02,
             max_gaussians: 60_000,
             mono_depth_prior: 2.5,
+            shard_cell_size: DEFAULT_CELL_SIZE,
         }
     }
 }
 
 /// Seeds Gaussians from an observation by backprojecting a strided pixel
-/// grid (the standard RGB-D initialization of SplaTAM/MonoGS).
+/// grid (the standard RGB-D initialization of SplaTAM/MonoGS) into a fresh
+/// sharded map store.
 ///
 /// `c2w` is the camera-to-world pose of the frame. Pixels without valid
 /// depth fall back to `mono_depth_prior` with jitter (monocular seeding).
+///
+/// Degenerate inputs are handled explicitly: a zero-sized frame (or a
+/// frame smaller than the camera on either axis, which clamps the sampled
+/// region) yields an empty map, and a `seed_stride` at least as large as
+/// both image dimensions yields exactly one Gaussian — the `(0, 0)` block.
 pub fn seed_from_frame(
     frame: &RgbdFrame,
     camera: &PinholeCamera,
     c2w: &Se3,
     config: &MapConfig,
     seed: u64,
-) -> GaussianScene {
+) -> ShardedScene {
+    let mut map = ShardedScene::new(config.shard_cell_size);
+    // Sample only where both the camera and the observation have pixels; a
+    // zero-sized frame therefore seeds nothing rather than panicking on an
+    // out-of-bounds read.
+    let mut width = camera.width.min(frame.color.width());
+    let mut height = camera.height.min(frame.color.height());
+    if let Some(depth) = frame.depth.as_ref() {
+        width = width.min(depth.width());
+        height = height.min(depth.height());
+    }
+    if width == 0 || height == 0 {
+        return map;
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let stride = config.seed_stride.max(1);
-    let mut gaussians = Vec::new();
-    for y in (0..camera.height).step_by(stride) {
-        for x in (0..camera.width).step_by(stride) {
+    for y in (0..height).step_by(stride) {
+        for x in (0..width).step_by(stride) {
             let depth = frame
                 .depth
                 .as_ref()
@@ -77,7 +106,7 @@ pub fn seed_from_frame(
             let position = c2w.transform_point(p_cam);
             // Pixel footprint at this depth defines the Gaussian's extent.
             let extent = config.seed_scale * depth * stride as f32 / camera.fx;
-            gaussians.push(Gaussian3d::from_activated(
+            map.insert(Gaussian3d::from_activated(
                 position,
                 Vec3::splat(extent.max(1e-3)),
                 Quat::IDENTITY,
@@ -86,15 +115,15 @@ pub fn seed_from_frame(
             ));
         }
     }
-    GaussianScene::from_gaussians(gaussians)
+    map
 }
 
 /// Adds Gaussians at high-photometric-error pixels with valid depth
-/// (densification), growing the optimizer state alongside. Returns the
-/// number added.
+/// (densification), registering each new stable ID with the optimizer
+/// (recycled IDs get zeroed moments). Returns the inserted IDs.
 #[allow(clippy::too_many_arguments)]
 pub fn densify(
-    scene: &mut GaussianScene,
+    map: &mut ShardedScene,
     optimizer: &mut MapOptimizer,
     rendered: &RenderOutput,
     frame: &RgbdFrame,
@@ -102,9 +131,9 @@ pub fn densify(
     c2w: &Se3,
     config: &MapConfig,
     seed: u64,
-) -> usize {
-    if scene.len() >= config.max_gaussians {
-        return 0;
+) -> Vec<u32> {
+    if map.len() >= config.max_gaussians {
+        return Vec::new();
     }
     let mut rng = StdRng::seed_from_u64(seed);
     // Collect candidate pixels by error.
@@ -120,9 +149,9 @@ pub fn densify(
     candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
     let budget = config
         .densify_max_per_pass
-        .min(config.max_gaussians - scene.len());
+        .min(config.max_gaussians - map.len());
 
-    let mut added = 0;
+    let mut added = Vec::new();
     for &(_, x, y) in candidates.iter().take(budget) {
         let depth = match frame.depth.as_ref().map(|d| d.depth(x, y)) {
             Some(d) if d > 0.0 => d,
@@ -143,47 +172,34 @@ pub fn densify(
             depth,
         );
         let extent = config.seed_scale * depth / camera.fx;
-        scene.gaussians.push(Gaussian3d::from_activated(
+        let id = map.insert(Gaussian3d::from_activated(
             c2w.transform_point(p_cam),
             Vec3::splat(extent.max(1e-3)),
             Quat::IDENTITY,
             config.seed_opacity,
             frame.color.pixel(x, y),
         ));
-        added += 1;
+        optimizer.register(id);
+        added.push(id);
     }
-    optimizer.grow(added);
     added
 }
 
-/// Removes Gaussians whose activated opacity dropped below the cleanup
-/// threshold, compacting the optimizer alongside. Returns the number
-/// removed.
+/// Tombstones Gaussians whose activated opacity dropped below the cleanup
+/// threshold. Returns the number removed. Surviving IDs — and therefore
+/// the optimizer moments keyed by them — are untouched.
 ///
 /// This is the standard 3DGS housekeeping pass, distinct from RTGS's
 /// gradient-based adaptive pruning (`rtgs-core`).
-pub fn prune_transparent(
-    scene: &mut GaussianScene,
-    optimizer: &mut MapOptimizer,
-    config: &MapConfig,
-) -> usize {
-    let keep: Vec<bool> = scene
-        .gaussians
-        .iter()
-        .map(|g| g.opacity_activated() >= config.prune_opacity_threshold)
+pub fn prune_transparent(map: &mut ShardedScene, config: &MapConfig) -> usize {
+    let doomed: Vec<u32> = map
+        .live_ids()
+        .filter(|&id| map.gaussian(id).opacity_activated() < config.prune_opacity_threshold)
         .collect();
-    let removed = keep.iter().filter(|&&k| !k).count();
-    if removed == 0 {
-        return 0;
+    for &id in &doomed {
+        map.tombstone(id);
     }
-    let mut idx = 0;
-    scene.gaussians.retain(|_| {
-        let k = keep[idx];
-        idx += 1;
-        k
-    });
-    optimizer.compact(&keep);
-    removed
+    doomed.len()
 }
 
 fn pixel_error(rendered: &Image, gt: &Image, x: usize, y: usize) -> f32 {
@@ -218,6 +234,10 @@ mod tests {
         }
     }
 
+    fn positions(map: &ShardedScene) -> Vec<Vec3> {
+        map.live_ids().map(|id| map.gaussian(id).position).collect()
+    }
+
     #[test]
     fn seeding_covers_strided_grid() {
         let cam = camera();
@@ -226,11 +246,11 @@ mod tests {
             seed_stride: 2,
             ..Default::default()
         };
-        let scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &cfg, 1);
-        assert_eq!(scene.len(), (16 / 2) * (12 / 2));
+        let map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &cfg, 1);
+        assert_eq!(map.len(), (16 / 2) * (12 / 2));
         // All seeds sit at depth 2 in front of the camera.
-        for g in &scene.gaussians {
-            assert!((g.position.z - 2.0).abs() < 1e-4);
+        for p in positions(&map) {
+            assert!((p.z - 2.0).abs() < 1e-4);
         }
     }
 
@@ -238,9 +258,9 @@ mod tests {
     fn seeded_colors_match_observation() {
         let cam = camera();
         let frame = frame_with_depth(1.5);
-        let scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
-        for g in &scene.gaussians {
-            assert!((g.color - Vec3::new(0.8, 0.4, 0.2)).max_abs() < 1e-6);
+        let map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        for id in map.live_ids() {
+            assert!((map.gaussian(id).color - Vec3::new(0.8, 0.4, 0.2)).max_abs() < 1e-6);
         }
     }
 
@@ -249,8 +269,8 @@ mod tests {
         let cam = camera();
         let frame = frame_with_depth(2.0);
         let c2w = Se3::from_translation(Vec3::new(5.0, 0.0, 0.0));
-        let scene = seed_from_frame(&frame, &cam, &c2w, &MapConfig::default(), 1);
-        let mean_x = scene.gaussians.iter().map(|g| g.position.x).sum::<f32>() / scene.len() as f32;
+        let map = seed_from_frame(&frame, &cam, &c2w, &MapConfig::default(), 1);
+        let mean_x = positions(&map).iter().map(|p| p.x).sum::<f32>() / map.len() as f32;
         assert!((mean_x - 5.0).abs() < 0.5);
     }
 
@@ -263,17 +283,81 @@ mod tests {
             mono_depth_prior: 3.0,
             ..Default::default()
         };
-        let scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &cfg, 1);
-        for g in &scene.gaussians {
-            assert!(g.position.z > 3.0 * 0.6 && g.position.z < 3.0 * 1.4);
+        let map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &cfg, 1);
+        for p in positions(&map) {
+            assert!(p.z > 3.0 * 0.6 && p.z < 3.0 * 1.4);
         }
+    }
+
+    #[test]
+    fn oversized_stride_seeds_single_gaussian() {
+        // Regression: a stride larger than both image dimensions must yield
+        // exactly the (0, 0) block's Gaussian, by contract rather than by
+        // accident of `step_by`.
+        let cam = camera();
+        let frame = frame_with_depth(2.0);
+        for stride in [16, 17, 1000, usize::MAX] {
+            let cfg = MapConfig {
+                seed_stride: stride,
+                ..Default::default()
+            };
+            let map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &cfg, 1);
+            assert_eq!(map.len(), 1, "stride {stride}");
+            let p = positions(&map)[0];
+            // The (0, 0) pixel backprojects to the top-left of the frustum.
+            assert!(p.x < 0.0 && p.y < 0.0 && (p.z - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_sized_frame_seeds_empty_map() {
+        // Regression: observations with no pixels must produce an empty map
+        // instead of panicking on an out-of-bounds read.
+        let cam = camera();
+        let empty_color = RgbdFrame {
+            index: 0,
+            color: Image::new(0, 0),
+            depth: None,
+        };
+        let map = seed_from_frame(&empty_color, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        assert!(map.is_empty());
+
+        let empty_depth = RgbdFrame {
+            index: 0,
+            color: Image::from_data(
+                cam.width,
+                cam.height,
+                vec![Vec3::splat(0.5); cam.pixel_count()],
+            ),
+            depth: Some(DepthImage::new(0, 0)),
+        };
+        let map = seed_from_frame(&empty_depth, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn undersized_frame_clamps_sampling() {
+        // A frame smaller than the camera resolution seeds only where
+        // observations exist (no out-of-bounds panic).
+        let cam = camera();
+        let frame = RgbdFrame {
+            index: 0,
+            color: Image::from_data(4, 4, vec![Vec3::splat(0.5); 16]),
+            depth: None,
+        };
+        let cfg = MapConfig {
+            seed_stride: 2,
+            ..Default::default()
+        };
+        let map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &cfg, 1);
+        assert_eq!(map.len(), 4); // 4/2 × 4/2
     }
 
     #[test]
     fn densify_adds_where_error_is_high() {
         let cam = camera();
         let frame = frame_with_depth(2.0);
-        let mut scene = GaussianScene::new();
+        let mut map = ShardedScene::new(1.0);
         let mut opt = MapOptimizer::new(0, MapLearningRates::default());
         // Rendered output is black everywhere -> every pixel is high-error.
         let rendered = RenderOutput {
@@ -288,7 +372,7 @@ mod tests {
             ..Default::default()
         };
         let added = densify(
-            &mut scene,
+            &mut map,
             &mut opt,
             &rendered,
             &frame,
@@ -297,17 +381,17 @@ mod tests {
             &cfg,
             2,
         );
-        assert_eq!(added, 10);
-        assert_eq!(scene.len(), 10);
-        assert_eq!(opt.len(), 10);
+        assert_eq!(added.len(), 10);
+        assert_eq!(map.len(), 10);
+        assert_eq!(opt.capacity(), 10);
     }
 
     #[test]
     fn densify_respects_budget_cap() {
         let cam = camera();
         let frame = frame_with_depth(2.0);
-        let mut scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
-        let n = scene.len();
+        let mut map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        let n = map.len();
         let mut opt = MapOptimizer::new(n, MapLearningRates::default());
         let rendered = RenderOutput {
             image: Image::new(cam.width, cam.height),
@@ -322,7 +406,7 @@ mod tests {
             ..Default::default()
         };
         let added = densify(
-            &mut scene,
+            &mut map,
             &mut opt,
             &rendered,
             &frame,
@@ -331,35 +415,74 @@ mod tests {
             &cfg,
             2,
         );
-        assert_eq!(added, 3);
+        assert_eq!(added.len(), 3);
+    }
+
+    #[test]
+    fn densify_recycles_tombstoned_ids() {
+        let cam = camera();
+        let frame = frame_with_depth(2.0);
+        let mut map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        let mut opt = MapOptimizer::new(map.capacity(), MapLearningRates::default());
+        map.tombstone(0);
+        map.tombstone(5);
+        let capacity_before = map.capacity();
+        let rendered = RenderOutput {
+            image: Image::new(cam.width, cam.height),
+            depth: DepthImage::new(cam.width, cam.height),
+            final_transmittance: vec![1.0; cam.pixel_count()],
+            pixel_workloads: vec![0; cam.pixel_count()],
+            stats: Default::default(),
+        };
+        let cfg = MapConfig {
+            densify_max_per_pass: 2,
+            ..Default::default()
+        };
+        let added = densify(
+            &mut map,
+            &mut opt,
+            &rendered,
+            &frame,
+            &cam,
+            &Se3::IDENTITY,
+            &cfg,
+            2,
+        );
+        assert_eq!(added.len(), 2);
+        let mut recycled = added.clone();
+        recycled.sort_unstable();
+        assert_eq!(recycled, vec![0, 5], "freed IDs are recycled first");
+        assert_eq!(map.capacity(), capacity_before, "no arena growth needed");
     }
 
     #[test]
     fn prune_removes_transparent_gaussians() {
         let cam = camera();
         let frame = frame_with_depth(2.0);
-        let mut scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
-        let n = scene.len();
-        let mut opt = MapOptimizer::new(n, MapLearningRates::default());
+        let mut map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        let n = map.len();
+        let opt = MapOptimizer::new(map.capacity(), MapLearningRates::default());
         // Make half the map transparent.
-        for g in scene.gaussians.iter_mut().take(n / 2) {
-            g.opacity = rtgs_math::logit(0.001);
+        for id in 0..(n / 2) as u32 {
+            map.gaussian_mut(id).opacity = rtgs_math::logit(0.001);
         }
-        let removed = prune_transparent(&mut scene, &mut opt, &MapConfig::default());
+        let removed = prune_transparent(&mut map, &MapConfig::default());
         assert_eq!(removed, n / 2);
-        assert_eq!(scene.len(), n - n / 2);
-        assert_eq!(opt.len(), scene.len());
+        assert_eq!(map.len(), n - n / 2);
+        // Tombstoning keeps the arena (and the moment arrays) sized.
+        assert_eq!(map.capacity(), n);
+        assert_eq!(opt.capacity(), n);
+        // Survivors keep their IDs.
+        for id in (n / 2) as u32..n as u32 {
+            assert!(map.is_live(id));
+        }
     }
 
     #[test]
     fn prune_noop_when_all_opaque() {
         let cam = camera();
         let frame = frame_with_depth(2.0);
-        let mut scene = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
-        let mut opt = MapOptimizer::new(scene.len(), MapLearningRates::default());
-        assert_eq!(
-            prune_transparent(&mut scene, &mut opt, &MapConfig::default()),
-            0
-        );
+        let mut map = seed_from_frame(&frame, &cam, &Se3::IDENTITY, &MapConfig::default(), 1);
+        assert_eq!(prune_transparent(&mut map, &MapConfig::default()), 0);
     }
 }

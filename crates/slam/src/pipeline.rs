@@ -11,7 +11,7 @@ use rtgs_math::Se3;
 use rtgs_metrics::{absolute_trajectory_error, psnr, AteResult};
 use rtgs_render::{
     backward_fused_with, compute_loss, project_scene_with, render_frame_with, render_fused_with,
-    GaussianScene, Image, TileAssignment, WorkloadTrace,
+    Image, ShardedScene, TileAssignment, WorkloadTrace,
 };
 use rtgs_runtime::{Backend, BackendChoice};
 use rtgs_scene::{RgbdFrame, SyntheticDataset};
@@ -233,22 +233,24 @@ pub trait PipelineExtension {
     }
 
     /// Called at the end of each frame with the final tracking mask and the
-    /// keyframe decision; returns a keep-mask for permanent Gaussian
-    /// removal, or `None` to keep everything. The paper removes Gaussians
-    /// masked during tracking only on non-keyframes (keyframes skip
-    /// pruning, Sec. 5.5).
+    /// keyframe decision; returns a keep-mask (one entry per stable ID,
+    /// `map.capacity()` long) for permanent Gaussian removal, or `None` to
+    /// keep everything. Removal tombstones — surviving IDs never move. The
+    /// paper removes Gaussians masked during tracking only on non-keyframes
+    /// (keyframes skip pruning, Sec. 5.5).
     fn end_of_frame(
         &mut self,
-        _scene: &GaussianScene,
+        _map: &ShardedScene,
         _mask: &[bool],
         _is_keyframe: bool,
     ) -> Option<Vec<bool>> {
         None
     }
 
-    /// Notifies the extension that the scene was resized (mapping added or
-    /// removed Gaussians); masks must be re-synchronized.
-    fn on_scene_resized(&mut self, _new_len: usize) {}
+    /// Notifies the extension that the map's stable-ID capacity changed
+    /// (densification appended new IDs); per-ID buffers must be
+    /// re-synchronized to `new_capacity`.
+    fn on_scene_resized(&mut self, _new_capacity: usize) {}
 
     /// Extension name for reports.
     fn name(&self) -> &'static str {
@@ -361,7 +363,7 @@ pub struct SlamPipeline<'d> {
     dataset: &'d SyntheticDataset,
     backend: Arc<dyn Backend>,
     extension: Box<dyn PipelineExtension + Send>,
-    scene: GaussianScene,
+    scene: ShardedScene,
     map_optimizer: MapOptimizer,
     mask: Vec<bool>,
     trajectory: Vec<Se3>,
@@ -396,7 +398,7 @@ impl<'d> SlamPipeline<'d> {
             dataset,
             backend: config.backend.instantiate(),
             extension,
-            scene: GaussianScene::new(),
+            scene: ShardedScene::new(config.map.shard_cell_size),
             map_optimizer: MapOptimizer::new(0, config.map_lrs),
             mask: Vec::new(),
             trajectory: Vec::new(),
@@ -414,8 +416,8 @@ impl<'d> SlamPipeline<'d> {
         }
     }
 
-    /// Current map.
-    pub fn scene(&self) -> &GaussianScene {
+    /// Current map (sharded store; stable IDs, frustum-cullable shards).
+    pub fn scene(&self) -> &ShardedScene {
         &self.scene
     }
 
@@ -490,6 +492,10 @@ impl<'d> SlamPipeline<'d> {
         };
 
         let init = self.motion_model();
+        // Mapping/pruning mutated the map since the last frame; re-validate
+        // shard bounds once so every tracking iteration's frustum cull runs
+        // on fresh boxes.
+        self.scene.refresh_bounds_with(&*self.backend);
         let t0 = Instant::now();
         let mut tracking_cfg = self.config.tracking;
         tracking_cfg.record_traces = self.config.record_traces;
@@ -514,12 +520,10 @@ impl<'d> SlamPipeline<'d> {
 
         // The extension may have masked Gaussians off during tracking
         // (mask-prune). Capture that state for the end-of-frame decision and
-        // restore full visibility for mapping — permanent removal is the
-        // extension's call below.
+        // restore full visibility (every live ID) for mapping — permanent
+        // removal is the extension's call below.
         let tracking_mask = self.mask.clone();
-        for m in &mut self.mask {
-            *m = true;
-        }
+        self.mask.copy_from_slice(self.scene.live_flags());
 
         // ---- Keyframe decision ---------------------------------------------
         let last_kf = self.keyframes.last().copied();
@@ -545,33 +549,27 @@ impl<'d> SlamPipeline<'d> {
         }
 
         // ---- Extension end-of-frame (permanent pruning) ----------------------
-        let tracking_mask = if tracking_mask.len() == self.scene.len() {
+        let tracking_mask = if tracking_mask.len() == self.scene.capacity() {
             tracking_mask
         } else {
-            // Mapping resized the scene; pad conservatively with "active".
+            // Mapping appended new IDs; pad conservatively with "active".
             let mut m = tracking_mask;
-            m.resize(self.scene.len(), true);
+            m.resize(self.scene.capacity(), true);
             m
         };
         if let Some(keep) = self
             .extension
             .end_of_frame(&self.scene, &tracking_mask, is_keyframe)
         {
-            assert_eq!(keep.len(), self.scene.len(), "keep mask length");
-            let mut idx = 0;
-            self.scene.gaussians.retain(|_| {
-                let k = keep[idx];
-                idx += 1;
-                k
-            });
-            self.map_optimizer.compact(&keep);
-            idx = 0;
-            self.mask.retain(|_| {
-                let k = keep[idx];
-                idx += 1;
-                k
-            });
-            self.extension.on_scene_resized(self.scene.len());
+            assert_eq!(keep.len(), self.scene.capacity(), "keep mask length");
+            // Tombstone instead of compacting: surviving IDs — and the
+            // optimizer moments, masks and scores keyed by them — stay put.
+            for (id, &k) in keep.iter().enumerate() {
+                if !k && self.scene.is_live(id as u32) {
+                    self.scene.tombstone(id as u32);
+                    self.mask[id] = false;
+                }
+            }
         }
 
         self.peak_gaussians = self.peak_gaussians.max(self.scene.len());
@@ -603,9 +601,9 @@ impl<'d> SlamPipeline<'d> {
             &self.config.map,
             0xC0FFEE,
         );
-        self.map_optimizer = MapOptimizer::new(self.scene.len(), self.config.map_lrs);
-        self.mask = vec![true; self.scene.len()];
-        self.extension.on_scene_resized(self.scene.len());
+        self.map_optimizer = MapOptimizer::new(self.scene.capacity(), self.config.map_lrs);
+        self.mask = self.scene.live_flags().to_vec();
+        self.extension.on_scene_resized(self.scene.capacity());
 
         // Initial mapping to settle the seeded Gaussians.
         let t0 = Instant::now();
@@ -662,9 +660,16 @@ impl<'d> SlamPipeline<'d> {
             let frame = &self.dataset.frames[target_index];
             let w2c = self.trajectory[target_index].inverse();
 
+            // The previous iteration's optimizer step (or densification)
+            // moved Gaussians; re-validate shard bounds, then cull + gather
+            // the keyframe frustum's working set.
+            self.scene.refresh_bounds_with(&*self.backend);
             let t0 = Instant::now();
+            let visible =
+                self.scene
+                    .visible_frame_with(&w2c, &camera, Some(&self.mask), &*self.backend);
             let projection =
-                project_scene_with(&self.scene, &w2c, &camera, Some(&self.mask), &*self.backend);
+                project_scene_with(&visible.scene, &w2c, &camera, None, &*self.backend);
             let t1 = Instant::now();
             self.mapping_timings.preprocess += t1 - t0;
             let tiles = TileAssignment::build_with(&projection, &camera, &*self.backend);
@@ -684,7 +689,7 @@ impl<'d> SlamPipeline<'d> {
                 &self.config.tracking.loss,
             );
             let grads = backward_fused_with(
-                &self.scene,
+                &visible.scene,
                 &projection,
                 &tiles,
                 &camera,
@@ -710,7 +715,8 @@ impl<'d> SlamPipeline<'d> {
                     projection.visible_count(),
                 ));
             }
-            self.map_optimizer.step(&mut self.scene, &grads.gaussians);
+            self.map_optimizer
+                .step_visible(&mut self.scene, &visible.ids, &grads.gaussians);
 
             if iter == densify_at && target_index == index {
                 let added = densify(
@@ -723,19 +729,24 @@ impl<'d> SlamPipeline<'d> {
                     &self.config.map,
                     0xDE5EED ^ index as u64,
                 );
-                if added > 0 {
-                    self.mask.extend(std::iter::repeat(true).take(added));
-                    self.extension.on_scene_resized(self.scene.len());
+                if !added.is_empty() {
+                    // New IDs are either appended (grow the mask) or
+                    // recycled tombstones (flip their entry back on).
+                    self.mask.resize(self.scene.capacity(), true);
+                    for &id in &added {
+                        self.mask[id as usize] = true;
+                    }
+                    self.extension.on_scene_resized(self.scene.capacity());
                 }
             }
         }
 
-        let removed = prune_transparent(&mut self.scene, &mut self.map_optimizer, &self.config.map);
+        let removed = prune_transparent(&mut self.scene, &self.config.map);
         if removed > 0 {
-            // prune_transparent compacts the optimizer; rebuild the mask
-            // conservatively (everything active).
-            self.mask = vec![true; self.scene.len()];
-            self.extension.on_scene_resized(self.scene.len());
+            // Tombstoned IDs drop out of the active mask; survivors stay
+            // exactly where they were.
+            self.mask.copy_from_slice(self.scene.live_flags());
+            self.extension.on_scene_resized(self.scene.capacity());
         }
         self.peak_gaussians = self.peak_gaussians.max(self.scene.len());
     }
@@ -756,12 +767,14 @@ impl<'d> SlamPipeline<'d> {
         };
 
         // Rendering fidelity: re-render each processed frame from its
-        // estimated pose and compare against the observation.
+        // estimated pose and compare against the observation (flattened
+        // once — the report is a full-scene offline pass, not a hot path).
+        let (final_scene, _) = self.scene.flatten();
         let mut psnr_acc = 0.0f64;
         let mut psnr_n = 0usize;
         for (i, pose) in self.trajectory.iter().enumerate() {
             let ctx = render_frame_with(
-                &self.scene,
+                &final_scene,
                 &pose.inverse(),
                 &self.dataset.camera,
                 None,
@@ -917,11 +930,11 @@ mod tests {
         impl PipelineExtension for HalfPruner {
             fn end_of_frame(
                 &mut self,
-                scene: &GaussianScene,
+                map: &ShardedScene,
                 _mask: &[bool],
                 _is_keyframe: bool,
             ) -> Option<Vec<bool>> {
-                Some((0..scene.len()).map(|i| i % 2 == 0).collect())
+                Some((0..map.capacity()).map(|i| i % 2 == 0).collect())
             }
             fn name(&self) -> &'static str {
                 "half-pruner"

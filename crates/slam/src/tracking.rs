@@ -1,11 +1,19 @@
 //! Camera tracking: per-frame pose optimization against the current map
 //! (the paper's tracking stage, Sec. 2.2).
+//!
+//! Each iteration starts with the sharded map's frustum-cull pre-pass:
+//! shard bounding boxes are tested against the current pose's frustum and
+//! only the surviving shards' Gaussians are gathered (in ascending
+//! stable-ID order) into the frame-local working set the render/backward
+//! kernels run on — so per-iteration cost follows the frustum's contents,
+//! not the total map size, while staying bitwise-identical to rendering
+//! the full map.
 
 use crate::profile::StageTimings;
 use rtgs_math::Se3;
 use rtgs_render::{
     backward_fused_with, compute_loss, project_scene_with, render_fused_with, BackwardOutput,
-    GaussianScene, LossConfig, PinholeCamera, RenderOutput, TileAssignment, WorkloadTrace,
+    LossConfig, PinholeCamera, RenderOutput, ShardedScene, TileAssignment, WorkloadTrace,
 };
 use rtgs_runtime::Backend;
 use rtgs_scene::RgbdFrame;
@@ -103,8 +111,13 @@ pub struct IterationArtifacts<'a> {
     pub iteration: usize,
     /// Loss value.
     pub loss: f32,
-    /// Full backward output (per-Gaussian gradients + pose tangent).
+    /// Full backward output in the iteration's frame-local index space
+    /// (per-Gaussian gradients + pose tangent): `grads.gaussians[k]` is the
+    /// gradient of the Gaussian with stable ID `visible_ids[k]`.
     pub grads: &'a BackwardOutput,
+    /// Frame-local index → stable map ID for this iteration's visible
+    /// working set (the frustum-cull survivors).
+    pub visible_ids: &'a [u32],
     /// Tile assignment of this iteration.
     pub tiles: &'a TileAssignment,
     /// Forward render output.
@@ -145,20 +158,22 @@ pub struct TrackResult {
     pub fragment_grad_events: u64,
 }
 
-/// Optimizes the camera pose of `frame` against the current `scene`.
+/// Optimizes the camera pose of `frame` against the current sharded `map`.
 ///
-/// `mask` selects the active Gaussians (RTGS pruning masks entries off
-/// during the frame); it must have one entry per scene Gaussian. `camera`
-/// and the frame observations must already be at the desired resolution —
-/// the dynamic-downsampling extension resizes them before calling.
+/// `mask` selects the active Gaussians by stable ID (RTGS pruning masks
+/// entries off during the frame); it must be `map.capacity()` long, with
+/// tombstoned IDs masked off. `camera` and the frame observations must
+/// already be at the desired resolution — the dynamic-downsampling
+/// extension resizes them before calling.
 ///
 /// # Panics
 ///
-/// Panics if `mask.len() != scene.len()` or the frame resolution differs
-/// from the camera.
+/// Panics if `mask.len() != map.capacity()`, the frame resolution differs
+/// from the camera, or the map's shard bounds are stale (call
+/// [`ShardedScene::refresh_bounds_with`] after mutating it).
 #[allow(clippy::too_many_arguments)]
 pub fn track_frame<O: TrackingObserver>(
-    scene: &GaussianScene,
+    map: &ShardedScene,
     init_w2c: Se3,
     frame: &RgbdFrame,
     camera: &PinholeCamera,
@@ -168,7 +183,7 @@ pub fn track_frame<O: TrackingObserver>(
     timings: &mut StageTimings,
 ) -> TrackResult {
     track_frame_with(
-        scene,
+        map,
         init_w2c,
         frame,
         camera,
@@ -180,12 +195,13 @@ pub fn track_frame<O: TrackingObserver>(
     )
 }
 
-/// [`track_frame`] on an explicit execution backend: every render and
-/// backward inside the pose optimization runs through `backend`, with
-/// results bitwise-identical to the serial path at any pool size.
+/// [`track_frame`] on an explicit execution backend: the shard cull and
+/// every render and backward inside the pose optimization run through
+/// `backend`, with results bitwise-identical to the serial path at any
+/// pool size.
 #[allow(clippy::too_many_arguments)]
 pub fn track_frame_with<O: TrackingObserver>(
-    scene: &GaussianScene,
+    map: &ShardedScene,
     init_w2c: Se3,
     frame: &RgbdFrame,
     camera: &PinholeCamera,
@@ -195,7 +211,7 @@ pub fn track_frame_with<O: TrackingObserver>(
     timings: &mut StageTimings,
     backend: &dyn Backend,
 ) -> TrackResult {
-    assert_eq!(mask.len(), scene.len(), "mask must cover the scene");
+    assert_eq!(mask.len(), map.capacity(), "mask must cover the map arena");
     assert_eq!(frame.color.width(), camera.width, "frame/camera resolution");
 
     let mut w2c = init_w2c;
@@ -214,7 +230,10 @@ pub fn track_frame_with<O: TrackingObserver>(
 
     for iteration in 0..config.iterations {
         let t0 = Instant::now();
-        let projection = project_scene_with(scene, &w2c, camera, Some(mask), backend);
+        // Frustum-cull pre-pass + gather: only surviving shards feed the
+        // projection, masked (pruned) IDs drop out here before any math.
+        let visible = map.visible_frame_with(&w2c, camera, Some(mask), backend);
+        let projection = project_scene_with(&visible.scene, &w2c, camera, None, backend);
         let t1 = Instant::now();
         timings.preprocess += t1 - t0;
         let tiles = TileAssignment::build_with(&projection, camera, backend);
@@ -230,7 +249,7 @@ pub fn track_frame_with<O: TrackingObserver>(
 
         let loss = compute_loss(&output, &frame.color, frame.depth.as_ref(), &config.loss);
         let grads = backward_fused_with(
-            scene,
+            &visible.scene,
             &projection,
             &tiles,
             camera,
@@ -285,6 +304,7 @@ pub fn track_frame_with<O: TrackingObserver>(
             iteration,
             loss: loss.loss,
             grads: &grads,
+            visible_ids: &visible.ids,
             tiles: &tiles,
             output: &output,
         };
@@ -322,6 +342,10 @@ mod tests {
         SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 2)
     }
 
+    fn sharded(ds: &SyntheticDataset) -> ShardedScene {
+        ShardedScene::from_scene(&ds.reference_scene, 1.0)
+    }
+
     /// Tracking must reduce the pose error of a perturbed ground-truth pose.
     ///
     /// The perturbation magnitude (~1.3 cm) matches the per-frame correction
@@ -332,10 +356,10 @@ mod tests {
     fn tracking_recovers_perturbed_pose() {
         let ds = SyntheticDataset::generate(DatasetProfile::tum_analog(), 1);
         // Use the reference scene itself as a perfect map.
-        let scene = ds.reference_scene.clone();
+        let map = sharded(&ds);
         let gt_w2c = ds.poses_c2w[0].inverse();
         let perturbed = gt_w2c.retract([0.01, -0.0075, 0.005, 0.004, -0.003, 0.002]);
-        let mut mask = vec![true; scene.len()];
+        let mut mask = vec![true; map.capacity()];
         let mut timings = StageTimings::default();
         let config = TrackingConfig {
             iterations: 20,
@@ -343,7 +367,7 @@ mod tests {
         };
         let before_err = perturbed.translation_distance(&gt_w2c);
         let result = track_frame(
-            &scene,
+            &map,
             perturbed,
             &ds.frames[0],
             &ds.camera,
@@ -369,13 +393,13 @@ mod tests {
     #[test]
     fn tracking_loss_decreases() {
         let ds = small_dataset();
-        let scene = ds.reference_scene.clone();
+        let map = sharded(&ds);
         let gt_w2c = ds.poses_c2w[0].inverse();
         let perturbed = gt_w2c.retract([0.015, 0.01, -0.01, 0.0, 0.005, 0.0]);
-        let mut mask = vec![true; scene.len()];
+        let mut mask = vec![true; map.capacity()];
         let mut timings = StageTimings::default();
         let result = track_frame(
-            &scene,
+            &map,
             perturbed,
             &ds.frames[0],
             &ds.camera,
@@ -393,11 +417,11 @@ mod tests {
     #[test]
     fn timings_are_populated() {
         let ds = small_dataset();
-        let scene = ds.reference_scene.clone();
-        let mut mask = vec![true; scene.len()];
+        let map = sharded(&ds);
+        let mut mask = vec![true; map.capacity()];
         let mut timings = StageTimings::default();
         let _ = track_frame(
-            &scene,
+            &map,
             ds.poses_c2w[0].inverse(),
             &ds.frames[0],
             &ds.camera,
@@ -417,11 +441,11 @@ mod tests {
     #[test]
     fn traces_recorded_when_requested() {
         let ds = small_dataset();
-        let scene = ds.reference_scene.clone();
-        let mut mask = vec![true; scene.len()];
+        let map = sharded(&ds);
+        let mut mask = vec![true; map.capacity()];
         let mut timings = StageTimings::default();
         let result = track_frame(
-            &scene,
+            &map,
             ds.poses_c2w[0].inverse(),
             &ds.frames[0],
             &ds.camera,
@@ -442,16 +466,16 @@ mod tests {
     #[test]
     fn masking_reduces_fragments() {
         let ds = small_dataset();
-        let scene = ds.reference_scene.clone();
-        let mut full_mask = vec![true; scene.len()];
-        let mut half_mask: Vec<bool> = (0..scene.len()).map(|i| i % 2 == 0).collect();
+        let map = sharded(&ds);
+        let mut full_mask = vec![true; map.capacity()];
+        let mut half_mask: Vec<bool> = (0..map.capacity()).map(|i| i % 2 == 0).collect();
         let mut timings = StageTimings::default();
         let cfg = TrackingConfig {
             iterations: 2,
             ..Default::default()
         };
         let full = track_frame(
-            &scene,
+            &map,
             ds.poses_c2w[0].inverse(),
             &ds.frames[0],
             &ds.camera,
@@ -461,7 +485,7 @@ mod tests {
             &mut timings,
         );
         let half = track_frame(
-            &scene,
+            &map,
             ds.poses_c2w[0].inverse(),
             &ds.frames[0],
             &ds.camera,
@@ -487,11 +511,11 @@ mod tests {
             }
         }
         let ds = small_dataset();
-        let scene = ds.reference_scene.clone();
-        let mut mask = vec![true; scene.len()];
+        let map = sharded(&ds);
+        let mut mask = vec![true; map.capacity()];
         let mut timings = StageTimings::default();
         let result = track_frame(
-            &scene,
+            &map,
             ds.poses_c2w[0].inverse(),
             &ds.frames[0],
             &ds.camera,
@@ -506,6 +530,52 @@ mod tests {
         );
         // Iteration 0 ran with everything; later iterations with a quarter.
         assert!(result.traces[1].visible_gaussians < result.traces[0].visible_gaussians);
-        assert!(mask.iter().filter(|&&m| m).count() <= scene.len() / 4 + 1);
+        assert!(mask.iter().filter(|&&m| m).count() <= map.capacity() / 4 + 1);
+    }
+
+    /// The observer sees frame-local gradients plus the stable-ID map that
+    /// relates them to its mask.
+    #[test]
+    fn artifacts_expose_visible_ids() {
+        struct CheckIds {
+            checked: bool,
+        }
+        impl TrackingObserver for CheckIds {
+            fn after_iteration(&mut self, artifacts: &IterationArtifacts<'_>, mask: &mut [bool]) {
+                assert_eq!(
+                    artifacts.grads.gaussians.len(),
+                    artifacts.visible_ids.len(),
+                    "one gradient per visible Gaussian"
+                );
+                assert!(
+                    artifacts.visible_ids.windows(2).all(|w| w[0] < w[1]),
+                    "ids ascending"
+                );
+                assert!(artifacts
+                    .visible_ids
+                    .iter()
+                    .all(|&id| (id as usize) < mask.len()));
+                self.checked = true;
+            }
+        }
+        let ds = small_dataset();
+        let map = sharded(&ds);
+        let mut mask = vec![true; map.capacity()];
+        let mut timings = StageTimings::default();
+        let mut obs = CheckIds { checked: false };
+        let _ = track_frame(
+            &map,
+            ds.poses_c2w[0].inverse(),
+            &ds.frames[0],
+            &ds.camera,
+            &TrackingConfig {
+                iterations: 2,
+                ..Default::default()
+            },
+            &mut mask,
+            &mut obs,
+            &mut timings,
+        );
+        assert!(obs.checked);
     }
 }

@@ -3,6 +3,7 @@
 //! rests on.
 
 use rtgs::metrics::ssim;
+use rtgs::render::ShardedScene;
 use rtgs::scene::{DatasetProfile, SyntheticDataset};
 use rtgs::slam::{
     track_frame, IterationArtifacts, NoObserver, StageTimings, TrackingConfig, TrackingObserver,
@@ -13,24 +14,24 @@ use rtgs::slam::{
 #[test]
 fn observation3_gradient_skew() {
     let ds = SyntheticDataset::generate(DatasetProfile::tum_analog(), 2);
-    let scene = ds.reference_scene.clone();
+    let map = ShardedScene::from_scene(&ds.reference_scene, 1.0);
     struct Collect {
         scores: Vec<f64>,
     }
     impl TrackingObserver for Collect {
         fn after_iteration(&mut self, a: &IterationArtifacts<'_>, _m: &mut [bool]) {
-            for (i, g) in a.grads.gaussians.iter().enumerate() {
-                self.scores[i] += g.importance_score(0.8) as f64;
+            for (k, g) in a.grads.gaussians.iter().enumerate() {
+                self.scores[a.visible_ids[k] as usize] += g.importance_score(0.8) as f64;
             }
         }
     }
     let mut obs = Collect {
-        scores: vec![0.0; scene.len()],
+        scores: vec![0.0; map.capacity()],
     };
-    let mut mask = vec![true; scene.len()];
+    let mut mask = vec![true; map.capacity()];
     let mut t = StageTimings::default();
     let _ = track_frame(
-        &scene,
+        &map,
         ds.poses_c2w[1].inverse(),
         &ds.frames[1],
         &ds.camera,
@@ -44,7 +45,7 @@ fn observation3_gradient_skew() {
     );
     // Collect over a second tracking pass with the observer.
     let _ = track_frame(
-        &scene,
+        &map,
         ds.poses_c2w[1].inverse(),
         &ds.frames[1],
         &ds.camera,
@@ -91,11 +92,11 @@ fn observation5_frame_similarity() {
 #[test]
 fn observation6_iteration_similarity() {
     let ds = SyntheticDataset::generate(DatasetProfile::tum_analog(), 2);
-    let scene = ds.reference_scene.clone();
-    let mut mask = vec![true; scene.len()];
+    let map = ShardedScene::from_scene(&ds.reference_scene, 1.0);
+    let mut mask = vec![true; map.capacity()];
     let mut t = StageTimings::default();
     let result = track_frame(
-        &scene,
+        &map,
         ds.poses_c2w[1].inverse(),
         &ds.frames[1],
         &ds.camera,
