@@ -483,6 +483,147 @@ fn bench_tracking_iteration(c: &mut Criterion) {
     group.finish();
 }
 
+/// Step ❷ in isolation: the CSR + stable-radix tile assignment against the
+/// legacy per-tile `Vec` + comparison `sort_by` it replaced (both produce
+/// identical depth ordering — property-tested in
+/// `crates/render/tests/arena_equivalence.rs`). `csr_radix_reused` is the
+/// production path: rebuild into arena-owned storage, zero steady-state
+/// allocations; `csr_radix_fresh` pays the allocations each build.
+fn bench_tile_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_sort");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    // Two workload shapes: the SLAM bench scene (short per-tile lists,
+    // allocation-dominated) and a dense overlap scene (hundreds of splats
+    // per tile, sort-dominated — the regime the radix pass targets).
+    let ds = small_dataset();
+    let slam_cam = ds.camera;
+    let slam_proj = rtgs_render::project_scene_with(
+        &ds.reference_scene,
+        &ds.poses_c2w[0].inverse(),
+        &slam_cam,
+        None,
+        &Serial,
+    );
+    let dense_cam = rtgs_render::PinholeCamera::from_fov(128, 96, 1.2);
+    let dense_scene: rtgs_render::GaussianScene = (0..4000)
+        .map(|i| {
+            rtgs_render::Gaussian3d::from_activated(
+                rtgs_math::Vec3::new(
+                    ((i * 37) % 97) as f32 * 0.02 - 1.0,
+                    ((i * 17) % 53) as f32 * 0.03 - 0.8,
+                    1.0 + ((i * 29) % 31) as f32 * 0.12,
+                ),
+                rtgs_math::Vec3::splat(0.08),
+                rtgs_math::Quat::IDENTITY,
+                0.5,
+                rtgs_math::Vec3::splat(0.5),
+            )
+        })
+        .collect();
+    let dense_proj = rtgs_render::project_scene_with(
+        &dense_scene,
+        &rtgs_math::Se3::IDENTITY,
+        &dense_cam,
+        None,
+        &Serial,
+    );
+
+    for (label, projection, camera) in [
+        ("slam", &slam_proj, &slam_cam),
+        ("dense", &dense_proj, &dense_cam),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("legacy_per_tile_sort_by", label),
+            projection,
+            |b, projection| b.iter(|| rtgs_render::build_tile_lists_legacy(projection, camera)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csr_radix_fresh", label),
+            projection,
+            |b, projection| b.iter(|| rtgs_render::TileAssignment::build(projection, camera)),
+        );
+        let mut scratch = rtgs_render::TileBinScratch::default();
+        let mut out = rtgs_render::TileAssignment::default();
+        group.bench_with_input(
+            BenchmarkId::new("csr_radix_reused", label),
+            projection,
+            |b, projection| {
+                b.iter(|| {
+                    rtgs_render::build_tiles_into(projection, camera, &mut scratch, &mut out);
+                    out.intersection_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One full steady-state tracking iteration — frustum cull → project →
+/// tile assign → fused forward → loss → fused backward — through a warm
+/// [`rtgs_render::FrameArena`] (the production zero-allocation path)
+/// versus the same stages through the fresh-allocation entry points. The
+/// delta is exactly the heap churn the arena removes.
+fn bench_tracking_iteration_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking_iteration_steady_state");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let ds = small_dataset();
+    let map = rtgs_render::ShardedScene::from_scene(&ds.reference_scene, 1.0);
+    let mask = vec![true; map.capacity()];
+    let w2c = ds.poses_c2w[1].inverse();
+    let frame = &ds.frames[1];
+    let cfg = LossConfig::default();
+    let backend = Serial;
+
+    let mut arena = rtgs_render::FrameArena::new();
+    // Warm-up: establish every buffer's steady-state capacity.
+    for _ in 0..2 {
+        arena.cull(&map, &w2c, &ds.camera, Some(&mask), &backend);
+        arena.project_visible(&w2c, &ds.camera, &backend);
+        arena.assign_tiles(&ds.camera, &backend);
+        arena.render_fused(&ds.camera, &backend);
+        arena.compute_loss(&frame.color, frame.depth.as_ref(), &cfg);
+        arena.backward_visible_fused(&ds.camera, &w2c, &backend);
+    }
+    group.bench_function("arena_reuse", |b| {
+        b.iter(|| {
+            arena.cull(&map, &w2c, &ds.camera, Some(&mask), &backend);
+            arena.project_visible(&w2c, &ds.camera, &backend);
+            arena.assign_tiles(&ds.camera, &backend);
+            arena.render_fused(&ds.camera, &backend);
+            let loss = arena.compute_loss(&frame.color, frame.depth.as_ref(), &cfg);
+            arena.backward_visible_fused(&ds.camera, &w2c, &backend);
+            loss
+        })
+    });
+    group.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            let visible = map.visible_frame_with(&w2c, &ds.camera, Some(&mask), &backend);
+            let projection =
+                rtgs_render::project_scene_with(&visible.scene, &w2c, &ds.camera, None, &backend);
+            let tiles = rtgs_render::TileAssignment::build_with(&projection, &ds.camera, &backend);
+            let fused = render_fused_with(&projection, &tiles, &ds.camera, &backend);
+            let loss = compute_loss(&fused.output, &frame.color, frame.depth.as_ref(), &cfg);
+            let grads = backward_fused_with(
+                &visible.scene,
+                &projection,
+                &tiles,
+                &ds.camera,
+                &w2c,
+                &loss.pixel_grads,
+                &fused.fragments,
+                &backend,
+            );
+            (loss.loss, grads.pose)
+        })
+    });
+    group.finish();
+}
+
 /// Runtime subsystem: serial-vs-parallel wall-clock of the forward and
 /// backward kernels at pool sizes 1/2/4/8 (the perf trajectory of the
 /// `rtgs-runtime` work-stealing backend, recorded in `BENCH_RESULTS.json`).
@@ -649,7 +790,9 @@ criterion_group!(
     bench_fig17_ablation,
     bench_pruning_overhead,
     bench_config_layer,
+    bench_tile_sort,
     bench_tracking_iteration,
+    bench_tracking_iteration_steady_state,
     bench_large_scene_scaling,
     bench_runtime_scaling,
     bench_session_serving,

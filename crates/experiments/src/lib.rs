@@ -27,13 +27,13 @@ pub use common::{
 };
 pub use hardware::{fig15, fig16, fig17, table4};
 pub use profiling::{fig3, fig4, fig5, fig6};
-pub use runtime::{runtime_scaling, serving};
+pub use runtime::{arena_steady_state, runtime_scaling, serving};
 
 /// All experiments: the paper artifacts in paper order, then the runtime
 /// subsystem's scaling and serving scenarios.
 pub const EXPERIMENTS: &[&str] = &[
     "table2", "fig3", "fig4", "fig5", "fig6", "table6", "table7", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "table4", "runtime", "serving",
+    "fig16", "fig17", "table4", "runtime", "arena", "serving",
 ];
 
 /// Runs one experiment by name.
@@ -57,6 +57,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Result<String, String> {
         "fig17" => fig17(scale),
         "table4" | "table5" => table4(),
         "runtime" => runtime_scaling(scale),
+        "arena" => arena_steady_state(scale),
         "serving" => serving(scale),
         other => return Err(format!("unknown experiment: {other}")),
     })

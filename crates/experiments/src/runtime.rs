@@ -1,8 +1,9 @@
 //! Runtime-subsystem experiments (not a paper artifact): serial-vs-parallel
-//! kernel scaling and the multi-session serving demonstration.
+//! kernel scaling, the zero-allocation frame-arena steady state, and the
+//! multi-session serving demonstration.
 
 use crate::common::{f, slam_config, Scale, Table};
-use rtgs_render::{compute_loss, render_frame_fused_with, LossConfig};
+use rtgs_render::{compute_loss, render_frame_fused_with, FrameArena, LossConfig};
 use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
 use rtgs_slam::{serve_sessions, BaseAlgorithm, SlamPipeline};
@@ -69,6 +70,88 @@ pub fn runtime_scaling(scale: Scale) -> String {
     )
 }
 
+/// Frame-arena steady state: wall-clock of one full tracking-style
+/// iteration (cull → project → CSR tile assign → fused forward → loss →
+/// fused backward) through a warm reused [`FrameArena`] versus the
+/// fresh-allocation entry points, with a bitwise-equality check. The delta
+/// is the heap churn the arena removes from every optimizer iteration.
+pub fn arena_steady_state(scale: Scale) -> String {
+    let ds = SyntheticDataset::generate(scale.profile(DatasetProfile::scannet_analog()), 2);
+    let map = rtgs_render::ShardedScene::from_scene(&ds.reference_scene, 1.0);
+    let mask = vec![true; map.capacity()];
+    let w2c = ds.poses_c2w[1].inverse();
+    let frame = &ds.frames[1];
+    let cfg = LossConfig::default();
+    let backend = Serial;
+    let iterations = 20usize.max(scale.tracking_iters());
+
+    let mut arena = FrameArena::new();
+    let arena_iter = |arena: &mut FrameArena| {
+        arena.cull(&map, &w2c, &ds.camera, Some(&mask), &backend);
+        arena.project_visible(&w2c, &ds.camera, &backend);
+        arena.assign_tiles(&ds.camera, &backend);
+        arena.render_fused(&ds.camera, &backend);
+        arena.compute_loss(&frame.color, frame.depth.as_ref(), &cfg);
+        arena.backward_visible_fused(&ds.camera, &w2c, &backend);
+    };
+    // Warm-up establishes every buffer's steady-state capacity.
+    arena_iter(&mut arena);
+    arena_iter(&mut arena);
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        arena_iter(&mut arena);
+    }
+    let arena_wall = t0.elapsed();
+    let arena_pose = arena.backward().pose;
+    let arena_image = arena.output().image.clone();
+
+    let t1 = Instant::now();
+    let mut fresh_pose = [0.0f32; 6];
+    let mut fresh_image = None;
+    for _ in 0..iterations {
+        let visible = map.visible_frame_with(&w2c, &ds.camera, Some(&mask), &backend);
+        let projection =
+            rtgs_render::project_scene_with(&visible.scene, &w2c, &ds.camera, None, &backend);
+        let tiles = rtgs_render::TileAssignment::build_with(&projection, &ds.camera, &backend);
+        let fused = rtgs_render::render_fused_with(&projection, &tiles, &ds.camera, &backend);
+        let loss = compute_loss(&fused.output, &frame.color, frame.depth.as_ref(), &cfg);
+        let grads = rtgs_render::backward_fused_with(
+            &visible.scene,
+            &projection,
+            &tiles,
+            &ds.camera,
+            &w2c,
+            &loss.pixel_grads,
+            &fused.fragments,
+            &backend,
+        );
+        fresh_pose = grads.pose;
+        fresh_image = Some(fused.output.image);
+    }
+    let fresh_wall = t1.elapsed();
+
+    let identical = fresh_pose == arena_pose && fresh_image.as_ref() == Some(&arena_image);
+    let mut table = Table::new(&["path", "iteration (µs)", "bitwise identical"]);
+    let per_iter = |wall: std::time::Duration| wall.as_secs_f64() * 1e6 / iterations as f64;
+    table.row(vec![
+        "arena_reuse (steady state)".into(),
+        f(per_iter(arena_wall), 1),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "fresh_alloc".into(),
+        f(per_iter(fresh_wall), 1),
+        identical.to_string(),
+    ]);
+    format!(
+        "Zero-allocation steady state on {} ({} Gaussians, {} iterations):\n{}",
+        ds.profile.name,
+        map.len(),
+        iterations,
+        table.render()
+    )
+}
+
 /// Multi-session serving: one SLAM session per base algorithm, multiplexed
 /// concurrently over the shared pool with round-robin frame scheduling.
 pub fn serving(scale: Scale) -> String {
@@ -123,6 +206,14 @@ mod tests {
     fn runtime_scaling_reports_bitwise_equality() {
         let out = runtime_scaling(Scale::Quick);
         assert!(out.contains("parallel(2)"));
+        assert!(out.contains("true"));
+        assert!(!out.contains("false"));
+    }
+
+    #[test]
+    fn arena_steady_state_is_bitwise_identical_to_fresh() {
+        let out = arena_steady_state(Scale::Quick);
+        assert!(out.contains("arena_reuse"));
         assert!(out.contains("true"));
         assert!(!out.contains("false"));
     }

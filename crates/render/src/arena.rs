@@ -1,0 +1,478 @@
+//! The frame arena: one owner for every transient buffer of the
+//! cull → project → tile-assign → forward → loss → backward pipeline.
+//!
+//! Each tracking/mapping iteration of the seed pipeline rebuilt its working
+//! state from scratch — a dozen `Vec` allocations for the projected SoA,
+//! per-tile lists, forward buffers, fragment records and gradient
+//! accumulators, times tens of optimizer iterations per frame per session.
+//! [`FrameArena`] keeps all of that storage alive across iterations and
+//! frames: every stage writes into arena-owned buffers through the
+//! `*_into` kernels (`clear()` + `resize()` reuse, capacities never
+//! shrink), per-chunk gather scratch comes from a shared
+//! [`rtgs_runtime::ScratchPool`], and the tile pass uses the CSR + radix
+//! layout of [`crate::TileAssignment`]. After a short warm-up (the first
+//! iteration or two at a new high-water mark), a steady-state iteration
+//! performs **zero heap allocations** — asserted by the counting-allocator
+//! regression test in `tests/zero_alloc.rs` — while producing output
+//! bitwise-identical to the fresh-allocation entry points
+//! (property-tested in `tests/arena_equivalence.rs`).
+//!
+//! Ownership model: one arena per SLAM session (owned by
+//! `rtgs_slam::SlamPipeline` alongside the optimizer state and threaded
+//! through `track_frame_with`); standalone callers create one with
+//! [`FrameArena::new`] and drive the stage methods in pipeline order. Stage
+//! results stay resident in the arena and are read through the borrowing
+//! accessors ([`FrameArena::output`], [`FrameArena::backward`], …) until
+//! the next call to the stage that produces them.
+
+use crate::backward::{backward_into, BackwardOutput, BackwardScratch, PixelGrads};
+use crate::camera::{DepthImage, Image, PinholeCamera};
+use crate::forward::{render_into, FragmentCache, RenderOutput, RenderStats};
+use crate::gaussian::GaussianScene;
+use crate::loss::{compute_loss_into, LossConfig, LossOutput};
+use crate::project::{project_scene_into, ProjectScratch, Projection};
+use crate::shard::{CullScratch, ShardedScene, VisibleFrame};
+use crate::tiles::{build_tiles_into, TileAssignment, TileBinScratch};
+use rtgs_math::Se3;
+use rtgs_runtime::Backend;
+
+/// Arena-owned storage for the full render + backward pipeline of one
+/// session. See the module docs for the design.
+pub struct FrameArena {
+    /// Frustum-cull result (frame-local visible working set).
+    visible: VisibleFrame,
+    /// Cull workspace.
+    cull_scratch: CullScratch,
+    /// Projection result (SoA splat arrays).
+    projection: Projection,
+    /// Projection workspace.
+    project_scratch: ProjectScratch,
+    /// CSR tile assignment.
+    tiles: TileAssignment,
+    /// Tile binning + radix-sort workspace.
+    tile_scratch: TileBinScratch,
+    /// Forward render output.
+    output: RenderOutput,
+    /// Per-tile fragment records of the fused forward pass.
+    fragments: FragmentCache,
+    /// Per-tile forward statistics.
+    tile_stats: Vec<RenderStats>,
+    /// Loss value + per-pixel gradients.
+    loss: LossOutput,
+    /// Valid-depth-pixel scratch of the loss.
+    loss_scratch: Vec<(usize, f32, f32)>,
+    /// Backward output (per-Gaussian gradients + pose tangent).
+    backward: BackwardOutput,
+    /// Backward workspace; its gather pool is shared with the forward pass.
+    backward_scratch: BackwardScratch,
+}
+
+impl Default for FrameArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameArena {
+    /// An empty arena; every buffer grows to its steady-state size during
+    /// the first iterations that use it.
+    pub fn new() -> Self {
+        Self {
+            visible: VisibleFrame::default(),
+            cull_scratch: CullScratch::default(),
+            projection: Projection::default(),
+            project_scratch: ProjectScratch::default(),
+            tiles: TileAssignment::default(),
+            tile_scratch: TileBinScratch::default(),
+            output: RenderOutput::empty(),
+            fragments: FragmentCache::default(),
+            tile_stats: Vec::new(),
+            loss: LossOutput {
+                loss: 0.0,
+                photometric: 0.0,
+                geometric: 0.0,
+                pixel_grads: PixelGrads {
+                    color: Vec::new(),
+                    depth: Vec::new(),
+                    transmittance: Vec::new(),
+                },
+            },
+            loss_scratch: Vec::new(),
+            backward: BackwardOutput::empty(),
+            backward_scratch: BackwardScratch::default(),
+        }
+    }
+
+    // ---- Pipeline stages -------------------------------------------------
+
+    /// Frustum-cull pre-pass: gathers `map`'s visible working set for the
+    /// pose into [`Self::visible`] (ascending stable-ID order).
+    ///
+    /// # Panics
+    ///
+    /// As for [`ShardedScene::visible_frame_with`].
+    pub fn cull(
+        &mut self,
+        map: &ShardedScene,
+        w2c: &Se3,
+        camera: &PinholeCamera,
+        active: Option<&[bool]>,
+        backend: &dyn Backend,
+    ) {
+        map.visible_frame_into(
+            w2c,
+            camera,
+            active,
+            backend,
+            &mut self.cull_scratch,
+            &mut self.visible,
+        );
+    }
+
+    /// Step ❶ over an external scene: projects into [`Self::projection`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`crate::project_scene_with`].
+    pub fn project(
+        &mut self,
+        scene: &GaussianScene,
+        w2c: &Se3,
+        camera: &PinholeCamera,
+        active: Option<&[bool]>,
+        backend: &dyn Backend,
+    ) {
+        project_scene_into(
+            scene,
+            w2c,
+            camera,
+            active,
+            backend,
+            &mut self.project_scratch,
+            &mut self.projection,
+        );
+    }
+
+    /// Step ❶ over the arena's own cull result ([`Self::visible`]) — the
+    /// tracking/mapping hot path (masking already happened in the cull).
+    pub fn project_visible(&mut self, w2c: &Se3, camera: &PinholeCamera, backend: &dyn Backend) {
+        project_scene_into(
+            &self.visible.scene,
+            w2c,
+            camera,
+            None,
+            backend,
+            &mut self.project_scratch,
+            &mut self.projection,
+        );
+    }
+
+    /// Step ❷: rebuilds the CSR tile assignment from [`Self::projection`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection's tile grid does not match `camera`.
+    pub fn assign_tiles(&mut self, camera: &PinholeCamera, backend: &dyn Backend) {
+        let _ = backend; // linear, memory-bound pass; runs on the caller.
+        build_tiles_into(
+            &self.projection,
+            camera,
+            &mut self.tile_scratch,
+            &mut self.tiles,
+        );
+    }
+
+    /// Step ❸ (unfused): renders into [`Self::output`].
+    ///
+    /// Invalidates [`Self::fragments`] — the cached records of an earlier
+    /// fused pass no longer describe the current output, and consuming
+    /// them would silently corrupt gradients; after this call,
+    /// [`Self::backward_fused`] panics until the next
+    /// [`Self::render_fused`].
+    pub fn render(&mut self, camera: &PinholeCamera, backend: &dyn Backend) {
+        self.fragments.tiles.clear();
+        render_into::<false>(
+            &self.projection,
+            &self.tiles,
+            camera,
+            backend,
+            &self.backward_scratch.pool,
+            &mut self.output,
+            &mut self.tile_stats,
+            None,
+        );
+    }
+
+    /// Step ❸ (fused): renders into [`Self::output`] and records every
+    /// pixel's fragment sequence into [`Self::fragments`] for the fused
+    /// backward pass.
+    pub fn render_fused(&mut self, camera: &PinholeCamera, backend: &dyn Backend) {
+        render_into::<true>(
+            &self.projection,
+            &self.tiles,
+            camera,
+            backend,
+            &self.backward_scratch.pool,
+            &mut self.output,
+            &mut self.tile_stats,
+            Some(&mut self.fragments),
+        );
+    }
+
+    /// Loss (Eq. 6) of [`Self::output`] against ground truth, with
+    /// per-pixel gradients into [`Self::loss`]. Returns the loss value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if image dimensions disagree.
+    pub fn compute_loss(
+        &mut self,
+        gt_color: &Image,
+        gt_depth: Option<&DepthImage>,
+        config: &LossConfig,
+    ) -> f32 {
+        compute_loss_into(
+            &self.output,
+            gt_color,
+            gt_depth,
+            config,
+            &mut self.loss_scratch,
+            &mut self.loss,
+        );
+        self.loss.loss
+    }
+
+    /// Steps ❹–❺ (fused) over an external scene, consuming
+    /// [`Self::fragments`] and the gradients of [`Self::loss`]; results
+    /// land in [`Self::backward`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`crate::backward_fused_with`].
+    pub fn backward_fused(
+        &mut self,
+        scene: &GaussianScene,
+        camera: &PinholeCamera,
+        w2c: &Se3,
+        backend: &dyn Backend,
+    ) {
+        assert!(
+            !self.fragments.tiles.is_empty() || self.tiles.tile_count() == 0,
+            "fragment cache is stale or missing (run render_fused first)"
+        );
+        assert_eq!(
+            self.fragments.tiles.len(),
+            self.tiles.tile_count(),
+            "fragment cache must cover the tile grid (run render_fused first)"
+        );
+        backward_into(
+            scene,
+            &self.projection,
+            &self.tiles,
+            camera,
+            w2c,
+            &self.loss.pixel_grads,
+            Some(&self.fragments),
+            backend,
+            &mut self.backward_scratch,
+            &mut self.backward,
+        );
+    }
+
+    /// [`Self::backward_fused`] over the arena's own cull result — the
+    /// tracking/mapping hot path.
+    pub fn backward_visible_fused(
+        &mut self,
+        camera: &PinholeCamera,
+        w2c: &Se3,
+        backend: &dyn Backend,
+    ) {
+        assert!(
+            !self.fragments.tiles.is_empty() || self.tiles.tile_count() == 0,
+            "fragment cache is stale or missing (run render_fused first)"
+        );
+        assert_eq!(
+            self.fragments.tiles.len(),
+            self.tiles.tile_count(),
+            "fragment cache must cover the tile grid (run render_fused first)"
+        );
+        backward_into(
+            &self.visible.scene,
+            &self.projection,
+            &self.tiles,
+            camera,
+            w2c,
+            &self.loss.pixel_grads,
+            Some(&self.fragments),
+            backend,
+            &mut self.backward_scratch,
+            &mut self.backward,
+        );
+    }
+
+    /// Steps ❹–❺ (re-walk variant) with explicit upstream gradients —
+    /// kept for equivalence testing against the fused path.
+    ///
+    /// # Panics
+    ///
+    /// As for [`crate::backward_with`].
+    pub fn backward_rewalk(
+        &mut self,
+        scene: &GaussianScene,
+        camera: &PinholeCamera,
+        w2c: &Se3,
+        pixel_grads: &PixelGrads,
+        backend: &dyn Backend,
+    ) {
+        backward_into(
+            scene,
+            &self.projection,
+            &self.tiles,
+            camera,
+            w2c,
+            pixel_grads,
+            None,
+            backend,
+            &mut self.backward_scratch,
+            &mut self.backward,
+        );
+    }
+
+    // ---- Stage results ---------------------------------------------------
+
+    /// The last cull's visible working set.
+    #[inline]
+    pub fn visible(&self) -> &VisibleFrame {
+        &self.visible
+    }
+
+    /// The last projection.
+    #[inline]
+    pub fn projection(&self) -> &Projection {
+        &self.projection
+    }
+
+    /// The last tile assignment.
+    #[inline]
+    pub fn tiles(&self) -> &TileAssignment {
+        &self.tiles
+    }
+
+    /// The last forward render output.
+    #[inline]
+    pub fn output(&self) -> &RenderOutput {
+        &self.output
+    }
+
+    /// The last fused forward pass's fragment records.
+    #[inline]
+    pub fn fragments(&self) -> &FragmentCache {
+        &self.fragments
+    }
+
+    /// The last loss evaluation.
+    #[inline]
+    pub fn loss(&self) -> &LossOutput {
+        &self.loss
+    }
+
+    /// The last backward pass's gradients.
+    #[inline]
+    pub fn backward(&self) -> &BackwardOutput {
+        &self.backward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Gaussian3d;
+    use crate::{render_frame_fused_with, Image};
+    use rtgs_math::{Quat, Vec3};
+    use rtgs_runtime::Serial;
+
+    fn scene() -> GaussianScene {
+        GaussianScene::from_gaussians(vec![
+            Gaussian3d::from_activated(
+                Vec3::new(0.0, 0.0, 2.0),
+                Vec3::splat(0.4),
+                Quat::IDENTITY,
+                0.8,
+                Vec3::X,
+            ),
+            Gaussian3d::from_activated(
+                Vec3::new(0.3, -0.1, 3.0),
+                Vec3::splat(0.5),
+                Quat::IDENTITY,
+                0.6,
+                Vec3::new(0.2, 0.9, 0.4),
+            ),
+        ])
+    }
+
+    #[test]
+    fn arena_pipeline_matches_fresh_pipeline() {
+        let cam = PinholeCamera::from_fov(32, 32, 1.2);
+        let pose = Se3::IDENTITY;
+        let scene = scene();
+        let gt = Image::new(cam.width, cam.height);
+
+        let fresh = render_frame_fused_with(&scene, &pose, &cam, None, &Serial);
+        let fresh_loss = crate::compute_loss(&fresh.output, &gt, None, &LossConfig::default());
+        let fresh_back = fresh.backward(&scene, &cam, &pose, &fresh_loss.pixel_grads, &Serial);
+
+        let mut arena = FrameArena::new();
+        // Two passes: the second runs entirely on reused storage.
+        for _ in 0..2 {
+            arena.project(&scene, &pose, &cam, None, &Serial);
+            arena.assign_tiles(&cam, &Serial);
+            arena.render_fused(&cam, &Serial);
+            let l = arena.compute_loss(&gt, None, &LossConfig::default());
+            arena.backward_fused(&scene, &cam, &pose, &Serial);
+            assert_eq!(l, fresh_loss.loss);
+            assert_eq!(arena.output().image, fresh.output.image);
+            assert_eq!(arena.output().stats, fresh.output.stats);
+            assert_eq!(arena.tiles().entries, fresh.tiles.entries);
+            assert_eq!(arena.backward().gaussians, fresh_back.gaussians);
+            assert_eq!(arena.backward().pose, fresh_back.pose);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn unfused_render_invalidates_fragment_cache() {
+        let cam = PinholeCamera::from_fov(32, 32, 1.2);
+        let pose = Se3::IDENTITY;
+        let scene = scene();
+        let gt = Image::new(cam.width, cam.height);
+        let mut arena = FrameArena::new();
+        arena.project(&scene, &pose, &cam, None, &Serial);
+        arena.assign_tiles(&cam, &Serial);
+        arena.render_fused(&cam, &Serial);
+        // An unfused render supersedes the cached fragments; consuming them
+        // afterwards must fail loudly instead of corrupting gradients.
+        arena.render(&cam, &Serial);
+        arena.compute_loss(&gt, None, &LossConfig::default());
+        arena.backward_fused(&scene, &cam, &pose, &Serial);
+    }
+
+    #[test]
+    fn arena_handles_resolution_changes() {
+        let pose = Se3::IDENTITY;
+        let scene = scene();
+        let mut arena = FrameArena::new();
+        for &(w, h) in &[(32usize, 32usize), (64, 48), (16, 16), (48, 32)] {
+            let cam = PinholeCamera::from_fov(w, h, 1.2);
+            arena.project(&scene, &pose, &cam, None, &Serial);
+            arena.assign_tiles(&cam, &Serial);
+            arena.render_fused(&cam, &Serial);
+            let fresh = render_frame_fused_with(&scene, &pose, &cam, None, &Serial);
+            assert_eq!(arena.output().image, fresh.output.image, "{w}x{h}");
+            assert_eq!(
+                arena.fragments().total_fragments(),
+                fresh.fragments.total_fragments(),
+                "{w}x{h}"
+            );
+        }
+    }
+}

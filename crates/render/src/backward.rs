@@ -30,7 +30,7 @@ use crate::gaussian::{GaussianGrad, GaussianScene};
 use crate::project::{jacobian_with_clamp, Projected2d, Projection};
 use crate::tiles::TileAssignment;
 use rtgs_math::{Mat3, Se3, Sym2, Sym3, Vec2, Vec3};
-use rtgs_runtime::{Backend, Serial, SharedSlice};
+use rtgs_runtime::{Backend, ScratchPool, Serial, SharedSlice};
 
 /// Tiles per chunk in the parallel Rendering BP (fixed by the algorithm,
 /// not the worker count).
@@ -90,6 +90,37 @@ pub struct BackwardOutput {
     pub stats: BackwardStats,
 }
 
+impl BackwardOutput {
+    /// An empty output shell for arena storage; [`backward_into`] resizes
+    /// the gradient buffer to the scene before writing.
+    pub(crate) fn empty() -> Self {
+        Self {
+            gaussians: Vec::new(),
+            pose: [0.0; 6],
+            stats: BackwardStats::default(),
+        }
+    }
+}
+
+/// Caller-owned workspace of [`backward_into`]: per-tile Step-❹ partials
+/// (inner accumulator vectors keep their capacities across frames), the
+/// per-Gaussian 2D-gradient fold buffer, per-chunk pose partials and the
+/// shared gather-scratch pool. One workspace reused across iterations makes
+/// the steady-state backward pass allocation-free (the
+/// [`crate::FrameArena`] owns one).
+#[derive(Default)]
+pub struct BackwardScratch {
+    /// One Step-❹ partial per tile.
+    partials: Vec<TilePartial>,
+    /// Per-Gaussian 2D-gradient accumulators (fold target).
+    accum: Vec<Accum2d>,
+    /// Per-chunk (pose tangent, touched count) partials of Step ❺.
+    pose_partials: Vec<([f32; 6], usize)>,
+    /// Pool of gathered tile working sets (shared with the forward pass
+    /// when owned by a [`crate::FrameArena`]).
+    pub(crate) pool: ScratchPool<TileSplat>,
+}
+
 /// Per-Gaussian accumulator of 2D (image-plane) gradients — the data the
 /// hardware's Stage Buffer holds between GMU and PE.
 #[derive(Debug, Clone, Copy, Default)]
@@ -134,10 +165,13 @@ pub(crate) struct TilePartial {
     pub(crate) accum: Vec<Accum2d>,
     /// Fragment-level gradient events in this tile.
     pub(crate) events: u64,
+    /// Re-walk scratch of the unfused driver (one pixel's reconstructed
+    /// fragment sequence); kept here so its capacity survives reuse.
+    pub(crate) rewalk: Vec<FragmentRecord>,
 }
 
 /// One recomputed fragment during the backward re-walk.
-struct FragmentRecord {
+pub(crate) struct FragmentRecord {
     /// Position of the splat in the tile's list (indexes the gathered
     /// working set and the tile partial).
     list_pos: usize,
@@ -252,6 +286,41 @@ fn backward_impl(
     fragments: Option<&FragmentCache>,
     backend: &dyn Backend,
 ) -> BackwardOutput {
+    let mut ws = BackwardScratch::default();
+    let mut out = BackwardOutput::empty();
+    backward_into(
+        scene,
+        projection,
+        tiles,
+        camera,
+        w2c,
+        pixel_grads,
+        fragments,
+        backend,
+        &mut ws,
+        &mut out,
+    );
+    out
+}
+
+/// [`backward_impl`] writing into caller-owned storage — the
+/// zero-allocation path. The workspace and the output gradient buffer are
+/// cleared and refilled; once their capacities cover the frame, a
+/// steady-state backward pass performs **no heap allocation**. Results are
+/// bitwise-identical to a pass into fresh buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn backward_into(
+    scene: &GaussianScene,
+    projection: &Projection,
+    tiles: &TileAssignment,
+    camera: &PinholeCamera,
+    w2c: &Se3,
+    pixel_grads: &PixelGrads,
+    fragments: Option<&FragmentCache>,
+    backend: &dyn Backend,
+    ws: &mut BackwardScratch,
+    out: &mut BackwardOutput,
+) {
     assert_eq!(pixel_grads.color.len(), camera.pixel_count());
     assert_eq!(pixel_grads.depth.len(), camera.pixel_count());
     assert_eq!(pixel_grads.transmittance.len(), camera.pixel_count());
@@ -261,15 +330,20 @@ fn backward_impl(
 
     // ---- Step ❹: Rendering BP -------------------------------------------
     let tile_count = tiles.tile_count();
-    let mut partials: Vec<TilePartial> = Vec::with_capacity(tile_count);
-    partials.resize_with(tile_count, TilePartial::default);
+    // Resize (not clear) the per-tile partials: each tile's accumulator
+    // vector keeps its capacity and is reset inside the tile kernel.
+    ws.partials.resize_with(tile_count, TilePartial::default);
     {
-        let partial_view = SharedSlice::new(&mut partials);
+        let partial_view = SharedSlice::new(&mut ws.partials);
+        let pool = &ws.pool;
         backend.for_each_chunk(tile_count, BP_TILE_CHUNK, &|_, range| {
-            // Per-chunk scratch, reused across the chunk's tiles.
-            let mut gathered: Vec<TileSplat> = Vec::new();
+            // Per-chunk scratch from the shared pool, reused across the
+            // chunk's tiles (and across iterations in the arena path).
+            let mut gathered: Vec<TileSplat> = pool.take();
             for tile in range {
-                let partial = match fragments {
+                // SAFETY: one partial slot per tile.
+                let partial = unsafe { partial_view.get_mut(tile) };
+                match fragments {
                     Some(cache) => backward_tile_fused(
                         tile,
                         projection,
@@ -278,27 +352,35 @@ fn backward_impl(
                         pixel_grads,
                         &cache.tiles[tile],
                         &mut gathered,
+                        partial,
                     ),
-                    None => {
-                        backward_tile(tile, projection, tiles, camera, pixel_grads, &mut gathered)
-                    }
-                };
-                // SAFETY: one partial slot per tile.
-                unsafe { partial_view.write(tile, partial) };
+                    None => backward_tile(
+                        tile,
+                        projection,
+                        tiles,
+                        camera,
+                        pixel_grads,
+                        &mut gathered,
+                        partial,
+                    ),
+                }
             }
+            pool.put(gathered);
         });
     }
 
     // Deterministic fold: tile order, then tile-list order within a tile —
     // the same tree regardless of how the partials were computed.
     let soa = &projection.soa;
-    let mut accum = vec![Accum2d::default(); scene.len()];
-    for (tile, partial) in partials.iter().enumerate() {
+    ws.accum.clear();
+    ws.accum.resize(scene.len(), Accum2d::default());
+    let accum = &mut ws.accum;
+    for (tile, partial) in ws.partials.iter().enumerate() {
         stats.fragment_grad_events += partial.events;
         if partial.accum.is_empty() {
             continue;
         }
-        for (pos, &slot) in tiles.tile_lists[tile].iter().enumerate() {
+        for (pos, &slot) in tiles.tile(tile).iter().enumerate() {
             let a = &partial.accum[pos];
             if a.hit {
                 accum[soa.gaussian_ids[slot as usize] as usize].merge(a);
@@ -311,14 +393,17 @@ fn backward_impl(
 
     // ---- Step ❺: Preprocessing BP ----------------------------------------
     let rot_w2c = w2c.rotation_matrix();
-    let mut gaussian_grads = scene.zero_grads();
+    out.gaussians.clear();
+    out.gaussians.resize(scene.len(), GaussianGrad::default());
     let chunks = scene.len().div_ceil(BP_GAUSS_CHUNK).max(1);
     // Per-chunk (pose tangent, touched count) partials, folded in order.
-    let mut pose_partials = vec![([0.0f32; 6], 0usize); chunks];
+    ws.pose_partials.clear();
+    ws.pose_partials.resize(chunks, ([0.0f32; 6], 0usize));
 
     {
-        let grad_view = SharedSlice::new(&mut gaussian_grads);
-        let pose_view = SharedSlice::new(&mut pose_partials);
+        let grad_view = SharedSlice::new(&mut out.gaussians);
+        let pose_view = SharedSlice::new(&mut ws.pose_partials);
+        let accum = &ws.accum;
         backend.for_each_chunk(scene.len(), BP_GAUSS_CHUNK, &|chunk, range| {
             let mut pose = [0.0f32; 6];
             let mut touched = 0usize;
@@ -350,7 +435,7 @@ fn backward_impl(
     }
 
     let mut pose = [0.0f32; 6];
-    for (partial, touched) in &pose_partials {
+    for (partial, touched) in &ws.pose_partials {
         for (acc, p) in pose.iter_mut().zip(partial.iter()) {
             *acc += p;
         }
@@ -358,17 +443,14 @@ fn backward_impl(
     }
 
     stats.preprocessing_bp_nanos = t_phase2.elapsed().as_nanos() as u64;
-
-    BackwardOutput {
-        gaussians: gaussian_grads,
-        pose,
-        stats,
-    }
+    out.pose = pose;
+    out.stats = stats;
 }
 
 /// Step ❹ for one tile (re-walk variant): reconstructs every pixel's
 /// fragment sequence from the gathered SoA working set and accumulates
-/// per-Gaussian 2D gradients into a tile-local partial.
+/// per-Gaussian 2D gradients into the tile's (reused) partial.
+#[allow(clippy::too_many_arguments)]
 fn backward_tile(
     tile: usize,
     projection: &Projection,
@@ -376,16 +458,17 @@ fn backward_tile(
     camera: &PinholeCamera,
     pixel_grads: &PixelGrads,
     gathered: &mut Vec<TileSplat>,
-) -> TilePartial {
-    let list = &tiles.tile_lists[tile];
-    let mut partial = TilePartial::default();
+    partial: &mut TilePartial,
+) {
+    partial.events = 0;
+    partial.accum.clear();
+    let list = tiles.tile(tile);
     if list.is_empty() {
-        return partial;
+        return;
     }
     gather_tile(&projection.soa, list, gathered);
     let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
     let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
-    let mut fragments: Vec<FragmentRecord> = Vec::with_capacity(64);
     let mut touched = false;
 
     for y in y0..y1 {
@@ -399,18 +482,18 @@ fn backward_tile(
             }
             if !touched {
                 touched = true;
-                partial.accum = vec![Accum2d::default(); list.len()];
+                partial.accum.resize(list.len(), Accum2d::default());
             }
             let p = pixel_center(x, y);
 
             // Re-walk forward to reconstruct the fragment sequence.
-            fragments.clear();
+            partial.rewalk.clear();
             let mut t = 1.0f32;
             for (pos, s) in gathered.iter().enumerate() {
                 let Some((alpha, weight)) = fragment_alpha_fast(s, p) else {
                     continue;
                 };
-                fragments.push(FragmentRecord {
+                partial.rewalk.push(FragmentRecord {
                     list_pos: pos,
                     alpha,
                     weight,
@@ -422,26 +505,30 @@ fn backward_tile(
                 }
             }
 
-            // `t` now holds the pixel's final transmittance.
+            // `t` now holds the pixel's final transmittance. The rewalk
+            // records are moved out of the partial for the recursion's
+            // split borrow and swapped back after (both are O(1)).
+            let records = std::mem::take(&mut partial.rewalk);
             reverse_recursion(
                 gathered,
-                &mut partial,
+                partial,
                 p,
                 t,
                 g_color,
                 g_depth,
                 g_trans,
-                fragments
+                records
                     .iter()
                     .map(|f| (f.list_pos, f.alpha, f.weight, f.t_before)),
             );
+            partial.rewalk = records;
         }
     }
-    partial
 }
 
 /// Step ❹ for one tile (fused variant): consumes the fragment records the
 /// fused forward pass cached — no re-walk, no alpha recomputation.
+#[allow(clippy::too_many_arguments)]
 fn backward_tile_fused(
     tile: usize,
     projection: &Projection,
@@ -450,11 +537,13 @@ fn backward_tile_fused(
     pixel_grads: &PixelGrads,
     cached: &crate::forward::TileFragments,
     gathered: &mut Vec<TileSplat>,
-) -> TilePartial {
-    let list = &tiles.tile_lists[tile];
-    let mut partial = TilePartial::default();
+    partial: &mut TilePartial,
+) {
+    partial.events = 0;
+    partial.accum.clear();
+    let list = tiles.tile(tile);
     if list.is_empty() {
-        return partial;
+        return;
     }
     gather_tile(&projection.soa, list, gathered);
     let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
@@ -472,7 +561,7 @@ fn backward_tile_fused(
             }
             if !touched {
                 touched = true;
-                partial.accum = vec![Accum2d::default(); list.len()];
+                partial.accum.resize(list.len(), Accum2d::default());
             }
             let p = pixel_center(x, y);
             let pi = (y - y0) * (x1 - x0) + (x - x0);
@@ -485,7 +574,7 @@ fn backward_tile_fused(
                 .unwrap_or(1.0);
             reverse_recursion(
                 gathered,
-                &mut partial,
+                partial,
                 p,
                 t_final,
                 g_color,
@@ -497,7 +586,6 @@ fn backward_tile_fused(
             );
         }
     }
-    partial
 }
 
 /// The reverse recursion of Eq. 4 with suffix accumulators, over one pixel's

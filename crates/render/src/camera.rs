@@ -133,6 +133,16 @@ impl Image {
         }
     }
 
+    /// Resizes in place to `width × height` and blanks every pixel,
+    /// retaining the buffer's capacity — the allocation-free reuse path of
+    /// the frame arena.
+    pub fn reset(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(width * height, Vec3::ZERO);
+    }
+
     /// Image width in pixels.
     #[inline]
     pub fn width(&self) -> usize {
@@ -256,6 +266,15 @@ impl DepthImage {
             height,
             data,
         }
+    }
+
+    /// Resizes in place to `width × height` and invalidates every sample
+    /// (depth 0.0), retaining the buffer's capacity.
+    pub fn reset(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(width * height, 0.0);
     }
 
     /// Image width in pixels.

@@ -16,7 +16,7 @@ use crate::camera::{DepthImage, Image, PinholeCamera};
 use crate::project::{ProjectedSoA, Projection};
 use crate::tiles::TileAssignment;
 use rtgs_math::{Sym2, Vec2, Vec3};
-use rtgs_runtime::{Backend, Serial, SharedSlice};
+use rtgs_runtime::{Backend, ScratchPool, Serial, SharedSlice};
 
 /// Tiles per chunk in the parallel forward render (fixed by the algorithm,
 /// not the worker count).
@@ -66,6 +66,18 @@ impl RenderOutput {
     /// Accumulated alpha (opacity coverage) at a pixel: `1 - T_final`.
     pub fn coverage(&self, x: usize, y: usize) -> f32 {
         1.0 - self.final_transmittance[y * self.image.width() + x]
+    }
+
+    /// A zero-sized output shell for arena storage; [`render_into`] resizes
+    /// every buffer to the camera before writing.
+    pub(crate) fn empty() -> Self {
+        Self {
+            image: Image::new(0, 0),
+            depth: DepthImage::new(0, 0),
+            final_transmittance: Vec::new(),
+            pixel_workloads: Vec::new(),
+            stats: RenderStats::default(),
+        }
     }
 }
 
@@ -258,7 +270,20 @@ pub fn render_with(
     camera: &PinholeCamera,
     backend: &dyn Backend,
 ) -> RenderOutput {
-    render_impl::<false>(projection, tiles, camera, backend).0
+    let mut out = RenderOutput::empty();
+    let mut tile_stats = Vec::new();
+    let pool = ScratchPool::new();
+    render_into::<false>(
+        projection,
+        tiles,
+        camera,
+        backend,
+        &pool,
+        &mut out,
+        &mut tile_stats,
+        None,
+    );
+    out
 }
 
 /// Fused forward render: [`render`] plus per-pixel fragment records for the
@@ -284,47 +309,98 @@ pub fn render_fused_with(
     camera: &PinholeCamera,
     backend: &dyn Backend,
 ) -> FusedRender {
-    let (output, fragments) = render_impl::<true>(projection, tiles, camera, backend);
-    FusedRender {
-        output,
-        fragments: fragments.expect("recording pass returns a cache"),
-    }
+    let mut output = RenderOutput::empty();
+    let mut tile_stats = Vec::new();
+    let mut fragments = FragmentCache::default();
+    let pool = ScratchPool::new();
+    render_into::<true>(
+        projection,
+        tiles,
+        camera,
+        backend,
+        &pool,
+        &mut output,
+        &mut tile_stats,
+        Some(&mut fragments),
+    );
+    FusedRender { output, fragments }
 }
 
-/// Shared tile-traversal kernel; `RECORD` statically selects the fused
-/// (fragment-recording) instantiation.
-fn render_impl<const RECORD: bool>(
+/// Shared tile-traversal kernel writing into caller-owned storage; `RECORD`
+/// statically selects the fused (fragment-recording) instantiation.
+///
+/// Every output buffer — image, depth, transmittance, workloads, per-tile
+/// stats and (when recording) the per-tile fragment records — is cleared
+/// and refilled in place, and per-chunk gather scratch comes from `pool`,
+/// so a steady-state re-render into the same storage performs **no heap
+/// allocation**. Results are bitwise-identical to a render into fresh
+/// buffers.
+///
+/// # Panics
+///
+/// Panics when `RECORD` is set without a `fragments` cache.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn render_into<const RECORD: bool>(
     projection: &Projection,
     tiles: &TileAssignment,
     camera: &PinholeCamera,
     backend: &dyn Backend,
-) -> (RenderOutput, Option<FragmentCache>) {
+    pool: &ScratchPool<TileSplat>,
+    out: &mut RenderOutput,
+    tile_stats: &mut Vec<RenderStats>,
+    fragments: Option<&mut FragmentCache>,
+) {
     let soa = &projection.soa;
-    let mut image = Image::new(camera.width, camera.height);
-    let mut depth = DepthImage::new(camera.width, camera.height);
-    let mut final_t = vec![1.0f32; camera.pixel_count()];
-    let mut workloads = vec![0u32; camera.pixel_count()];
     let tile_count = tiles.tile_count();
-    let mut tile_stats = vec![RenderStats::default(); tile_count];
-    let mut frag_tiles: Vec<TileFragments> = if RECORD {
-        vec![TileFragments::default(); tile_count]
-    } else {
-        Vec::new()
+    out.image.reset(camera.width, camera.height);
+    out.depth.reset(camera.width, camera.height);
+    out.final_transmittance.clear();
+    out.final_transmittance.resize(camera.pixel_count(), 1.0);
+    out.pixel_workloads.clear();
+    out.pixel_workloads.resize(camera.pixel_count(), 0);
+    out.stats = RenderStats::default();
+    tile_stats.clear();
+    tile_stats.resize(tile_count, RenderStats::default());
+
+    // Reused per-tile fragment storage: the tile vector is resized to the
+    // grid (retained tiles keep their inner capacities) and each tile's
+    // records are cleared inside the kernel before refilling.
+    let mut no_fragments: Vec<TileFragments> = Vec::new();
+    let frag_tiles: &mut Vec<TileFragments> = match fragments {
+        Some(cache) => {
+            cache.tiles.resize_with(tile_count, TileFragments::default);
+            &mut cache.tiles
+        }
+        None => {
+            assert!(!RECORD, "recording pass requires a fragment cache");
+            &mut no_fragments
+        }
     };
 
     {
-        let image_view = SharedSlice::new(image.data_mut());
-        let depth_view = SharedSlice::new(depth.data_mut());
-        let t_view = SharedSlice::new(&mut final_t);
-        let workload_view = SharedSlice::new(&mut workloads);
-        let stats_view = SharedSlice::new(&mut tile_stats);
-        let frag_view = SharedSlice::new(&mut frag_tiles);
+        let image_view = SharedSlice::new(out.image.data_mut());
+        let depth_view = SharedSlice::new(out.depth.data_mut());
+        let t_view = SharedSlice::new(&mut out.final_transmittance);
+        let workload_view = SharedSlice::new(&mut out.pixel_workloads);
+        let stats_view = SharedSlice::new(tile_stats.as_mut_slice());
+        let frag_view = SharedSlice::new(frag_tiles.as_mut_slice());
         backend.for_each_chunk(tile_count, RENDER_CHUNK, &|_, range| {
-            // Per-chunk scratch: the gathered working set is reused across
-            // the chunk's tiles to amortize allocation.
-            let mut gathered: Vec<TileSplat> = Vec::new();
+            // Per-chunk scratch: the gathered working set comes from the
+            // shared pool, so steady-state chunks allocate nothing.
+            let mut gathered: Vec<TileSplat> = pool.take();
             for tile in range {
-                let list = &tiles.tile_lists[tile];
+                // SAFETY (all accesses below): one fragment record set and
+                // one stats slot per tile; tiles partition the image, so
+                // every pixel index is written by exactly one tile's task.
+                let tf: Option<&mut TileFragments> = if RECORD {
+                    let tf = unsafe { frag_view.get_mut(tile) };
+                    tf.frags.clear();
+                    tf.offsets.clear();
+                    Some(tf)
+                } else {
+                    None
+                };
+                let list = tiles.tile(tile);
                 if list.is_empty() {
                     continue;
                 }
@@ -332,9 +408,9 @@ fn render_impl<const RECORD: bool>(
                 let mut stats = RenderStats::default();
                 let (tx, ty) = (tile % tiles.tiles_x, tile / tiles.tiles_x);
                 let (x0, y0, x1, y1) = tiles.tile_pixel_rect(tx, ty, camera);
-                let mut tf = TileFragments::default();
-                if RECORD {
-                    tf.offsets = Vec::with_capacity((y1 - y0) * (x1 - x0) + 1);
+                let mut tf = tf;
+                if let Some(tf) = tf.as_deref_mut() {
+                    tf.offsets.reserve((y1 - y0) * (x1 - x0) + 1);
                     tf.offsets.push(0);
                 }
                 for y in y0..y1 {
@@ -350,7 +426,7 @@ fn render_impl<const RECORD: bool>(
                                 continue;
                             };
                             stats.fragments_blended += 1;
-                            if RECORD {
+                            if let Some(tf) = tf.as_deref_mut() {
                                 tf.frags.push(CachedFragment {
                                     list_pos: pos as u32,
                                     alpha,
@@ -367,12 +443,10 @@ fn render_impl<const RECORD: bool>(
                             }
                         }
                         stats.fragments_processed += processed as u64;
-                        if RECORD {
+                        if let Some(tf) = tf.as_deref_mut() {
                             tf.offsets.push(tf.frags.len() as u32);
                         }
                         let idx = y * camera.width + x;
-                        // SAFETY: tiles partition the image, so this pixel
-                        // index is written only by this tile's task.
                         unsafe {
                             image_view.write(idx, color);
                             depth_view.write(idx, d_acc);
@@ -381,35 +455,17 @@ fn render_impl<const RECORD: bool>(
                         }
                     }
                 }
-                // SAFETY: one stats (and fragment) slot per tile.
                 unsafe { stats_view.write(tile, stats) };
-                if RECORD {
-                    unsafe { frag_view.write(tile, tf) };
-                }
             }
+            pool.put(gathered);
         });
     }
 
-    let mut stats = RenderStats::default();
-    for ts in &tile_stats {
-        stats.fragments_processed += ts.fragments_processed;
-        stats.fragments_blended += ts.fragments_blended;
-        stats.early_terminated_pixels += ts.early_terminated_pixels;
+    for ts in tile_stats.iter() {
+        out.stats.fragments_processed += ts.fragments_processed;
+        out.stats.fragments_blended += ts.fragments_blended;
+        out.stats.early_terminated_pixels += ts.early_terminated_pixels;
     }
-
-    let output = RenderOutput {
-        image,
-        depth,
-        final_transmittance: final_t,
-        pixel_workloads: workloads,
-        stats,
-    };
-    let cache = if RECORD {
-        Some(FragmentCache { tiles: frag_tiles })
-    } else {
-        None
-    };
-    (output, cache)
 }
 
 #[cfg(test)]

@@ -5,8 +5,9 @@
 //! 1. **Preprocessing** ([`project_scene`]) — EWA projection of 3D Gaussians
 //!    to 2D splats compacted into a structure-of-arrays layout
 //!    ([`ProjectedSoA`]) plus tile intersection ([`TileAssignment`]).
-//! 2. **Sorting** — per-tile front-to-back depth sort (inside
-//!    [`TileAssignment::build`]) straight off the SoA depth array.
+//! 2. **Sorting** — front-to-back depth ordering via a stable radix sort
+//!    on the monotone depth key (inside [`TileAssignment::build`]), stored
+//!    as flat CSR tile lists.
 //! 3. **Rendering** ([`render`]) — per-pixel alpha computing and blending
 //!    with early ray termination (Eqs. 2–3), streaming a per-tile gathered
 //!    working set. The fused variant ([`render_fused`]) also records every
@@ -51,6 +52,7 @@
 //! assert_eq!(grads.gaussians.len(), scene.len());
 //! ```
 
+mod arena;
 mod backward;
 mod camera;
 mod forward;
@@ -62,6 +64,7 @@ mod shard;
 mod tiles;
 mod trace;
 
+pub use arena::FrameArena;
 pub use backward::{
     backward, backward_fused_with, backward_with, BackwardOutput, BackwardStats, PixelGrads,
 };
@@ -74,11 +77,17 @@ pub use forward::{
 pub use gaussian::{Gaussian3d, GaussianGrad, GaussianScene};
 pub use loss::{compute_loss, LossConfig, LossKind, LossOutput};
 pub use project::{
-    jacobian_with_clamp, project_scene, project_scene_with, projection_jacobian, Projected2d,
-    ProjectedSoA, Projection, TileRect, COV2D_BLUR, FRUSTUM_CLAMP, NEAR_PLANE, NO_SLOT,
+    jacobian_with_clamp, project_scene, project_scene_into, project_scene_with,
+    projection_jacobian, ProjectScratch, Projected2d, ProjectedSoA, Projection, TileRect,
+    COV2D_BLUR, FRUSTUM_CLAMP, NEAR_PLANE, NO_SLOT,
 };
-pub use shard::{Aabb, GaussianHandle, Shard, ShardedScene, VisibleFrame, DEFAULT_CELL_SIZE};
-pub use tiles::{TileAssignment, SUBTILES_PER_TILE, SUBTILE_SIZE, TILE_SIZE};
+pub use shard::{
+    Aabb, CullScratch, GaussianHandle, Shard, ShardedScene, VisibleFrame, DEFAULT_CELL_SIZE,
+};
+pub use tiles::{
+    build_tile_lists_legacy, build_tiles_into, TileAssignment, TileBinScratch, SUBTILES_PER_TILE,
+    SUBTILE_SIZE, TILE_SIZE,
+};
 pub use trace::WorkloadTrace;
 
 /// Everything needed to run a backward pass after a forward render: the

@@ -68,6 +68,38 @@ pub fn compute_loss(
     gt_depth: Option<&DepthImage>,
     config: &LossConfig,
 ) -> LossOutput {
+    let mut out = LossOutput {
+        loss: 0.0,
+        photometric: 0.0,
+        geometric: 0.0,
+        pixel_grads: PixelGrads {
+            color: Vec::new(),
+            depth: Vec::new(),
+            transmittance: Vec::new(),
+        },
+    };
+    let mut valid = Vec::new();
+    compute_loss_into(rendered, gt_color, gt_depth, config, &mut valid, &mut out);
+    out
+}
+
+/// [`compute_loss`] writing into caller-owned storage — the zero-allocation
+/// path. The gradient buffers and the valid-depth-pixel scratch are cleared
+/// and refilled; once their capacities cover the frame, a steady-state loss
+/// evaluation performs **no heap allocation**. Results are
+/// bitwise-identical to [`compute_loss`].
+///
+/// # Panics
+///
+/// Panics if image dimensions disagree.
+pub(crate) fn compute_loss_into(
+    rendered: &RenderOutput,
+    gt_color: &Image,
+    gt_depth: Option<&DepthImage>,
+    config: &LossConfig,
+    valid_scratch: &mut Vec<(usize, f32, f32)>,
+    out: &mut LossOutput,
+) {
     let w = rendered.image.width();
     let h = rendered.image.height();
     assert_eq!((gt_color.width(), gt_color.height()), (w, h), "color dims");
@@ -76,7 +108,13 @@ pub fn compute_loss(
     }
 
     let n_pix = (w * h) as f32;
-    let mut grads = PixelGrads::zeros(w, h);
+    let grads = &mut out.pixel_grads;
+    grads.color.clear();
+    grads.color.resize(w * h, Vec3::ZERO);
+    grads.depth.clear();
+    grads.depth.resize(w * h, 0.0);
+    grads.transmittance.clear();
+    grads.transmittance.resize(w * h, 0.0);
     let mut e_pho = 0.0f64;
     let pho_weight = config.lambda_pho / (3.0 * n_pix);
 
@@ -110,7 +148,8 @@ pub fn compute_loss(
         // from the true pose wherever coverage < 1). The `c`-dependence
         // backpropagates through the transmittance channel.
         // Count valid pixels first so the normalization is well-defined.
-        let mut valid = Vec::with_capacity(w * h / 4);
+        let valid = valid_scratch;
+        valid.clear();
         for y in 0..h {
             for x in 0..w {
                 let gt = depth_gt.depth(x, y);
@@ -123,7 +162,7 @@ pub fn compute_loss(
         if !valid.is_empty() {
             let n_valid = valid.len() as f32;
             let geo_weight = (1.0 - config.lambda_pho) / n_valid;
-            for (i, r, gt) in valid {
+            for &(i, r, gt) in valid.iter() {
                 // ∂r/∂D = 1 and, via c = 1 - T_final, ∂r/∂T_final = +gt.
                 let dl_dr = match config.kind {
                     LossKind::L1 => {
@@ -143,12 +182,9 @@ pub fn compute_loss(
 
     let photometric = e_pho as f32;
     let geometric = e_geo as f32;
-    LossOutput {
-        loss: config.lambda_pho * photometric + (1.0 - config.lambda_pho) * geometric,
-        photometric,
-        geometric,
-        pixel_grads: grads,
-    }
+    out.loss = config.lambda_pho * photometric + (1.0 - config.lambda_pho) * geometric;
+    out.photometric = photometric;
+    out.geometric = geometric;
 }
 
 #[inline]

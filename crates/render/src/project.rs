@@ -14,7 +14,7 @@ use crate::camera::PinholeCamera;
 use crate::gaussian::{Gaussian3d, GaussianScene};
 use crate::tiles::TILE_SIZE;
 use rtgs_math::{Mat3, Se3, Sym2, Vec2, Vec3};
-use rtgs_runtime::{exclusive_prefix_sum, Backend, Serial, SharedSlice};
+use rtgs_runtime::{exclusive_prefix_sum_into, Backend, Serial, SharedSlice};
 
 /// Gaussians per chunk in the chunked projection. Fixed by the algorithm —
 /// never derived from the worker count — so per-chunk statistics fold
@@ -155,24 +155,56 @@ impl ProjectedSoA {
         }
     }
 
-    fn with_capacity(visible: usize, scene_len: usize, tiles_x: usize, tiles_y: usize) -> Self {
-        Self {
-            gaussian_ids: vec![0; visible],
-            slot_of_gaussian: vec![NO_SLOT; scene_len],
-            means: vec![Vec2::ZERO; visible],
-            conics: vec![Sym2::default(); visible],
-            covs: vec![Sym2::default(); visible],
-            colors: vec![Vec3::ZERO; visible],
-            opacities: vec![0.0; visible],
-            depths: vec![0.0; visible],
-            radii: vec![0.0; visible],
-            t_cams: vec![Vec3::ZERO; visible],
-            q_cuts: vec![0.0; visible],
-            tile_rects: vec![[0; 4]; visible],
-            tiles_x,
-            tiles_y,
-        }
+    /// Clears and resizes every per-slot array for a frame of `visible`
+    /// splats over a scene of `scene_len` Gaussians. Capacities are
+    /// retained, so re-projecting into the same storage allocates only
+    /// while a new high-water mark is being established (the frame-arena
+    /// steady-state contract).
+    fn reset(&mut self, visible: usize, scene_len: usize, tiles_x: usize, tiles_y: usize) {
+        self.gaussian_ids.clear();
+        self.gaussian_ids.resize(visible, 0);
+        self.slot_of_gaussian.clear();
+        self.slot_of_gaussian.resize(scene_len, NO_SLOT);
+        self.means.clear();
+        self.means.resize(visible, Vec2::ZERO);
+        self.conics.clear();
+        self.conics.resize(visible, Sym2::default());
+        self.covs.clear();
+        self.covs.resize(visible, Sym2::default());
+        self.colors.clear();
+        self.colors.resize(visible, Vec3::ZERO);
+        self.opacities.clear();
+        self.opacities.resize(visible, 0.0);
+        self.depths.clear();
+        self.depths.resize(visible, 0.0);
+        self.radii.clear();
+        self.radii.resize(visible, 0.0);
+        self.t_cams.clear();
+        self.t_cams.resize(visible, Vec3::ZERO);
+        self.q_cuts.clear();
+        self.q_cuts.resize(visible, 0.0);
+        self.tile_rects.clear();
+        self.tile_rects.resize(visible, [0; 4]);
+        self.tiles_x = tiles_x;
+        self.tiles_y = tiles_y;
     }
+}
+
+/// Caller-owned workspace of [`project_scene_into`]: the per-Gaussian
+/// projection scratch and the chunk counters/offsets of the
+/// count → prefix-sum → scatter compaction. One workspace reused across
+/// frames makes steady-state projection allocation-free (the
+/// [`crate::FrameArena`] owns one).
+#[derive(Debug, Clone, Default)]
+pub struct ProjectScratch {
+    /// One slot per Gaussian; `Some` for splats surviving projection.
+    scratch: Vec<Option<Projected2d>>,
+    /// Per-chunk `(visible, culled, masked)` counters.
+    counts: Vec<(usize, usize, usize)>,
+    /// Per-chunk visible counts (prefix-sum input).
+    visible_counts: Vec<usize>,
+    /// Per-chunk output offsets (prefix-sum output).
+    offsets: Vec<usize>,
 }
 
 /// Output of the preprocessing step: the dense SoA splat arrays plus counts
@@ -258,6 +290,31 @@ pub fn project_scene_with(
     active: Option<&[bool]>,
     backend: &dyn Backend,
 ) -> Projection {
+    let mut scratch = ProjectScratch::default();
+    let mut out = Projection::default();
+    project_scene_into(scene, w2c, camera, active, backend, &mut scratch, &mut out);
+    out
+}
+
+/// [`project_scene_with`] writing into caller-owned storage — the
+/// zero-allocation path. The workspace and output buffers are cleared and
+/// refilled; once their capacities cover the frame (scene size, visible
+/// count), re-projection performs **no heap allocation**. Results are
+/// bitwise-identical to [`project_scene_with`].
+///
+/// # Panics
+///
+/// Panics if `active` is provided with a length different from the scene.
+#[allow(clippy::too_many_arguments)]
+pub fn project_scene_into(
+    scene: &GaussianScene,
+    w2c: &Se3,
+    camera: &PinholeCamera,
+    active: Option<&[bool]>,
+    backend: &dyn Backend,
+    ws: &mut ProjectScratch,
+    out: &mut Projection,
+) {
     if let Some(mask) = active {
         assert_eq!(
             mask.len(),
@@ -273,11 +330,13 @@ pub fn project_scene_with(
 
     // Phase 1: chunked projection into scratch (one slot per Gaussian) with
     // per-chunk (visible, culled, masked) counters.
-    let mut scratch: Vec<Option<Projected2d>> = vec![None; n];
-    let mut counts = vec![(0usize, 0usize, 0usize); chunks];
+    ws.scratch.clear();
+    ws.scratch.resize(n, None);
+    ws.counts.clear();
+    ws.counts.resize(chunks, (0usize, 0usize, 0usize));
     {
-        let scratch_view = SharedSlice::new(&mut scratch);
-        let count_view = SharedSlice::new(&mut counts);
+        let scratch_view = SharedSlice::new(&mut ws.scratch);
+        let count_view = SharedSlice::new(&mut ws.counts);
         backend.for_each_chunk(n, PROJECT_CHUNK, &|chunk, range| {
             let mut visible = 0usize;
             let mut culled = 0usize;
@@ -305,11 +364,15 @@ pub fn project_scene_with(
 
     // Phase 2: serial scan fixes every chunk's output offset (and thereby
     // the slot order: ascending Gaussian ID).
-    let visible_counts: Vec<usize> = counts.iter().map(|&(v, _, _)| v).collect();
-    let (offsets, total_visible) = exclusive_prefix_sum(&visible_counts);
+    ws.visible_counts.clear();
+    ws.visible_counts
+        .extend(ws.counts.iter().map(|&(v, _, _)| v));
+    let total_visible = exclusive_prefix_sum_into(&ws.visible_counts, &mut ws.offsets);
+    let offsets = &ws.offsets;
 
     // Phase 3: chunked scatter into the dense SoA arrays.
-    let mut soa = ProjectedSoA::with_capacity(total_visible, n, tiles_x, tiles_y);
+    let soa = &mut out.soa;
+    soa.reset(total_visible, n, tiles_x, tiles_y);
     {
         let ids_view = SharedSlice::new(&mut soa.gaussian_ids);
         let slot_view = SharedSlice::new(&mut soa.slot_of_gaussian);
@@ -323,7 +386,7 @@ pub fn project_scene_with(
         let t_cam_view = SharedSlice::new(&mut soa.t_cams);
         let q_cut_view = SharedSlice::new(&mut soa.q_cuts);
         let rect_view = SharedSlice::new(&mut soa.tile_rects);
-        let scratch_ref = &scratch;
+        let scratch_ref = &ws.scratch;
         backend.for_each_chunk(n, PROJECT_CHUNK, &|chunk, range| {
             let mut slot = offsets[chunk];
             for id in range {
@@ -355,14 +418,12 @@ pub fn project_scene_with(
         });
     }
 
-    let (culled, masked) = counts
+    let (culled, masked) = ws
+        .counts
         .iter()
         .fold((0, 0), |(c, m), &(_, dc, dm)| (c + dc, m + dm));
-    Projection {
-        soa,
-        culled,
-        masked,
-    }
+    out.culled = culled;
+    out.masked = masked;
 }
 
 /// Projects a single Gaussian (EWA splatting); `None` when culled.

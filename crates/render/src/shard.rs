@@ -196,7 +196,7 @@ struct MacroCell {
 /// order, so frame-local index `k` corresponds to stable ID `ids[k]`. All
 /// downstream per-Gaussian buffers of one iteration (projection slots,
 /// gradients) are in this frame-local space and map back through `ids`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct VisibleFrame {
     /// Gathered surviving Gaussians (frame-local index space).
     pub scene: GaussianScene,
@@ -210,6 +210,22 @@ pub struct VisibleFrame {
     pub shards_tested: usize,
     /// Live Gaussians skipped because their whole shard was culled.
     pub shard_culled: usize,
+}
+
+/// Caller-owned workspace of [`ShardedScene::visible_frame_into`]: the
+/// two-level cull's flag and candidate buffers. One workspace reused
+/// across iterations makes the steady-state frustum-cull pre-pass
+/// allocation-free (the [`crate::FrameArena`] owns one).
+#[derive(Debug, Clone, Default)]
+pub struct CullScratch {
+    /// Level-1 macro-cell visibility flags.
+    macro_flags: Vec<bool>,
+    /// Level-2 candidate shard indices (members of surviving macro-cells).
+    candidates: Vec<u32>,
+    /// Level-2 per-candidate visibility flags.
+    cand_flags: Vec<bool>,
+    /// Indices of shards surviving both levels.
+    surviving: Vec<u32>,
 }
 
 /// The sharded map store. See the module docs for the design.
@@ -574,6 +590,31 @@ impl ShardedScene {
         active: Option<&[bool]>,
         backend: &dyn Backend,
     ) -> VisibleFrame {
+        let mut scratch = CullScratch::default();
+        let mut out = VisibleFrame::default();
+        self.visible_frame_into(w2c, camera, active, backend, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::visible_frame_with`] writing into caller-owned storage — the
+    /// zero-allocation path. The workspace and the gathered frame buffers
+    /// are cleared and refilled; once their capacities cover the frustum's
+    /// contents, a steady-state cull + gather performs **no heap
+    /// allocation**. Results are bitwise-identical to
+    /// [`Self::visible_frame_with`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Self::visible_frame_with`].
+    pub fn visible_frame_into(
+        &self,
+        w2c: &Se3,
+        camera: &PinholeCamera,
+        active: Option<&[bool]>,
+        backend: &dyn Backend,
+        scratch: &mut CullScratch,
+        out: &mut VisibleFrame,
+    ) {
         assert_eq!(
             self.dirty_shards, 0,
             "shard bounds are stale; call refresh_bounds first"
@@ -585,14 +626,15 @@ impl ShardedScene {
                 "active mask length must match the arena capacity"
             );
         }
-        let (surviving, shards_tested) = self.surviving_shards_with(w2c, camera, backend);
+        let shards_tested = self.surviving_shards_into(w2c, camera, backend, scratch);
 
         // Walk only the surviving shards; their visit order is irrelevant
         // because the frame-local order is fixed by the ID sort below.
-        let mut ids: Vec<u32> = Vec::new();
+        let ids = &mut out.ids;
+        ids.clear();
         let mut gathered_live = 0usize;
         let mut shards_visible = 0usize;
-        for &si in &surviving {
+        for &si in &scratch.surviving {
             let shard = &self.shards[si as usize];
             gathered_live += shard.live_count;
             if shard.live_count > 0 {
@@ -616,14 +658,13 @@ impl ShardedScene {
         // blending) matches bit for bit.
         ids.sort_unstable();
 
-        let gaussians: Vec<Gaussian3d> = ids.iter().map(|&id| self.arena[id as usize]).collect();
-        VisibleFrame {
-            scene: GaussianScene::from_gaussians(gaussians),
-            ids,
-            shards_visible,
-            shards_tested,
-            shard_culled,
-        }
+        out.scene.gaussians.clear();
+        out.scene
+            .gaussians
+            .extend(ids.iter().map(|&id| self.arena[id as usize]));
+        out.shards_visible = shards_visible;
+        out.shards_tested = shards_tested;
+        out.shard_culled = shard_culled;
     }
 
     /// Per-shard conservative frustum flags (`true` = may contribute).
@@ -641,29 +682,35 @@ impl ShardedScene {
         camera: &PinholeCamera,
         backend: &dyn Backend,
     ) -> Vec<bool> {
+        let mut scratch = CullScratch::default();
+        self.surviving_shards_into(w2c, camera, backend, &mut scratch);
         let mut flags = vec![false; self.shards.len()];
-        for si in self.surviving_shards_with(w2c, camera, backend).0 {
+        for &si in &scratch.surviving {
             flags[si as usize] = true;
         }
         flags
     }
 
-    /// The indices of shards surviving the two-level cull, in macro order
-    /// then creation order (deterministic; not sorted by index). Also
-    /// returns the number of level-2 (per-shard) tests performed.
-    fn surviving_shards_with(
+    /// Computes the indices of shards surviving the two-level cull into
+    /// `scratch.surviving`, in macro order then creation order
+    /// (deterministic; not sorted by index). Returns the number of level-2
+    /// (per-shard) tests performed. Allocation-free once the scratch
+    /// capacities cover the map's macro/shard counts.
+    fn surviving_shards_into(
         &self,
         w2c: &Se3,
         camera: &PinholeCamera,
         backend: &dyn Backend,
-    ) -> (Vec<u32>, usize) {
+        scratch: &mut CullScratch,
+    ) -> usize {
         let rot = w2c.rotation_matrix();
         let frustum = FrustumBound::of(camera);
 
         // Level 1: macro-cells.
-        let mut macro_flags = vec![false; self.macros.len()];
+        scratch.macro_flags.clear();
+        scratch.macro_flags.resize(self.macros.len(), false);
         {
-            let flag_view = SharedSlice::new(&mut macro_flags);
+            let flag_view = SharedSlice::new(&mut scratch.macro_flags);
             let macros = &self.macros;
             backend.for_each_chunk(macros.len(), CULL_CHUNK, &|_, range| {
                 for i in range {
@@ -678,18 +725,20 @@ impl ShardedScene {
         }
 
         // Level 2: member shards of surviving macro-cells.
-        let candidates: Vec<u32> = self
-            .macros
-            .iter()
-            .zip(macro_flags.iter())
-            .filter(|&(_, &f)| f)
-            .flat_map(|(m, _)| m.shards.iter().copied())
-            .collect();
-        let mut cand_flags = vec![false; candidates.len()];
+        scratch.candidates.clear();
+        scratch.candidates.extend(
+            self.macros
+                .iter()
+                .zip(scratch.macro_flags.iter())
+                .filter(|&(_, &f)| f)
+                .flat_map(|(m, _)| m.shards.iter().copied()),
+        );
+        scratch.cand_flags.clear();
+        scratch.cand_flags.resize(scratch.candidates.len(), false);
         {
-            let flag_view = SharedSlice::new(&mut cand_flags);
+            let flag_view = SharedSlice::new(&mut scratch.cand_flags);
             let shards = &self.shards;
-            let cand_ref = &candidates;
+            let cand_ref = &scratch.candidates;
             backend.for_each_chunk(cand_ref.len(), CULL_CHUNK, &|_, range| {
                 for k in range {
                     let s = &shards[cand_ref[k] as usize];
@@ -702,14 +751,17 @@ impl ShardedScene {
                 }
             });
         }
-        let tested = candidates.len();
-        let surviving = candidates
-            .into_iter()
-            .zip(cand_flags)
-            .filter(|&(_, f)| f)
-            .map(|(si, _)| si)
-            .collect();
-        (surviving, tested)
+        let tested = scratch.candidates.len();
+        scratch.surviving.clear();
+        scratch.surviving.extend(
+            scratch
+                .candidates
+                .iter()
+                .zip(scratch.cand_flags.iter())
+                .filter(|&(_, &f)| f)
+                .map(|(&si, _)| si),
+        );
+        tested
     }
 
     fn cell_of(&self, p: Vec3) -> [i32; 3] {

@@ -57,7 +57,7 @@ impl WorkloadTrace {
             width: camera.width,
             height: camera.height,
             pixel_workloads: output.pixel_workloads.clone(),
-            tile_gaussian_counts: tiles.tile_lists.iter().map(|l| l.len() as u32).collect(),
+            tile_gaussian_counts: tiles.offsets.windows(2).map(|w| w[1] - w[0]).collect(),
             tiles_x: tiles.tiles_x,
             tiles_y: tiles.tiles_y,
             // Tile lists are SoA slots on the hot path; traces report the

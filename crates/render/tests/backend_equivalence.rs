@@ -79,8 +79,12 @@ fn assert_bitwise_identical(
         "{threads} threads: culled"
     );
     assert_eq!(
-        sc.tiles.tile_lists, pc.tiles.tile_lists,
-        "{threads} threads: tiles"
+        sc.tiles.entries, pc.tiles.entries,
+        "{threads} threads: tile entries"
+    );
+    assert_eq!(
+        sc.tiles.offsets, pc.tiles.offsets,
+        "{threads} threads: tile offsets"
     );
     assert_eq!(sc.output.image, pc.output.image, "{threads} threads: image");
     assert_eq!(sc.output.depth, pc.output.depth, "{threads} threads: depth");

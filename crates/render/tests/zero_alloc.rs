@@ -1,0 +1,156 @@
+//! Zero-allocation regression test for the steady-state render path.
+//!
+//! Installs the counting global allocator from the `alloc-counter` shim and
+//! drives full tracking-style iterations — frustum cull → project → CSR
+//! tile assign (radix depth sort) → fused forward → loss → fused backward —
+//! through one reused [`FrameArena`]. After a warm-up that establishes
+//! every buffer's high-water capacity, the measured iterations must perform
+//! **zero** heap allocations on the calling thread.
+//!
+//! The assertion uses the per-thread counter with the `Serial` backend, so
+//! the whole pipeline runs on this thread and the measurement is immune to
+//! allocations from the test harness's other threads. (The parallel
+//! backend's task dispatch allocates in the pool by design; the zero-alloc
+//! contract covers the kernels and their buffers, which the parallel path
+//! shares — see CONTRIBUTING.md "Zero-allocation steady state".)
+
+use rtgs_math::{Quat, Se3, Vec3};
+use rtgs_render::{
+    FrameArena, Gaussian3d, GaussianScene, Image, LossConfig, PinholeCamera, ShardedScene,
+};
+use rtgs_runtime::Serial;
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+fn test_scene(n: usize) -> GaussianScene {
+    // Deterministic pseudo-random layout spanning several tiles and depths.
+    (0..n)
+        .map(|i| {
+            let fx = ((i * 37) % 23) as f32 / 23.0 - 0.5;
+            let fy = ((i * 17) % 11) as f32 / 11.0 - 0.5;
+            let fz = 1.2 + ((i * 29) % 19) as f32 * 0.15;
+            Gaussian3d::from_activated(
+                Vec3::new(fx * 1.6, fy * 1.2, fz),
+                Vec3::splat(0.06 + ((i % 5) as f32) * 0.02),
+                Quat::from_axis_angle(Vec3::new(0.3, 0.2, 0.9), (i % 7) as f32 * 0.4),
+                0.35 + ((i % 3) as f32) * 0.2,
+                Vec3::new(
+                    (i % 4) as f32 * 0.25,
+                    (i % 5) as f32 * 0.2,
+                    (i % 6) as f32 * 0.15,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// One steady-state tracking-style iteration, entirely on arena storage.
+fn iteration(
+    arena: &mut FrameArena,
+    map: &ShardedScene,
+    mask: &[bool],
+    w2c: &Se3,
+    camera: &PinholeCamera,
+    gt: &Image,
+    cfg: &LossConfig,
+) -> f32 {
+    arena.cull(map, w2c, camera, Some(mask), &Serial);
+    arena.project_visible(w2c, camera, &Serial);
+    arena.assign_tiles(camera, &Serial);
+    arena.render_fused(camera, &Serial);
+    let loss = arena.compute_loss(gt, None, cfg);
+    arena.backward_visible_fused(camera, w2c, &Serial);
+    loss
+}
+
+#[test]
+fn steady_state_iteration_performs_zero_allocations() {
+    let camera = PinholeCamera::from_fov(64, 48, 1.2);
+    let map = ShardedScene::from_scene(&test_scene(180), 1.0);
+    let mask = vec![true; map.capacity()];
+    let cfg = LossConfig::default();
+    // Ground truth: the scene rendered from a slightly shifted pose, so the
+    // loss and its gradients are dense and non-trivial.
+    let gt = {
+        let ctx = rtgs_render::render_frame(
+            &map.flatten().0,
+            &Se3::from_translation(Vec3::new(0.02, -0.01, 0.0)),
+            &camera,
+            None,
+        );
+        ctx.output.image
+    };
+    // Two alternating poses: warm-up establishes the high-water capacity of
+    // every buffer for both, as a real tracking loop's moving pose does.
+    let pose_a = Se3::IDENTITY;
+    let pose_b = Se3::from_translation(Vec3::new(0.015, 0.01, -0.005));
+
+    let mut arena = FrameArena::new();
+    let warm_start = alloc_counter::thread_allocations();
+    for w2c in [&pose_a, &pose_b, &pose_a, &pose_b] {
+        let loss = iteration(&mut arena, &map, &mask, w2c, &camera, &gt, &cfg);
+        assert!(loss.is_finite());
+    }
+    let warm_allocs = alloc_counter::thread_allocations() - warm_start;
+    assert!(
+        warm_allocs > 0,
+        "sanity: warm-up must allocate (counter must be live)"
+    );
+    assert!(
+        arena.output().stats.fragments_blended > 0,
+        "sanity: the workload must be non-trivial"
+    );
+    assert!(
+        arena.backward().stats.gaussians_touched > 0,
+        "sanity: gradients must flow"
+    );
+
+    // Steady state: zero allocations across full iterations, including the
+    // pose the arena did not run last.
+    let before = alloc_counter::thread_allocations();
+    for w2c in [&pose_a, &pose_b, &pose_a, &pose_b, &pose_a, &pose_b] {
+        let loss = iteration(&mut arena, &map, &mask, w2c, &camera, &gt, &cfg);
+        assert!(loss.is_finite());
+    }
+    let steady_allocs = alloc_counter::thread_allocations() - before;
+    assert_eq!(
+        steady_allocs, 0,
+        "steady-state iterations must not allocate (counted {steady_allocs} allocations \
+         over 6 iterations after warm-up)"
+    );
+}
+
+#[test]
+fn steady_state_unfused_render_backward_is_allocation_free() {
+    // The unfused (re-walk) drivers share the arena contract.
+    let camera = PinholeCamera::from_fov(48, 32, 1.2);
+    let scene = test_scene(120);
+    let w2c = Se3::IDENTITY;
+    let gt = Image::new(camera.width, camera.height);
+    let cfg = LossConfig::default();
+
+    let mut arena = FrameArena::new();
+    // Warm-up. The pixel-grad clone is part of the *test setup*, not the
+    // measured pipeline — the rewalk entry point takes external gradients.
+    arena.project(&scene, &w2c, &camera, None, &Serial);
+    arena.assign_tiles(&camera, &Serial);
+    arena.render(&camera, &Serial);
+    arena.compute_loss(&gt, None, &cfg);
+    let grads = arena.loss().pixel_grads.clone();
+    arena.backward_rewalk(&scene, &camera, &w2c, &grads, &Serial);
+
+    let before = alloc_counter::thread_allocations();
+    for _ in 0..3 {
+        arena.project(&scene, &w2c, &camera, None, &Serial);
+        arena.assign_tiles(&camera, &Serial);
+        arena.render(&camera, &Serial);
+        arena.compute_loss(&gt, None, &cfg);
+        arena.backward_rewalk(&scene, &camera, &w2c, &grads, &Serial);
+    }
+    let steady_allocs = alloc_counter::thread_allocations() - before;
+    assert_eq!(
+        steady_allocs, 0,
+        "unfused steady-state iterations must not allocate"
+    );
+}

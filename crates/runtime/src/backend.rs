@@ -145,13 +145,72 @@ pub fn shared_pool(threads: usize) -> Arc<ThreadPool> {
 /// therefore the scatter layout, are identical on every backend and pool
 /// size.
 pub fn exclusive_prefix_sum(counts: &[usize]) -> (Vec<usize>, usize) {
-    let mut offsets = Vec::with_capacity(counts.len());
+    let mut offsets = Vec::new();
+    let total = exclusive_prefix_sum_into(counts, &mut offsets);
+    (offsets, total)
+}
+
+/// [`exclusive_prefix_sum`] writing into caller-owned storage.
+///
+/// `offsets` is cleared and refilled; once its capacity covers
+/// `counts.len()` the scan performs no heap allocation, which is what lets
+/// chunked kernels run allocation-free in the steady state (the frame-arena
+/// contract of `rtgs-render`). Returns the summed total.
+pub fn exclusive_prefix_sum_into(counts: &[usize], offsets: &mut Vec<usize>) -> usize {
+    offsets.clear();
+    offsets.reserve(counts.len());
     let mut total = 0usize;
     for &c in counts {
         offsets.push(total);
         total += c;
     }
-    (offsets, total)
+    total
+}
+
+/// A pool of reusable `Vec<T>` scratch buffers for chunked kernels.
+///
+/// Chunk bodies running on a [`Backend`] cannot own per-worker state (the
+/// body is a shared `Fn`), so kernels that need per-chunk scratch — e.g. the
+/// render kernel's gathered tile working set — [`ScratchPool::take`] a
+/// buffer at chunk entry and [`ScratchPool::put`] it back at exit. Buffers
+/// keep their capacity across uses, and the pool grows to at most the
+/// number of concurrently running chunks; after warm-up, steady-state
+/// take/put cycles perform no heap allocation.
+#[derive(Debug)]
+pub struct ScratchPool<T> {
+    buffers: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            buffers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a pooled buffer (cleared, capacity retained) or returns a fresh
+    /// empty one when the pool is dry.
+    pub fn take(&self) -> Vec<T> {
+        self.buffers.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse (contents cleared here).
+    pub fn put(&self, mut buffer: Vec<T>) {
+        buffer.clear();
+        self.buffers.lock().unwrap().push(buffer);
+    }
+
+    /// Number of currently pooled (idle) buffers.
+    pub fn idle(&self) -> usize {
+        self.buffers.lock().unwrap().len()
+    }
 }
 
 /// Copyable backend selector for configuration structs (`SlamConfig` stays
@@ -315,6 +374,33 @@ mod tests {
         let (empty, zero) = exclusive_prefix_sum(&[]);
         assert!(empty.is_empty());
         assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_into_reuses_capacity() {
+        let mut offsets = Vec::new();
+        let total = exclusive_prefix_sum_into(&[3, 0, 2, 5], &mut offsets);
+        assert_eq!(offsets, vec![0, 3, 3, 5]);
+        assert_eq!(total, 10);
+        let cap = offsets.capacity();
+        let total = exclusive_prefix_sum_into(&[1, 1], &mut offsets);
+        assert_eq!(offsets, vec![0, 1]);
+        assert_eq!(total, 2);
+        assert_eq!(offsets.capacity(), cap, "reuse must keep capacity");
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let pool: ScratchPool<u32> = ScratchPool::new();
+        let mut a = pool.take();
+        a.extend(0..100);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.take();
+        assert!(b.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "pooled buffers keep capacity");
+        assert_eq!(pool.idle(), 0);
     }
 
     #[test]

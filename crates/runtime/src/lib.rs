@@ -48,7 +48,8 @@ mod pool;
 mod scheduler;
 
 pub use backend::{
-    exclusive_prefix_sum, shared_pool, Backend, BackendChoice, Parallel, Serial, SharedSlice,
+    exclusive_prefix_sum, exclusive_prefix_sum_into, shared_pool, Backend, BackendChoice, Parallel,
+    ScratchPool, Serial, SharedSlice,
 };
 pub use pool::{Scope, ThreadPool};
 pub use scheduler::{

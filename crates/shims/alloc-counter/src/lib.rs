@@ -1,0 +1,105 @@
+//! A std-only counting global allocator for zero-allocation regression
+//! tests.
+//!
+//! [`CountingAllocator`] wraps the [`System`] allocator and counts every
+//! allocation (`alloc`, `alloc_zeroed`, and `realloc`, which moves or grows
+//! a block) both globally and per thread. Install it as the test binary's
+//! `#[global_allocator]` and assert that a steady-state code region
+//! performs zero allocations:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+//!
+//! let span = alloc_counter::thread_allocations();
+//! hot_path();
+//! assert_eq!(alloc_counter::thread_allocations() - span, 0);
+//! ```
+//!
+//! The per-thread counter ([`thread_allocations`]) is the one to assert on:
+//! it is immune to allocations made concurrently by the test harness or by
+//! worker-pool threads, so a single-threaded (serial-backend) hot path can
+//! be measured exactly even in a multi-threaded test process. The global
+//! counter ([`total_allocations`]) is available for coarse diagnostics.
+//!
+//! Deallocations are deliberately *not* counted: the regression target is
+//! "the steady state performs no allocator round-trips", and every `dealloc`
+//! is paired with a counted allocation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide allocation count.
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Calling thread's allocation count (const-initialized: reading it
+    /// never allocates, so the counter can run inside the allocator).
+    static THREAD: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn record() {
+    TOTAL.fetch_add(1, Ordering::Relaxed);
+    // `try_with` so allocations during TLS teardown (thread exit) cannot
+    // panic inside the allocator; those late events still count globally.
+    let _ = THREAD.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Counting wrapper around the [`System`] allocator. Zero-sized; install as
+/// `#[global_allocator]`.
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the counters are
+// lock-free (atomic / thread-local Cell) and never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocations made by the *calling thread* since it started (monotonic).
+/// Subtract two readings to count a region's allocations.
+pub fn thread_allocations() -> u64 {
+    THREAD.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Allocations made by the whole process since start (monotonic).
+pub fn total_allocations() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    // NOTE: these unit tests do not install the allocator (a crate's own
+    // test binary should not impose it on itself); the counting behaviour
+    // is exercised end-to-end by `crates/render/tests/zero_alloc.rs`,
+    // which sets `#[global_allocator]`.
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone() {
+        let t0 = thread_allocations();
+        let g0 = total_allocations();
+        let v = vec![1u8, 2, 3];
+        drop(v);
+        assert!(thread_allocations() >= t0);
+        assert!(total_allocations() >= g0);
+    }
+}

@@ -9,10 +9,7 @@ use crate::profile::StageTimings;
 use crate::tracking::{track_frame_with, IterationArtifacts, TrackingConfig, TrackingObserver};
 use rtgs_math::Se3;
 use rtgs_metrics::{absolute_trajectory_error, psnr, AteResult};
-use rtgs_render::{
-    backward_fused_with, compute_loss, project_scene_with, render_frame_with, render_fused_with,
-    Image, ShardedScene, TileAssignment, WorkloadTrace,
-};
+use rtgs_render::{render_frame_with, FrameArena, Image, ShardedScene, WorkloadTrace};
 use rtgs_runtime::{Backend, BackendChoice};
 use rtgs_scene::{RgbdFrame, SyntheticDataset};
 use std::sync::Arc;
@@ -365,6 +362,10 @@ pub struct SlamPipeline<'d> {
     extension: Box<dyn PipelineExtension + Send>,
     scene: ShardedScene,
     map_optimizer: MapOptimizer,
+    /// Per-session frame arena: every tracking and mapping iteration's
+    /// transient render/backward buffers live here and are reused across
+    /// frames (zero steady-state allocations).
+    arena: FrameArena,
     mask: Vec<bool>,
     trajectory: Vec<Se3>,
     keyframes: Vec<usize>,
@@ -400,6 +401,7 @@ impl<'d> SlamPipeline<'d> {
             extension,
             scene: ShardedScene::new(config.map.shard_cell_size),
             map_optimizer: MapOptimizer::new(0, config.map_lrs),
+            arena: FrameArena::new(),
             mask: Vec::new(),
             trajectory: Vec::new(),
             keyframes: Vec::new(),
@@ -511,6 +513,7 @@ impl<'d> SlamPipeline<'d> {
             &mut self.mask,
             &mut observer,
             &mut self.tracking_timings,
+            &mut self.arena,
             &*self.backend,
         );
         let tracking_wall = t0.elapsed();
@@ -662,67 +665,59 @@ impl<'d> SlamPipeline<'d> {
 
             // The previous iteration's optimizer step (or densification)
             // moved Gaussians; re-validate shard bounds, then cull + gather
-            // the keyframe frustum's working set.
+            // the keyframe frustum's working set into the session arena.
             self.scene.refresh_bounds_with(&*self.backend);
             let t0 = Instant::now();
-            let visible =
-                self.scene
-                    .visible_frame_with(&w2c, &camera, Some(&self.mask), &*self.backend);
-            let projection =
-                project_scene_with(&visible.scene, &w2c, &camera, None, &*self.backend);
+            self.arena
+                .cull(&self.scene, &w2c, &camera, Some(&self.mask), &*self.backend);
+            self.arena.project_visible(&w2c, &camera, &*self.backend);
             let t1 = Instant::now();
             self.mapping_timings.preprocess += t1 - t0;
-            let tiles = TileAssignment::build_with(&projection, &camera, &*self.backend);
+            self.arena.assign_tiles(&camera, &*self.backend);
             let t2 = Instant::now();
             self.mapping_timings.sorting += t2 - t1;
             // Fused tile pass: forward records fragment sequences so the
             // backward pass skips the re-walk (bitwise-identical output).
-            let fused = render_fused_with(&projection, &tiles, &camera, &*self.backend);
-            let output = fused.output;
+            self.arena.render_fused(&camera, &*self.backend);
             let t3 = Instant::now();
             self.mapping_timings.render += t3 - t2;
 
-            let loss = compute_loss(
-                &output,
+            self.arena.compute_loss(
                 &frame.color,
                 frame.depth.as_ref(),
                 &self.config.tracking.loss,
             );
-            let grads = backward_fused_with(
-                &visible.scene,
-                &projection,
-                &tiles,
-                &camera,
-                &w2c,
-                &loss.pixel_grads,
-                &fused.fragments,
-                &*self.backend,
-            );
-            self.mapping_timings.render_bp += Duration::from_nanos(grads.stats.rendering_bp_nanos);
+            self.arena
+                .backward_visible_fused(&camera, &w2c, &*self.backend);
+            let grad_stats = self.arena.backward().stats;
+            self.mapping_timings.render_bp += Duration::from_nanos(grad_stats.rendering_bp_nanos);
             self.mapping_timings.preprocess_bp +=
-                Duration::from_nanos(grads.stats.preprocessing_bp_nanos);
+                Duration::from_nanos(grad_stats.preprocessing_bp_nanos);
             let t4 = Instant::now();
             self.mapping_timings.other += (t4 - t3).saturating_sub(Duration::from_nanos(
-                grads.stats.rendering_bp_nanos + grads.stats.preprocessing_bp_nanos,
+                grad_stats.rendering_bp_nanos + grad_stats.preprocessing_bp_nanos,
             ));
 
             if self.config.record_traces {
                 self.pending_mapping_traces.push(WorkloadTrace::from_render(
-                    &output,
-                    &tiles,
+                    self.arena.output(),
+                    self.arena.tiles(),
                     &camera,
-                    grads.stats.fragment_grad_events,
-                    projection.visible_count(),
+                    grad_stats.fragment_grad_events,
+                    self.arena.projection().visible_count(),
                 ));
             }
-            self.map_optimizer
-                .step_visible(&mut self.scene, &visible.ids, &grads.gaussians);
+            self.map_optimizer.step_visible(
+                &mut self.scene,
+                &self.arena.visible().ids,
+                &self.arena.backward().gaussians,
+            );
 
             if iter == densify_at && target_index == index {
                 let added = densify(
                     &mut self.scene,
                     &mut self.map_optimizer,
-                    &output,
+                    self.arena.output(),
                     frame,
                     &camera,
                     &self.trajectory[index],

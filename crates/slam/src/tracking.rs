@@ -12,8 +12,8 @@
 use crate::profile::StageTimings;
 use rtgs_math::Se3;
 use rtgs_render::{
-    backward_fused_with, compute_loss, project_scene_with, render_fused_with, BackwardOutput,
-    LossConfig, PinholeCamera, RenderOutput, ShardedScene, TileAssignment, WorkloadTrace,
+    BackwardOutput, FrameArena, LossConfig, PinholeCamera, RenderOutput, ShardedScene,
+    TileAssignment, WorkloadTrace,
 };
 use rtgs_runtime::Backend;
 use rtgs_scene::RgbdFrame;
@@ -191,14 +191,18 @@ pub fn track_frame<O: TrackingObserver>(
         mask,
         observer,
         timings,
+        &mut FrameArena::new(),
         &rtgs_runtime::Serial,
     )
 }
 
-/// [`track_frame`] on an explicit execution backend: the shard cull and
-/// every render and backward inside the pose optimization run through
-/// `backend`, with results bitwise-identical to the serial path at any
-/// pool size.
+/// [`track_frame`] on an explicit execution backend and a caller-owned
+/// [`FrameArena`]: the shard cull and every render and backward inside the
+/// pose optimization run through `backend` into the arena's reused storage
+/// — a steady-state iteration performs zero heap allocations — with
+/// results bitwise-identical to the serial fresh-allocation path at any
+/// pool size. Sessions keep one arena alive across frames
+/// (`SlamPipeline` owns one per session).
 #[allow(clippy::too_many_arguments)]
 pub fn track_frame_with<O: TrackingObserver>(
     map: &ShardedScene,
@@ -209,6 +213,7 @@ pub fn track_frame_with<O: TrackingObserver>(
     mask: &mut [bool],
     observer: &mut O,
     timings: &mut StageTimings,
+    arena: &mut FrameArena,
     backend: &dyn Backend,
 ) -> TrackResult {
     assert_eq!(mask.len(), map.capacity(), "mask must cover the map arena");
@@ -232,42 +237,34 @@ pub fn track_frame_with<O: TrackingObserver>(
         let t0 = Instant::now();
         // Frustum-cull pre-pass + gather: only surviving shards feed the
         // projection, masked (pruned) IDs drop out here before any math.
-        let visible = map.visible_frame_with(&w2c, camera, Some(mask), backend);
-        let projection = project_scene_with(&visible.scene, &w2c, camera, None, backend);
+        // All stages write into the arena's reused storage.
+        arena.cull(map, &w2c, camera, Some(&*mask), backend);
+        arena.project_visible(&w2c, camera, backend);
         let t1 = Instant::now();
         timings.preprocess += t1 - t0;
-        let tiles = TileAssignment::build_with(&projection, camera, backend);
+        arena.assign_tiles(camera, backend);
         let t2 = Instant::now();
         timings.sorting += t2 - t1;
         // Fused tile pass: the render records each pixel's fragment
         // sequence so the backward pass consumes it instead of re-walking
         // the sorted splat lists (bitwise-identical to the unfused path).
-        let fused = render_fused_with(&projection, &tiles, camera, backend);
-        let output = fused.output;
+        arena.render_fused(camera, backend);
         let t3 = Instant::now();
         timings.render += t3 - t2;
 
-        let loss = compute_loss(&output, &frame.color, frame.depth.as_ref(), &config.loss);
-        let grads = backward_fused_with(
-            &visible.scene,
-            &projection,
-            &tiles,
-            camera,
-            &w2c,
-            &loss.pixel_grads,
-            &fused.fragments,
-            backend,
-        );
-        timings.render_bp += std::time::Duration::from_nanos(grads.stats.rendering_bp_nanos);
-        timings.preprocess_bp +=
-            std::time::Duration::from_nanos(grads.stats.preprocessing_bp_nanos);
+        let loss = arena.compute_loss(&frame.color, frame.depth.as_ref(), &config.loss);
+        arena.backward_visible_fused(camera, &w2c, backend);
+        let grad_stats = arena.backward().stats;
+        let grad_pose = arena.backward().pose;
+        timings.render_bp += std::time::Duration::from_nanos(grad_stats.rendering_bp_nanos);
+        timings.preprocess_bp += std::time::Duration::from_nanos(grad_stats.preprocessing_bp_nanos);
         let t4 = Instant::now();
         timings.other += (t4 - t3).saturating_sub(std::time::Duration::from_nanos(
-            grads.stats.rendering_bp_nanos + grads.stats.preprocessing_bp_nanos,
+            grad_stats.rendering_bp_nanos + grad_stats.preprocessing_bp_nanos,
         ));
 
         // Trust-region accept/reject: keep the best pose, adapt the step.
-        for (r, g) in rms.iter_mut().zip(grads.pose.iter()) {
+        for (r, g) in rms.iter_mut().zip(grad_pose.iter()) {
             let g2 = g * g;
             *r = if iteration == 0 {
                 g2.sqrt()
@@ -275,10 +272,10 @@ pub fn track_frame_with<O: TrackingObserver>(
                 (0.9 * *r * *r + 0.1 * g2).sqrt()
             };
         }
-        if loss.loss <= best_loss {
+        if loss <= best_loss {
             best_pose = w2c;
-            best_loss = loss.loss;
-            best_grad = grads.pose;
+            best_loss = loss;
+            best_grad = grad_pose;
             step_scale = (step_scale * config.step_grow).min(max_step);
         } else {
             step_scale *= config.step_shrink;
@@ -287,26 +284,26 @@ pub fn track_frame_with<O: TrackingObserver>(
         let delta = pose_step(&best_grad, &rms, step_scale, config.rotation_scale);
         w2c = best_pose.retract(delta);
 
-        fragments_processed += output.stats.fragments_processed;
-        fragment_grad_events += grads.stats.fragment_grad_events;
-        losses.push(loss.loss);
+        fragments_processed += arena.output().stats.fragments_processed;
+        fragment_grad_events += grad_stats.fragment_grad_events;
+        losses.push(loss);
         if config.record_traces {
             traces.push(WorkloadTrace::from_render(
-                &output,
-                &tiles,
+                arena.output(),
+                arena.tiles(),
                 camera,
-                grads.stats.fragment_grad_events,
-                projection.visible_count(),
+                grad_stats.fragment_grad_events,
+                arena.projection().visible_count(),
             ));
         }
 
         let artifacts = IterationArtifacts {
             iteration,
-            loss: loss.loss,
-            grads: &grads,
-            visible_ids: &visible.ids,
-            tiles: &tiles,
-            output: &output,
+            loss,
+            grads: arena.backward(),
+            visible_ids: &arena.visible().ids,
+            tiles: arena.tiles(),
+            output: arena.output(),
         };
         observer.after_iteration(&artifacts, mask);
 
