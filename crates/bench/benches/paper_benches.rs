@@ -22,6 +22,7 @@ use rtgs_render::{
 use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
 use rtgs_slam::{serve_sessions, BaseAlgorithm, SlamConfig, SlamPipeline, SlamReport};
+use rtgs_snapshot::{Channel, CheckpointLog};
 use std::time::Duration;
 
 fn quick(c: &mut Criterion) -> &mut Criterion {
@@ -779,6 +780,123 @@ fn bench_session_serving(c: &mut Criterion) {
     group.finish();
 }
 
+/// Snapshot subsystem, full path: base-capture and restore throughput on
+/// a churned mid-size map with pipeline-shaped side channels (Adam m/v at
+/// width 14, mask at width 1).
+fn bench_snapshot_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_full");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let (map, channels) = churned_snapshot_map(20_000);
+
+    group.bench_function("capture_base", |b| {
+        b.iter(|| {
+            let mut log = CheckpointLog::new();
+            log.capture(&map, &channels, b"session-meta").unwrap()
+        })
+    });
+
+    let mut log = CheckpointLog::new();
+    let _ = log.capture(&map, &channels, b"session-meta").unwrap();
+    group.bench_function("restore", |b| b.iter(|| log.restore().unwrap()));
+    group.finish();
+}
+
+/// Snapshot subsystem, incremental path: the cost of a dirty-shards-only
+/// delta after sparse churn versus recapturing a full snapshot of the same
+/// state, plus folding an 8-delta chain back into a base.
+fn bench_snapshot_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_delta");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let (mut map, channels) = churned_snapshot_map(20_000);
+
+    // ~0.5% of the map mutates between checkpoints — a keyframe-scale
+    // update touching a handful of shards.
+    let mut log = CheckpointLog::new();
+    let _ = log.capture(&map, &channels, b"m").unwrap();
+    let mut tick = 0u32;
+    group.bench_function("delta_after_sparse_churn", |b| {
+        b.iter(|| {
+            for k in 0..100u32 {
+                let id = (tick.wrapping_mul(97).wrapping_add(k * 193)) % map.capacity() as u32;
+                if map.is_live(id) {
+                    map.gaussian_mut(id).opacity += 1e-4;
+                }
+            }
+            tick = tick.wrapping_add(1);
+            log.capture(&map, &channels, b"m").unwrap()
+        })
+    });
+
+    group.bench_function("full_recapture_same_state", |b| {
+        b.iter(|| {
+            let mut fresh = CheckpointLog::new();
+            fresh.capture(&map, &channels, b"m").unwrap()
+        })
+    });
+
+    // An 8-delta chain folded into a new base.
+    let mut chain = CheckpointLog::new();
+    let _ = chain.capture(&map, &channels, b"m").unwrap();
+    for round in 0..8u32 {
+        for k in 0..100u32 {
+            let id = (round.wrapping_mul(41).wrapping_add(k * 137)) % map.capacity() as u32;
+            if map.is_live(id) {
+                map.gaussian_mut(id).opacity += 1e-4;
+            }
+        }
+        let _ = chain.capture(&map, &channels, b"m").unwrap();
+    }
+    group.bench_function("compact_chain_8", |b| {
+        b.iter(|| {
+            let mut log = chain.clone();
+            log.compact().unwrap();
+            log
+        })
+    });
+    group.finish();
+}
+
+/// A mid-size sharded map grown through insert/tombstone/recycle churn,
+/// with pipeline-shaped ID-keyed channels.
+fn churned_snapshot_map(n: usize) -> (rtgs_render::ShardedScene, Vec<Channel>) {
+    let mut map = rtgs_render::ShardedScene::new(0.5);
+    for i in 0..n {
+        let x = (i % 251) as f32 * 0.11 - 13.0;
+        let y = ((i / 251) % 17) as f32 * 0.3 - 2.5;
+        let z = 1.5 + ((i * 7) % 113) as f32 * 0.09;
+        map.insert(rtgs_render::Gaussian3d::from_activated(
+            rtgs_math::Vec3::new(x, y, z),
+            rtgs_math::Vec3::splat(0.04),
+            rtgs_math::Quat::IDENTITY,
+            0.7,
+            rtgs_math::Vec3::new(0.5, 0.4, 0.8),
+        ));
+    }
+    for i in (0..n).step_by(9) {
+        map.tombstone(i as u32);
+    }
+    for i in 0..n / 20 {
+        map.insert(rtgs_render::Gaussian3d::from_activated(
+            rtgs_math::Vec3::new(i as f32 * 0.2 - 10.0, 0.0, 2.0),
+            rtgs_math::Vec3::splat(0.05),
+            rtgs_math::Quat::IDENTITY,
+            0.6,
+            rtgs_math::Vec3::new(0.9, 0.3, 0.2),
+        ));
+    }
+    let capacity = map.capacity();
+    let channels = vec![
+        Channel::zeroed("adam.m", 14, capacity),
+        Channel::zeroed("adam.v", 14, capacity),
+        Channel::zeroed("mask", 1, capacity),
+    ];
+    (map, channels)
+}
+
 criterion_group!(
     benches,
     bench_render_kernels,
@@ -796,5 +914,7 @@ criterion_group!(
     bench_large_scene_scaling,
     bench_runtime_scaling,
     bench_session_serving,
+    bench_snapshot_full,
+    bench_snapshot_delta,
 );
 criterion_main!(benches);

@@ -490,6 +490,50 @@ mod tests {
         assert!(r2.failed, "{}", r2.text);
     }
 
+    /// The informational → gated lifecycle of a new bench group: in the PR
+    /// that introduces it the group is absent from the committed baseline
+    /// and only reported; as soon as a baseline refresh carries it (the PR
+    /// 4 `tile_sort`/`tracking_iteration_steady_state` situation, flipped
+    /// to gated in PR 5), the very same group fails the gate on a
+    /// regression — no code change involved, the presence of baseline
+    /// entries is the switch.
+    #[test]
+    fn new_group_transitions_from_informational_to_gated_once_baseline_exists() {
+        let old_baseline = vec![entry("render_kernels", "forward", 100.0)];
+        let first_run = vec![
+            entry("render_kernels", "forward", 100.0),
+            entry("tile_sort", "radix/dense", 500.0),
+            entry("tracking_iteration_steady_state", "warm_arena", 900.0),
+        ];
+        // Introduction PR: the new groups are informational, never gated —
+        // even at absurd cost.
+        let r = compare(&old_baseline, &first_run, 0.25);
+        assert!(!r.failed, "{}", r.text);
+        assert_eq!(r.text.matches("new (informational)").count(), 2);
+
+        // The baseline refresh adopts the first run; the next cycle gates
+        // the same groups: within threshold passes...
+        let refreshed_baseline = first_run.clone();
+        let ok_run = vec![
+            entry("render_kernels", "forward", 100.0),
+            entry("tile_sort", "radix/dense", 550.0),
+            entry("tracking_iteration_steady_state", "warm_arena", 950.0),
+        ];
+        let r2 = compare(&refreshed_baseline, &ok_run, 0.25);
+        assert!(!r2.failed, "{}", r2.text);
+        assert!(!r2.text.contains("new (informational)"), "{}", r2.text);
+
+        // ...and a >25% regression in a freshly-adopted group now fails.
+        let regressed_run = vec![
+            entry("render_kernels", "forward", 100.0),
+            entry("tile_sort", "radix/dense", 700.0),
+            entry("tracking_iteration_steady_state", "warm_arena", 900.0),
+        ];
+        let r3 = compare(&refreshed_baseline, &regressed_run, 0.25);
+        assert!(r3.failed, "{}", r3.text);
+        assert!(r3.text.contains("REGRESSED"), "{}", r3.text);
+    }
+
     /// Renaming every bench inside an existing group must not let it slip
     /// out of the gate as "new": it gates on the whole-group totals.
     #[test]

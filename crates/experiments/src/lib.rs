@@ -17,6 +17,7 @@
 mod algorithm;
 mod common;
 mod hardware;
+mod persistence;
 mod profiling;
 mod runtime;
 
@@ -26,14 +27,30 @@ pub use common::{
     Table, Variant,
 };
 pub use hardware::{fig15, fig16, fig17, table4};
+pub use persistence::persistence;
 pub use profiling::{fig3, fig4, fig5, fig6};
 pub use runtime::{arena_steady_state, runtime_scaling, serving};
 
 /// All experiments: the paper artifacts in paper order, then the runtime
-/// subsystem's scaling and serving scenarios.
+/// subsystem's scaling, serving and persistence scenarios.
 pub const EXPERIMENTS: &[&str] = &[
-    "table2", "fig3", "fig4", "fig5", "fig6", "table6", "table7", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "table4", "runtime", "arena", "serving",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table6",
+    "table7",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table4",
+    "runtime",
+    "arena",
+    "serving",
+    "persistence",
 ];
 
 /// Runs one experiment by name.
@@ -59,6 +76,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Result<String, String> {
         "runtime" => runtime_scaling(scale),
         "arena" => arena_steady_state(scale),
         "serving" => serving(scale),
+        "persistence" => persistence(scale),
         other => return Err(format!("unknown experiment: {other}")),
     })
 }

@@ -1,0 +1,158 @@
+//! Persistence-subsystem experiment (not a paper artifact): crash/restore
+//! continuity through incremental checkpoints, and hibernate-under-load
+//! serving with an eviction budget.
+
+use crate::common::{f, slam_config, Scale, Table};
+use rtgs_runtime::EvictionPolicy;
+use rtgs_scene::{DatasetProfile, SyntheticDataset};
+use rtgs_slam::{serve_sessions, serve_sessions_with_eviction, BaseAlgorithm, SlamPipeline};
+use rtgs_snapshot::CheckpointLog;
+use std::time::Instant;
+
+/// Crash/restore: a session checkpoints incrementally after every frame,
+/// "crashes" mid-run (the process state is dropped; only the log
+/// survives), restores from base + deltas and finishes — with a
+/// trajectory and rendering fidelity identical to a run that never died.
+/// Then hibernate-under-load: more tenants than the residency budget, so
+/// the scheduler parks cold sessions on disk mid-serve, with reports
+/// identical to staying resident.
+pub fn persistence(scale: Scale) -> String {
+    let ds =
+        SyntheticDataset::generate(scale.profile(DatasetProfile::tum_analog()), scale.frames());
+    let cfg = slam_config(BaseAlgorithm::GsSlam, scale, false);
+    let crash_at = scale.frames() / 2;
+
+    // -- Part 1: checkpoint every frame, crash, restore, continue --------
+    let mut log = CheckpointLog::new();
+    let mut doomed = SlamPipeline::new(cfg, &ds);
+    let mut table = Table::new(&[
+        "frame",
+        "capture",
+        "shards written",
+        "total shards",
+        "bytes",
+    ]);
+    for frame in 0..crash_at {
+        doomed.step();
+        let stats = doomed.checkpoint_into(&mut log).expect("checkpoint");
+        table.row(vec![
+            frame.to_string(),
+            if stats.is_base { "base" } else { "delta" }.into(),
+            stats.shards_written.to_string(),
+            stats.total_shards.to_string(),
+            stats.bytes.to_string(),
+        ]);
+    }
+    let log_bytes = log.total_bytes();
+    drop(doomed); // the crash: only the checkpoint log survives.
+
+    let t0 = Instant::now();
+    let mut restored = SlamPipeline::restore_from(cfg, &ds, &log).expect("restore");
+    let restore_wall = t0.elapsed();
+    while restored.step().is_some() {}
+    let restored_report = restored.report();
+
+    let reference = SlamPipeline::new(cfg, &ds).run();
+    let trajectory_identical = reference.trajectory.len() == restored_report.trajectory.len()
+        && reference
+            .trajectory
+            .iter()
+            .zip(restored_report.trajectory.iter())
+            .all(|(a, b)| a.translation == b.translation && a.rotation == b.rotation);
+    let psnr_identical = reference.mean_psnr == restored_report.mean_psnr;
+
+    // Compaction folds the delta chain into one base, byte-identical to a
+    // full snapshot of the final pre-crash state.
+    let mut compacted = log.clone();
+    compacted.compact().expect("compaction");
+
+    let mut out = format!(
+        "Crash/restore on {} ({} frames, crash after {crash_at}):\n{}\n\
+         checkpoint log: {} captures, {log_bytes} bytes total, \
+         {} bytes after compaction\n\
+         restore wall: {} ms\n\
+         trajectory identical to uninterrupted run: {trajectory_identical}\n\
+         PSNR identical to uninterrupted run: {psnr_identical} \
+         ({} dB)\n",
+        ds.profile.name,
+        scale.frames(),
+        table.render(),
+        log.delta_count() + 1,
+        compacted.total_bytes(),
+        f(restore_wall.as_secs_f64() * 1e3, 2),
+        f(restored_report.mean_psnr, 2),
+    );
+
+    // -- Part 2: hibernate under load ------------------------------------
+    let algos = [
+        BaseAlgorithm::GsSlam,
+        BaseAlgorithm::MonoGs,
+        BaseAlgorithm::SplaTam,
+        BaseAlgorithm::PhotoSlam,
+    ];
+    let build = |ds| {
+        algos
+            .iter()
+            .map(|&algo| {
+                (
+                    algo.name().to_string(),
+                    SlamPipeline::new(slam_config(algo, scale, false), ds),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let resident = serve_sessions(build(&ds), 2);
+    let spill = std::env::temp_dir().join(format!("rtgs-persistence-{}", std::process::id()));
+    let policy = EvictionPolicy::new(spill).with_max_resident_sessions(2);
+    let t1 = Instant::now();
+    let evicted = serve_sessions_with_eviction(build(&ds), 2, policy);
+    let evicted_wall = t1.elapsed();
+
+    let mut table = Table::new(&[
+        "session",
+        "frames",
+        "hibernations",
+        "ATE (cm)",
+        "identical to resident",
+    ]);
+    let mut hibernations = 0usize;
+    for (a, b) in resident.iter().zip(evicted.iter()) {
+        hibernations += b.stats.hibernations;
+        let identical = a.report.frames_processed == b.report.frames_processed
+            && a.report
+                .trajectory
+                .iter()
+                .zip(b.report.trajectory.iter())
+                .all(|(pa, pb)| pa.translation == pb.translation && pa.rotation == pb.rotation)
+            && a.report.mean_psnr == b.report.mean_psnr;
+        table.row(vec![
+            b.stats.label.clone(),
+            b.report.frames_processed.to_string(),
+            b.stats.hibernations.to_string(),
+            f(b.report.ate.rmse * 100.0, 2),
+            identical.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nHibernate under load: {} sessions, 2-resident budget, \
+         {hibernations} hibernations, {} s wall:\n{}",
+        algos.len(),
+        f(evicted_wall.as_secs_f64(), 2),
+        table.render()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistence_restores_and_hibernates_identically() {
+        let out = persistence(Scale::Quick);
+        assert!(out.contains("trajectory identical to uninterrupted run: true"));
+        assert!(out.contains("PSNR identical to uninterrupted run: true"));
+        assert!(!out.contains("false"), "{out}");
+        assert!(!out.contains(" 0 hibernations"), "{out}");
+    }
+}

@@ -82,7 +82,8 @@ pub use project::{
     COV2D_BLUR, FRUSTUM_CLAMP, NEAR_PLANE, NO_SLOT,
 };
 pub use shard::{
-    Aabb, CullScratch, GaussianHandle, Shard, ShardedScene, VisibleFrame, DEFAULT_CELL_SIZE,
+    Aabb, CullScratch, GaussianHandle, SceneState, Shard, ShardState, ShardedScene, VisibleFrame,
+    DEFAULT_CELL_SIZE, TOMBSTONED_SLOT, TOMBSTONE_FILL,
 };
 pub use tiles::{
     build_tile_lists_legacy, build_tiles_into, TileAssignment, TileBinScratch, SUBTILES_PER_TILE,

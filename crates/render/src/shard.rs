@@ -45,6 +45,26 @@ pub(crate) const MACRO_FACTOR: i32 = 8;
 /// Sentinel for a tombstoned member slot inside a shard.
 const DEAD_MEMBER: u32 = u32::MAX;
 
+/// Sentinel marking a tombstoned slot in [`ShardState::members`] — the
+/// serialized form of a dead member slot.
+pub const TOMBSTONED_SLOT: u32 = DEAD_MEMBER;
+
+/// Canonical arena content of a tombstoned slot in an exported
+/// [`SceneState`]. A dead slot's in-memory Gaussian is unobservable (every
+/// read path skips non-live IDs and recycling overwrites the slot before
+/// any read), so [`ShardedScene::export_state`] normalizes it to this value
+/// — two stores with the same live contents always export byte-identical
+/// state regardless of what garbage their dead slots hold. Serializers
+/// that materialize dead slots (e.g. `rtgs-snapshot`'s delta replay) must
+/// use this same value, or canonical-form byte identity breaks.
+pub const TOMBSTONE_FILL: Gaussian3d = Gaussian3d {
+    position: Vec3::new(0.0, 0.0, 0.0),
+    log_scale: Vec3::new(0.0, 0.0, 0.0),
+    rotation: rtgs_math::Quat::new(0.0, 0.0, 0.0, 0.0),
+    opacity: 0.0,
+    color: Vec3::new(0.0, 0.0, 0.0),
+};
+
 /// Default world-grid cell edge length in meters.
 pub const DEFAULT_CELL_SIZE: f32 = 1.0;
 
@@ -123,6 +143,12 @@ pub struct Shard {
     dirty: bool,
     /// Index of the macro-cell this shard belongs to.
     macro_idx: u32,
+    /// Value of [`ShardedScene::mutation_clock`] at this shard's most
+    /// recent mutation (insert/tombstone/`gaussian_mut`). Unlike `dirty`
+    /// it is never cleared, so incremental checkpointing can ask "did this
+    /// shard change since clock value C?" regardless of how many bound
+    /// refreshes happened in between.
+    version: u64,
 }
 
 impl Shard {
@@ -136,6 +162,7 @@ impl Shard {
             max_scale: 0.0,
             dirty: false,
             macro_idx,
+            version: 0,
         }
     }
 
@@ -143,6 +170,27 @@ impl Shard {
     #[inline]
     pub fn live_count(&self) -> usize {
         self.live_count
+    }
+
+    /// Mutation-clock value of this shard's most recent mutation (see
+    /// [`ShardedScene::mutation_clock`]).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Slot → arena ID member table; [`TOMBSTONED_SLOT`] marks tombstoned
+    /// slots. Slot order is persistent state (free slots recycle in stack
+    /// order), which is why serializers read it directly.
+    #[inline]
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Free-list of tombstoned member slots, in recycle (stack) order.
+    #[inline]
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free_slots
     }
 
     /// Current bounding box of live member centers (valid when not dirty).
@@ -228,6 +276,49 @@ pub struct CullScratch {
     surviving: Vec<u32>,
 }
 
+/// Serialized form of one [`Shard`]: exactly the state that cannot be
+/// derived from the rest of a [`SceneState`].
+///
+/// Bounds (`aabb`, `max_scale`), the dirty flag and the macro-cell
+/// structure are all recomputed on import, so they are deliberately absent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardState {
+    /// World-grid cell key.
+    pub cell: [i32; 3],
+    /// Slot → arena ID; [`TOMBSTONED_SLOT`] marks tombstoned slots. Slot
+    /// order is part of the state: future inserts recycle
+    /// [`ShardState::free_slots`] in stack order.
+    pub members: Vec<u32>,
+    /// Free-list of tombstoned member slots, in recycle (stack) order.
+    pub free_slots: Vec<u32>,
+}
+
+/// Plain-data image of a [`ShardedScene`]'s complete persistent state —
+/// everything [`ShardedScene::import_state`] needs to rebuild a store that
+/// renders bitwise-identically to the original *and* behaves identically
+/// under continued densify/prune/recycle churn (stable IDs, free-list
+/// orders and slot layouts are all preserved).
+///
+/// The state is **canonical**: tombstoned arena slots hold a fixed fill
+/// value instead of whatever stale Gaussian the live store kept there, so
+/// two stores with the same observable contents export equal states.
+/// Derived structure (handles, macro-cells, shard bounds, the spatial-hash
+/// indices) is rebuilt deterministically on import.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneState {
+    /// World-grid cell edge length.
+    pub cell_size: f32,
+    /// Full arena in stable-ID order (`capacity()` entries); tombstoned
+    /// slots hold the canonical fill value.
+    pub gaussians: Vec<Gaussian3d>,
+    /// Per-ID liveness flags (same length as `gaussians`).
+    pub live: Vec<bool>,
+    /// Free-list of tombstoned arena IDs, in recycle (stack) order.
+    pub free_ids: Vec<u32>,
+    /// Shard states in creation order.
+    pub shards: Vec<ShardState>,
+}
+
 /// The sharded map store. See the module docs for the design.
 #[derive(Debug, Clone)]
 pub struct ShardedScene {
@@ -242,6 +333,10 @@ pub struct ShardedScene {
     macro_index: HashMap<[i32; 3], u32>,
     live_len: usize,
     dirty_shards: usize,
+    /// Monotone mutation counter: bumped on every insert, tombstone and
+    /// `gaussian_mut`, and stamped onto the mutated shard's
+    /// [`Shard::version`].
+    clock: u64,
 }
 
 impl ShardedScene {
@@ -267,6 +362,7 @@ impl ShardedScene {
             macro_index: HashMap::new(),
             live_len: 0,
             dirty_shards: 0,
+            clock: 0,
         }
     }
 
@@ -337,6 +433,14 @@ impl ShardedScene {
         &self.live
     }
 
+    /// Free-list of tombstoned arena IDs, in recycle (stack) order —
+    /// persistent state a serializer must preserve for bit-equivalent
+    /// continued churn.
+    #[inline]
+    pub fn free_ids(&self) -> &[u32] {
+        &self.free_ids
+    }
+
     /// The stable `(shard, slot)` handle of a live Gaussian, `None` when
     /// the ID is tombstoned or out of range.
     pub fn handle(&self, id: u32) -> Option<GaussianHandle> {
@@ -382,6 +486,8 @@ impl ShardedScene {
     }
 
     fn mark_shard_dirty(&mut self, shard: usize) {
+        self.clock += 1;
+        self.shards[shard].version = self.clock;
         if !self.shards[shard].dirty {
             self.shards[shard].dirty = true;
             self.dirty_shards += 1;
@@ -499,6 +605,200 @@ impl ShardedScene {
             ids.push(id);
         }
         (GaussianScene::from_gaussians(gaussians), ids)
+    }
+
+    /// Monotone mutation counter: bumped on every insert, tombstone and
+    /// [`Self::gaussian_mut`]. Together with [`Shard::version`] it lets an
+    /// incremental checkpointer find the shards that changed since a
+    /// recorded clock value without relying on the (refresh-cleared) dirty
+    /// flags. The clock is session-local bookkeeping, not persistent
+    /// state: an imported store starts back at zero.
+    #[inline]
+    pub fn mutation_clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Exports the complete persistent state in canonical form (see
+    /// [`SceneState`]). The store itself is unchanged; stale bounds are
+    /// fine (bounds are derived data and recomputed on import).
+    pub fn export_state(&self) -> SceneState {
+        let gaussians = self
+            .arena
+            .iter()
+            .zip(self.live.iter())
+            .map(|(g, &live)| if live { *g } else { TOMBSTONE_FILL })
+            .collect();
+        SceneState {
+            cell_size: self.cell_size,
+            gaussians,
+            live: self.live.clone(),
+            free_ids: self.free_ids.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardState {
+                    cell: s.cell,
+                    members: s.members.clone(),
+                    free_slots: s.free_slots.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a store from an exported [`SceneState`], validating every
+    /// cross-reference so corrupt snapshots fail loudly instead of
+    /// producing a store that panics later. The rebuilt store is
+    /// bitwise-equivalent to the exporter for rendering and for continued
+    /// densify/prune/recycle churn; its bounds are freshly computed and its
+    /// mutation clock restarts at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found (length
+    /// mismatches, out-of-range or duplicated IDs, liveness or free-list
+    /// disagreements, duplicate shard cells, non-finite cell size).
+    pub fn import_state(state: &SceneState) -> Result<Self, String> {
+        if !(state.cell_size > 0.0 && state.cell_size.is_finite()) {
+            return Err(format!("invalid cell size {}", state.cell_size));
+        }
+        let capacity = state.gaussians.len();
+        if state.live.len() != capacity {
+            return Err(format!(
+                "live flags length {} != arena capacity {capacity}",
+                state.live.len()
+            ));
+        }
+        if capacity > u32::MAX as usize {
+            return Err(format!("arena capacity {capacity} exceeds u32 ID space"));
+        }
+
+        let mut map = Self::new(state.cell_size);
+        map.arena = state.gaussians.clone();
+        map.live = state.live.clone();
+        map.free_ids = state.free_ids.clone();
+        map.handle_of = vec![GaussianHandle { shard: 0, slot: 0 }; capacity];
+
+        // Shards, their macro-cells and the spatial-hash indices are
+        // rebuilt in creation order — the same order the exporter built
+        // them in, so macro grouping (and hence cull iteration order) is
+        // reproduced exactly.
+        let mut seen_live = vec![false; capacity];
+        for (si, shard_state) in state.shards.iter().enumerate() {
+            let si32 = si as u32;
+            let mcell = [
+                shard_state.cell[0].div_euclid(MACRO_FACTOR),
+                shard_state.cell[1].div_euclid(MACRO_FACTOR),
+                shard_state.cell[2].div_euclid(MACRO_FACTOR),
+            ];
+            let m = match map.macro_index.get(&mcell) {
+                Some(&m) => m,
+                None => {
+                    let m = map.macros.len() as u32;
+                    map.macros.push(MacroCell {
+                        shards: Vec::new(),
+                        aabb: Aabb::EMPTY,
+                        max_scale: 0.0,
+                        dirty: false,
+                    });
+                    map.macro_index.insert(mcell, m);
+                    m
+                }
+            };
+            map.macros[m as usize].shards.push(si32);
+            if map.cell_index.insert(shard_state.cell, si32).is_some() {
+                return Err(format!("duplicate shard cell {:?}", shard_state.cell));
+            }
+
+            let mut shard = Shard::new(shard_state.cell, m);
+            shard.members = shard_state.members.clone();
+            shard.free_slots = shard_state.free_slots.clone();
+            let mut dead_slots = 0usize;
+            for (slot, &id) in shard_state.members.iter().enumerate() {
+                if id == DEAD_MEMBER {
+                    dead_slots += 1;
+                    continue;
+                }
+                let idx = id as usize;
+                if idx >= capacity {
+                    return Err(format!("shard {si} member ID {id} out of range"));
+                }
+                if !state.live[idx] {
+                    return Err(format!("shard {si} member ID {id} is not live"));
+                }
+                if seen_live[idx] {
+                    return Err(format!("ID {id} appears in more than one slot"));
+                }
+                seen_live[idx] = true;
+                map.handle_of[idx] = GaussianHandle {
+                    shard: si32,
+                    slot: slot as u32,
+                };
+                shard.live_count += 1;
+            }
+            if shard_state.free_slots.len() != dead_slots {
+                return Err(format!(
+                    "shard {si} free-list has {} slots but {dead_slots} members are tombstoned",
+                    shard_state.free_slots.len()
+                ));
+            }
+            let mut free_seen = vec![false; shard_state.members.len()];
+            for &slot in &shard_state.free_slots {
+                match shard_state.members.get(slot as usize) {
+                    Some(&DEAD_MEMBER) if !free_seen[slot as usize] => {
+                        free_seen[slot as usize] = true;
+                    }
+                    Some(&DEAD_MEMBER) => {
+                        return Err(format!("shard {si} free-list repeats slot {slot}"))
+                    }
+                    _ => {
+                        return Err(format!(
+                            "shard {si} free-list slot {slot} is not a tombstoned member"
+                        ))
+                    }
+                }
+            }
+            map.shards.push(shard);
+        }
+
+        for (id, (&live, &seen)) in state.live.iter().zip(seen_live.iter()).enumerate() {
+            if live && !seen {
+                return Err(format!("live ID {id} is not a member of any shard"));
+            }
+        }
+        let mut free_seen = vec![false; capacity];
+        for &id in &state.free_ids {
+            let idx = id as usize;
+            if idx >= capacity || state.live[idx] {
+                return Err(format!("free-list ID {id} is out of range or live"));
+            }
+            if free_seen[idx] {
+                return Err(format!("free-list repeats ID {id}"));
+            }
+            free_seen[idx] = true;
+        }
+        let dead = state.live.iter().filter(|&&l| !l).count();
+        if state.free_ids.len() != dead {
+            return Err(format!(
+                "free-list has {} IDs but {dead} arena slots are tombstoned",
+                state.free_ids.len()
+            ));
+        }
+
+        map.live_len = capacity - dead;
+        // Bounds are derived data: recompute them all. The refresh is
+        // deterministic (same members, same order, same float ops), so the
+        // imported bounds match a refreshed exporter's bit for bit.
+        for si in 0..map.shards.len() {
+            map.shards[si].dirty = true;
+            map.macros[map.shards[si].macro_idx as usize].dirty = true;
+        }
+        map.dirty_shards = map.shards.len();
+        map.refresh_bounds();
+        map.clock = 0;
+        for shard in &mut map.shards {
+            shard.version = 0;
+        }
+        Ok(map)
     }
 
     /// Recomputes bounds of dirty shards on the calling thread.
@@ -1034,6 +1334,102 @@ mod tests {
         let mut map = ShardedScene::new(1.0);
         map.insert(g_at(Vec3::new(0.0, 0.0, 2.0)));
         let _ = map.visible_frame_with(&Se3::IDENTITY, &camera(), None, &Serial);
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_ids_and_churn() {
+        let mut map = ShardedScene::new(0.8);
+        let ids: Vec<u32> = (0..12)
+            .map(|i| {
+                map.insert(g_at(Vec3::new(
+                    i as f32 * 0.5 - 3.0,
+                    0.0,
+                    2.0 + i as f32 * 0.2,
+                )))
+            })
+            .collect();
+        map.tombstone(ids[3]);
+        map.tombstone(ids[7]);
+        map.insert(g_at(Vec3::new(9.0, 0.0, 2.0))); // recycles ID 7
+        let state = map.export_state();
+        let mut restored = ShardedScene::import_state(&state).expect("state is consistent");
+
+        assert_eq!(restored.len(), map.len());
+        assert_eq!(restored.capacity(), map.capacity());
+        for id in map.live_ids() {
+            assert_eq!(restored.handle(id), map.handle(id), "handle of {id}");
+            assert_eq!(restored.gaussian(id), map.gaussian(id));
+        }
+        // Continued churn is bitwise-equivalent: the same insert recycles
+        // the same ID into the same slot on both stores.
+        let a = map.insert(g_at(Vec3::new(-9.0, 0.0, 2.0)));
+        let b = restored.insert(g_at(Vec3::new(-9.0, 0.0, 2.0)));
+        assert_eq!(a, b);
+        assert_eq!(map.handle(a), restored.handle(b));
+        // Exported state is canonical, so re-export matches.
+        assert_eq!(map.export_state(), restored.export_state());
+    }
+
+    #[test]
+    fn export_is_canonical_in_dead_slots() {
+        // Two stores with identical live contents but different dead-slot
+        // garbage export equal states.
+        let mut a = ShardedScene::new(1.0);
+        a.insert(g_at(Vec3::new(0.0, 0.0, 2.0)));
+        a.insert(g_at(Vec3::new(0.2, 0.0, 2.0)));
+        let mut b = a.clone();
+        a.gaussian_mut(1).position = Vec3::new(7.0, 1.0, 2.0);
+        a.tombstone(1);
+        b.tombstone(1);
+        assert_eq!(a.export_state(), b.export_state());
+    }
+
+    #[test]
+    fn import_rejects_inconsistent_state() {
+        let mut map = ShardedScene::new(1.0);
+        map.insert(g_at(Vec3::new(0.0, 0.0, 2.0)));
+        map.insert(g_at(Vec3::new(3.0, 0.0, 2.0)));
+        map.tombstone(0);
+        let good = map.export_state();
+        assert!(ShardedScene::import_state(&good).is_ok());
+
+        let mut bad = good.clone();
+        bad.live[1] = false; // live flag contradicts shard membership
+        assert!(ShardedScene::import_state(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.free_ids.clear(); // free-list missing the tombstoned ID
+        assert!(ShardedScene::import_state(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.shards[0].members[0] = 9; // dangling member ID
+        assert!(ShardedScene::import_state(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.cell_size = f32::NAN;
+        assert!(ShardedScene::import_state(&bad).is_err());
+    }
+
+    #[test]
+    fn mutation_clock_tracks_shard_versions() {
+        let mut map = ShardedScene::new(1.0);
+        let a = map.insert(g_at(Vec3::new(0.0, 0.0, 2.0)));
+        let b = map.insert(g_at(Vec3::new(5.0, 0.0, 2.0)));
+        let clock = map.mutation_clock();
+        assert!(clock >= 2);
+        let sa = map.handle(a).unwrap().shard as usize;
+        let sb = map.handle(b).unwrap().shard as usize;
+
+        // Refreshing bounds clears dirty flags but not versions.
+        map.refresh_bounds();
+        assert!(map.shards()[sa].version() > 0);
+
+        // Mutating only `b` advances its shard's version past the
+        // recorded clock; `a`'s shard stays at its old version.
+        map.gaussian_mut(b).position.x = 5.1;
+        assert!(map.shards()[sb].version() > clock);
+        assert!(map.shards()[sa].version() <= clock);
+        assert_eq!(map.mutation_clock(), map.shards()[sb].version());
     }
 
     #[test]

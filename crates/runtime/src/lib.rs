@@ -53,5 +53,6 @@ pub use backend::{
 };
 pub use pool::{Scope, ThreadPool};
 pub use scheduler::{
-    Session, SessionOutcome, SessionScheduler, SessionStats, SessionStatus, ShutdownHandle,
+    EvictionPolicy, Session, SessionOutcome, SessionScheduler, SessionStats, SessionStatus,
+    ShutdownHandle,
 };

@@ -28,6 +28,7 @@ mod optimizer;
 mod pipeline;
 mod profile;
 mod serve;
+mod snapshot;
 mod tracking;
 
 pub use keyframe::{KeyframeContext, KeyframePolicy};
@@ -38,7 +39,8 @@ pub use pipeline::{
     SlamPipeline, SlamReport,
 };
 pub use profile::StageTimings;
-pub use serve::serve_sessions;
+pub use serve::{serve_sessions, serve_sessions_with_eviction};
+pub use snapshot::config_fingerprint;
 pub use tracking::{
     track_frame, track_frame_with, IterationArtifacts, NoObserver, TrackResult, TrackingConfig,
     TrackingObserver,

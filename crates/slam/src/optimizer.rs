@@ -85,6 +85,41 @@ impl MapOptimizer {
         &self.m[id as usize]
     }
 
+    /// The second-moment row of one stable ID (serialization).
+    pub fn second_moment(&self, id: u32) -> &[f32; PARAMS_PER_GAUSSIAN] {
+        &self.v[id as usize]
+    }
+
+    /// Number of Adam steps taken so far (drives bias correction; part of
+    /// a session checkpoint's iteration counters).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Rebuilds an optimizer from checkpointed state: the step counter and
+    /// the per-ID moment rows (`m` and `v` must be the same length).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the moment arrays disagree in length.
+    pub fn from_parts(
+        lrs: MapLearningRates,
+        step: u64,
+        m: Vec<[f32; PARAMS_PER_GAUSSIAN]>,
+        v: Vec<[f32; PARAMS_PER_GAUSSIAN]>,
+    ) -> Self {
+        assert_eq!(m.len(), v.len(), "moment arrays must be the same length");
+        Self {
+            lrs,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step,
+            m,
+            v,
+        }
+    }
+
     /// Registers a stable ID returned by [`ShardedScene::insert`]: grows
     /// the moment arrays for appended IDs and zeroes the slot for recycled
     /// ones, so a reused arena slot never inherits a dead Gaussian's

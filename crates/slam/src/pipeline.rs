@@ -356,29 +356,33 @@ impl TrackingObserver for ExtensionObserver<'_> {
 /// The SLAM pipeline. Owns the evolving map and trajectory estimate;
 /// processes a [`SyntheticDataset`] frame by frame.
 pub struct SlamPipeline<'d> {
-    config: SlamConfig,
-    dataset: &'d SyntheticDataset,
-    backend: Arc<dyn Backend>,
-    extension: Box<dyn PipelineExtension + Send>,
-    scene: ShardedScene,
-    map_optimizer: MapOptimizer,
+    pub(crate) config: SlamConfig,
+    pub(crate) dataset: &'d SyntheticDataset,
+    pub(crate) backend: Arc<dyn Backend>,
+    pub(crate) extension: Box<dyn PipelineExtension + Send>,
+    pub(crate) scene: ShardedScene,
+    pub(crate) map_optimizer: MapOptimizer,
     /// Per-session frame arena: every tracking and mapping iteration's
     /// transient render/backward buffers live here and are reused across
     /// frames (zero steady-state allocations).
-    arena: FrameArena,
-    mask: Vec<bool>,
-    trajectory: Vec<Se3>,
-    keyframes: Vec<usize>,
-    last_keyframe_image: Option<Image>,
-    frame_reports: Vec<FrameReport>,
-    tracking_timings: StageTimings,
-    mapping_timings: StageTimings,
-    tracking_wall: Duration,
-    mapping_wall: Duration,
-    peak_gaussians: usize,
-    next_frame: usize,
-    run_start: Option<Instant>,
-    pending_mapping_traces: Vec<WorkloadTrace>,
+    pub(crate) arena: FrameArena,
+    pub(crate) mask: Vec<bool>,
+    pub(crate) trajectory: Vec<Se3>,
+    pub(crate) keyframes: Vec<usize>,
+    pub(crate) last_keyframe_image: Option<Image>,
+    pub(crate) frame_reports: Vec<FrameReport>,
+    pub(crate) tracking_timings: StageTimings,
+    pub(crate) mapping_timings: StageTimings,
+    pub(crate) tracking_wall: Duration,
+    pub(crate) mapping_wall: Duration,
+    pub(crate) peak_gaussians: usize,
+    pub(crate) next_frame: usize,
+    pub(crate) run_start: Option<Instant>,
+    pub(crate) pending_mapping_traces: Vec<WorkloadTrace>,
+    /// `true` while the session's heavy state is spilled to disk (see
+    /// [`SlamPipeline::hibernate_to`]); stepping or reporting in this
+    /// state is a scheduler bug and panics loudly.
+    pub(crate) hibernated: bool,
 }
 
 impl<'d> SlamPipeline<'d> {
@@ -415,6 +419,7 @@ impl<'d> SlamPipeline<'d> {
             next_frame: 0,
             run_start: None,
             pending_mapping_traces: Vec::new(),
+            hibernated: false,
         }
     }
 
@@ -443,6 +448,10 @@ impl<'d> SlamPipeline<'d> {
 
     /// Processes the next frame; returns `None` when the sequence is done.
     pub fn step(&mut self) -> Option<usize> {
+        assert!(
+            !self.hibernated,
+            "hibernated session stepped without rehydration"
+        );
         if self.next_frame >= self.planned_frames() {
             return None;
         }
@@ -749,6 +758,10 @@ impl<'d> SlamPipeline<'d> {
     /// Builds the final report. Valid after [`SlamPipeline::run`] or once
     /// stepping is complete.
     pub fn report(&self) -> SlamReport {
+        assert!(
+            !self.hibernated,
+            "hibernated session reported without rehydration"
+        );
         let n = self.trajectory.len();
         let gt = &self.dataset.poses_c2w[..n.min(self.dataset.poses_c2w.len())];
         let ate = if n >= 2 {

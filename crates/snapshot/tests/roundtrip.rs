@@ -1,0 +1,209 @@
+//! Property tests for snapshot round-trips.
+//!
+//! Contracts over random maps grown through insert/tombstone/recycle churn
+//! (non-contiguous stable IDs, recycled slots — the state an evolved SLAM
+//! map is in):
+//!
+//! 1. **save → load → render is bitwise-identical to never-saved** — the
+//!    restored map produces the same visible set, image, depth and
+//!    transmittance as the original at pool sizes 1–8, and *continued*
+//!    churn (tombstone/insert with slot recycling) stays in lockstep.
+//! 2. **base + deltas == full snapshot after compaction** — capturing a
+//!    delta after every churn step and compacting yields base bytes
+//!    identical to a fresh full capture of the final state, channels
+//!    included.
+
+use proptest::prelude::*;
+use rtgs_math::{Quat, Se3, Vec3};
+use rtgs_render::{render_frame_with, Gaussian3d, PinholeCamera, ShardedScene};
+use rtgs_runtime::{Parallel, Serial};
+use rtgs_snapshot::{decode_scene, encode_scene, Channel, CheckpointLog};
+
+fn arb_gaussian() -> impl Strategy<Value = Gaussian3d> {
+    (
+        (-6.0f32..6.0, -3.0f32..3.0, -4.0f32..9.0),
+        (0.02f32..0.5),
+        (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0, -2.0f32..2.0),
+        0.05f32..0.98,
+        (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0),
+    )
+        .prop_map(|((x, y, z), s, (ax, ay, az, angle), o, (r, g, b))| {
+            Gaussian3d::from_activated(
+                Vec3::new(x, y, z),
+                Vec3::splat(s),
+                Quat::from_axis_angle(Vec3::new(ax, ay, az + 0.1), angle),
+                o,
+                Vec3::new(r, g, b),
+            )
+        })
+}
+
+/// Churn script: initial inserts, tombstones (by index modulo the live
+/// range), reinserts that recycle freed slots.
+fn arb_map() -> impl Strategy<Value = ShardedScene> {
+    (
+        prop::collection::vec(arb_gaussian(), 4..60),
+        prop::collection::vec(0u16..u16::MAX, 0..12),
+        prop::collection::vec(arb_gaussian(), 0..10),
+        0.3f32..1.8,
+    )
+        .prop_map(|(initial, tombstones, reinserts, cell_size)| {
+            let mut map = ShardedScene::new(cell_size);
+            for g in &initial {
+                map.insert(*g);
+            }
+            for &t in &tombstones {
+                map.tombstone((t as usize % initial.len()) as u32);
+            }
+            for g in &reinserts {
+                map.insert(*g);
+            }
+            map
+        })
+        .prop_filter("need a non-empty map", |m| !m.is_empty())
+}
+
+fn camera() -> PinholeCamera {
+    PinholeCamera::from_fov(48, 36, 1.2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Contract 1: a restored map renders bitwise-identically to the live
+    /// map at pool sizes 1–8 and stays bit-equivalent under continued
+    /// tombstone/recycle churn.
+    #[test]
+    fn save_load_render_is_bitwise_identical(
+        map in arb_map(),
+        t in prop::array::uniform3(-1.5f32..1.5),
+        churn in prop::collection::vec((0u16..u16::MAX, arb_gaussian()), 0..8),
+    ) {
+        let mut live = map;
+        let bytes = encode_scene(&live);
+        let mut restored = decode_scene(&bytes).expect("snapshot decodes");
+        prop_assert_eq!(restored.export_state(), live.export_state());
+
+        let cam = camera();
+        let pose = Se3::from_translation(Vec3::new(t[0], t[1], t[2]));
+        live.refresh_bounds();
+        restored.refresh_bounds();
+
+        for threads in 1..=8usize {
+            let backend = Parallel::new(threads);
+            let va = live.visible_frame_with(&pose, &cam, None, &backend);
+            let vb = restored.visible_frame_with(&pose, &cam, None, &backend);
+            prop_assert_eq!(&va.ids, &vb.ids, "{} threads: visible set", threads);
+            let ca = render_frame_with(&va.scene, &pose, &cam, None, &backend);
+            let cb = render_frame_with(&vb.scene, &pose, &cam, None, &backend);
+            prop_assert_eq!(&ca.output.image, &cb.output.image, "{} threads: image", threads);
+            prop_assert_eq!(&ca.output.depth, &cb.output.depth, "{} threads: depth", threads);
+            prop_assert_eq!(
+                &ca.output.final_transmittance, &cb.output.final_transmittance,
+                "{} threads: transmittance", threads
+            );
+        }
+
+        // Continued churn stays in lockstep: the same mutation script
+        // recycles the same IDs into the same slots on both maps.
+        for (sel, g) in churn {
+            let target = (sel as u32) % (live.capacity() as u32);
+            prop_assert_eq!(live.tombstone(target), restored.tombstone(target));
+            let a = live.insert(g);
+            let b = restored.insert(g);
+            prop_assert_eq!(a, b, "recycled IDs diverged");
+        }
+        prop_assert_eq!(live.export_state(), restored.export_state());
+    }
+
+    /// Contract 2: after arbitrary churn captured as a delta chain,
+    /// compaction produces a base byte-identical to a fresh full snapshot
+    /// of the same state — scene sections and channel rows alike.
+    #[test]
+    fn compacted_delta_chain_equals_fresh_full_snapshot(
+        map in arb_map(),
+        churn in prop::collection::vec((0u16..u16::MAX, arb_gaussian(), -1.0f32..1.0), 1..10),
+    ) {
+        let mut map = map;
+        let mut moments = Channel::zeroed("adam.m", 3, map.capacity());
+        let mut log = CheckpointLog::new();
+        let _ = log.capture(&map, &[moments.clone()], b"step-0").expect("base capture");
+
+        for (round, (sel, g, dv)) in churn.into_iter().enumerate() {
+            // One churn step: tombstone, recycle-insert, nudge a survivor
+            // and its channel row (the channel contract: rows change only
+            // together with a Gaussian mutation).
+            let target = (sel as u32) % (map.capacity() as u32);
+            map.tombstone(target);
+            let id = map.insert(g);
+            moments.data.resize(map.capacity() * 3, 0.0);
+            let row = id as usize * 3;
+            moments.data[row..row + 3].copy_from_slice(&[dv, -dv, dv * 0.5]);
+            let survivor = map.live_ids().next();
+            if let Some(survivor) = survivor {
+                map.gaussian_mut(survivor).opacity += dv * 0.01;
+                moments.data[survivor as usize * 3] += dv;
+            }
+            let stats = log
+                .capture(&map, &[moments.clone()], format!("step-{}", round + 1).as_bytes())
+                .expect("delta capture");
+            prop_assert!(!stats.is_base);
+            prop_assert!(stats.shards_written <= stats.total_shards);
+        }
+
+        let deltas = log.delta_count();
+        prop_assert!(deltas >= 1);
+        log.compact().expect("compaction");
+        prop_assert_eq!(log.delta_count(), 0);
+
+        let mut fresh = CheckpointLog::new();
+        let last_meta = format!("step-{deltas}");
+        let _ = fresh
+            .capture(&map, &[moments], last_meta.as_bytes())
+            .expect("fresh capture");
+        prop_assert_eq!(log.base_bytes(), fresh.base_bytes());
+
+        // And the compacted log restores to the live state.
+        let (restored, channels, meta) = log.restore().expect("restore");
+        prop_assert_eq!(restored.export_state(), map.export_state());
+        prop_assert_eq!(channels.len(), 1);
+        prop_assert_eq!(meta, last_meta.into_bytes());
+    }
+}
+
+/// Deterministic spot-check of the full log lifecycle through disk bytes:
+/// capture, churn, capture, encode, decode, restore — matching the
+/// never-saved map bitwise under the serial backend.
+#[test]
+fn encoded_log_roundtrips_through_bytes() {
+    let mut map = ShardedScene::new(0.9);
+    for i in 0..30 {
+        map.insert(Gaussian3d::from_activated(
+            Vec3::new((i % 6) as f32 * 0.8 - 2.0, 0.0, 2.0 + (i % 5) as f32 * 0.7),
+            Vec3::splat(0.06),
+            Quat::IDENTITY,
+            0.75,
+            Vec3::new(0.9, 0.4, 0.2),
+        ));
+    }
+    let mut log = CheckpointLog::new();
+    let _ = log.capture(&map, &[], b"a").unwrap();
+    map.tombstone(7);
+    map.gaussian_mut(3).position.y += 0.2;
+    let _ = log.capture(&map, &[], b"b").unwrap();
+
+    let decoded = CheckpointLog::decode(&log.encode()).unwrap();
+    let (mut restored, _, meta) = decoded.restore().unwrap();
+    assert_eq!(meta, b"b");
+    assert_eq!(restored.export_state(), map.export_state());
+
+    map.refresh_bounds();
+    restored.refresh_bounds();
+    let cam = camera();
+    let pose = Se3::IDENTITY;
+    let va = map.visible_frame_with(&pose, &cam, None, &Serial);
+    let vb = restored.visible_frame_with(&pose, &cam, None, &Serial);
+    let ca = render_frame_with(&va.scene, &pose, &cam, None, &Serial);
+    let cb = render_frame_with(&vb.scene, &pose, &cam, None, &Serial);
+    assert_eq!(ca.output.image, cb.output.image);
+}
