@@ -441,11 +441,11 @@ fn bench_tracking_iteration(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let ds = small_dataset();
     let map = rtgs_render::ShardedScene::from_scene(&ds.reference_scene, 1.0);
-    use rtgs_slam::{track_frame, NoObserver, StageTimings, TrackingConfig};
+    use rtgs_slam::{track_frame, NoObserver, StageNanos, TrackingConfig};
     group.bench_function("track_frame_4_iters", |b| {
         b.iter(|| {
             let mut mask = vec![true; map.capacity()];
-            let mut t = StageTimings::default();
+            let mut t = StageNanos::default();
             track_frame(
                 &map,
                 ds.poses_c2w[1].inverse(),
@@ -465,7 +465,7 @@ fn bench_tracking_iteration(c: &mut Criterion) {
     group.bench_function("track_frame_4_iters_half_masked", |b| {
         b.iter(|| {
             let mut mask: Vec<bool> = (0..map.capacity()).map(|i| i % 2 == 0).collect();
-            let mut t = StageTimings::default();
+            let mut t = StageNanos::default();
             track_frame(
                 &map,
                 ds.poses_c2w[1].inverse(),

@@ -3,12 +3,21 @@
 //! Compares a freshly produced `BENCH_RESULTS.json` against the committed
 //! baseline and fails (exit code 1) when any benchmark *group* regresses
 //! beyond the allowed percentage. A group's metric is the **sum of the
-//! median_ns of its benchmarks present in both files** — summing makes the
-//! gate robust to individual noisy microbenches while still catching a real
-//! regression anywhere in the group.
+//! min_ns of its benchmarks present in both files** — min-of-N is the
+//! standard low-noise estimator for CPU microbenches (scheduler preemption
+//! and cache pollution only ever add time), and summing makes the gate
+//! robust to individual noisy microbenches while still catching a real
+//! regression anywhere in the group. Baselines written before `min_ns`
+//! existed fall back to `median_ns` per entry.
+//!
+//! On top of the percentage threshold, an **absolute noise floor** guards
+//! tiny groups: a group fails only when its regression exceeds the
+//! percentage *and* grows by more than `--noise-floor` nanoseconds in
+//! absolute terms. A 3ns→4ns microbench group is +33% but pure jitter;
+//! the floor keeps it from flaking the gate.
 //!
 //! ```text
-//! compare <baseline.json> <current.json> [--max-regression <percent>]
+//! compare <baseline.json> <current.json> [--max-regression <percent>] [--noise-floor <ns>]
 //! ```
 //!
 //! Benchmarks present only in the current file (new benches) or only in the
@@ -16,8 +25,8 @@
 //! the committed baseline to adopt them (see CONTRIBUTING.md).
 //!
 //! The parser is a minimal, std-only reader for the flat
-//! `[{"group": .., "bench": .., "median_ns": ..}, ..]` schema the criterion
-//! shim writes (string and numeric values only).
+//! `[{"group": .., "bench": .., "median_ns": .., "min_ns": ..}, ..]` schema
+//! the criterion shim writes (string and numeric values only).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -26,18 +35,38 @@ use std::process::ExitCode;
 /// versus the baseline fails the gate.
 const DEFAULT_MAX_REGRESSION: f64 = 0.25;
 
+/// Default absolute noise floor in nanoseconds: a group must regress by more
+/// than this much wall time (on top of the percentage threshold) to fail.
+/// 100µs is far above timer/scheduler jitter but far below any regression
+/// the paper-level benchmarks could meaningfully suffer.
+const DEFAULT_NOISE_FLOOR_NS: f64 = 100_000.0;
+
 /// One benchmark entry from a results file.
 #[derive(Debug, Clone, PartialEq)]
 struct Entry {
     group: String,
     bench: String,
     median_ns: f64,
+    /// Minimum-of-samples, absent in baselines written before the shim
+    /// recorded it.
+    min_ns: Option<f64>,
+}
+
+impl Entry {
+    /// The value this entry contributes to its group's gated sum:
+    /// min-of-N when available, median otherwise (old baselines).
+    fn metric_ns(&self) -> f64 {
+        self.min_ns.unwrap_or(self.median_ns)
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage =
+        "usage: compare <baseline.json> <current.json> [--max-regression <pct>] [--noise-floor <ns>]";
     let mut paths = Vec::new();
     let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut noise_floor_ns = DEFAULT_NOISE_FLOOR_NS;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,8 +78,16 @@ fn main() -> ExitCode {
                 };
                 max_regression = v / 100.0;
             }
+            "--noise-floor" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--noise-floor requires a numeric nanosecond value");
+                    return ExitCode::from(2);
+                };
+                noise_floor_ns = v;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: compare <baseline.json> <current.json> [--max-regression <pct>]");
+                eprintln!("{usage}");
                 return ExitCode::SUCCESS;
             }
             p => paths.push(p.to_string()),
@@ -58,7 +95,7 @@ fn main() -> ExitCode {
         i += 1;
     }
     if paths.len() != 2 {
-        eprintln!("usage: compare <baseline.json> <current.json> [--max-regression <pct>]");
+        eprintln!("{usage}");
         return ExitCode::from(2);
     }
 
@@ -81,18 +118,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = compare(&baseline, &current, max_regression);
+    let report = compare(&baseline, &current, max_regression, noise_floor_ns);
     print!("{}", report.text);
     if report.failed {
         eprintln!(
-            "\nperf gate FAILED: at least one group regressed more than {:.0}%",
-            max_regression * 100.0
+            "\nperf gate FAILED: at least one group regressed more than {:.0}% and {:.0}ns",
+            max_regression * 100.0,
+            noise_floor_ns
         );
         ExitCode::FAILURE
     } else {
         println!(
-            "\nperf gate passed (threshold {:.0}%)",
-            max_regression * 100.0
+            "\nperf gate passed (threshold {:.0}%, noise floor {:.0}ns)",
+            max_regression * 100.0,
+            noise_floor_ns
         );
         ExitCode::SUCCESS
     }
@@ -104,12 +143,19 @@ struct Report {
     failed: bool,
 }
 
-/// Compares current medians against the baseline, grouping by bench group.
-fn compare(baseline: &[Entry], current: &[Entry], max_regression: f64) -> Report {
+/// Compares current gate metrics (min-of-N, median fallback) against the
+/// baseline, grouping by bench group. A group fails only when it exceeds
+/// both the relative threshold and the absolute noise floor.
+fn compare(
+    baseline: &[Entry],
+    current: &[Entry],
+    max_regression: f64,
+    noise_floor_ns: f64,
+) -> Report {
     let index = |entries: &[Entry]| -> BTreeMap<(String, String), f64> {
         entries
             .iter()
-            .map(|e| ((e.group.clone(), e.bench.clone()), e.median_ns))
+            .map(|e| ((e.group.clone(), e.bench.clone()), e.metric_ns()))
             .collect()
     };
     let base = index(baseline);
@@ -133,9 +179,11 @@ fn compare(baseline: &[Entry], current: &[Entry], max_regression: f64) -> Report
     ));
     for (g, (b_ns, c_ns)) in &groups {
         let delta = if *b_ns > 0.0 { c_ns / b_ns - 1.0 } else { 0.0 };
-        let status = if delta > max_regression {
+        let status = if delta > max_regression && c_ns - b_ns > noise_floor_ns {
             failed = true;
             "REGRESSED"
+        } else if delta > max_regression {
+            "ok (within noise floor)"
         } else if delta < -0.05 {
             "improved"
         } else {
@@ -174,9 +222,11 @@ fn compare(baseline: &[Entry], current: &[Entry], max_regression: f64) -> Report
         match base_group_totals.get(g) {
             Some(&b_ns) => {
                 let delta = if b_ns > 0.0 { c_ns / b_ns - 1.0 } else { 0.0 };
-                let status = if delta > max_regression {
+                let status = if delta > max_regression && c_ns - b_ns > noise_floor_ns {
                     failed = true;
                     "REGRESSED (renamed benches)"
+                } else if delta > max_regression {
+                    "ok (within noise floor, renamed benches)"
                 } else if delta < -0.05 {
                     "improved (renamed benches)"
                 } else {
@@ -262,6 +312,11 @@ fn parse_entries(text: &str) -> Result<Vec<Entry>, String> {
             group: get_str("group")?,
             bench: get_str("bench")?,
             median_ns: get_num("median_ns")?,
+            // Optional: baselines predating the min-of-N gate lack it.
+            min_ns: match obj.get("min_ns") {
+                Some(Value::Num(n)) => Some(*n),
+                _ => None,
+            },
         });
         p.skip_ws();
         match p.next() {
@@ -385,6 +440,16 @@ mod tests {
             group: group.into(),
             bench: bench.into(),
             median_ns,
+            min_ns: None,
+        }
+    }
+
+    fn entry_min(group: &str, bench: &str, median_ns: f64, min_ns: f64) -> Entry {
+        Entry {
+            group: group.into(),
+            bench: bench.into(),
+            median_ns,
+            min_ns: Some(min_ns),
         }
     }
 
@@ -399,9 +464,18 @@ mod tests {
         assert_eq!(entries.len(), 2);
         assert_eq!(
             entries[0],
-            entry("render_kernels", "forward_full_frame", 100.0)
+            entry_min("render_kernels", "forward_full_frame", 100.0, 1.0)
         );
-        assert_eq!(entries[1], entry("g2", "b/param", 200.0));
+        assert_eq!(entries[1], entry_min("g2", "b/param", 200.0, 2.0));
+        assert_eq!(entries[0].metric_ns(), 1.0, "min-of-N preferred");
+    }
+
+    #[test]
+    fn parses_entries_without_min_ns() {
+        let text = r#"[{"group": "g", "bench": "b", "median_ns": 100}]"#;
+        let entries = parse_entries(text).unwrap();
+        assert_eq!(entries, vec![entry("g", "b", 100.0)]);
+        assert_eq!(entries[0].metric_ns(), 100.0, "median fallback");
     }
 
     #[test]
@@ -420,7 +494,7 @@ mod tests {
     fn within_threshold_passes() {
         let base = vec![entry("g", "a", 100.0), entry("g", "b", 100.0)];
         let cur = vec![entry("g", "a", 110.0), entry("g", "b", 110.0)];
-        let r = compare(&base, &cur, 0.25);
+        let r = compare(&base, &cur, 0.25, 0.0);
         assert!(!r.failed, "{}", r.text);
         assert!(r.text.contains("ok"));
     }
@@ -429,7 +503,7 @@ mod tests {
     fn group_regression_fails() {
         let base = vec![entry("g", "a", 100.0), entry("g", "b", 100.0)];
         let cur = vec![entry("g", "a", 160.0), entry("g", "b", 160.0)];
-        let r = compare(&base, &cur, 0.25);
+        let r = compare(&base, &cur, 0.25, 0.0);
         assert!(r.failed, "{}", r.text);
         assert!(r.text.contains("REGRESSED"));
     }
@@ -440,7 +514,7 @@ mod tests {
         // the threshold because the heavyweight bench dominates the sum.
         let base = vec![entry("g", "micro", 10.0), entry("g", "heavy", 1000.0)];
         let cur = vec![entry("g", "micro", 20.0), entry("g", "heavy", 1000.0)];
-        let r = compare(&base, &cur, 0.25);
+        let r = compare(&base, &cur, 0.25, 0.0);
         assert!(!r.failed, "{}", r.text);
     }
 
@@ -448,7 +522,7 @@ mod tests {
     fn improvement_reported() {
         let base = vec![entry("g", "a", 1000.0)];
         let cur = vec![entry("g", "a", 500.0)];
-        let r = compare(&base, &cur, 0.25);
+        let r = compare(&base, &cur, 0.25, 0.0);
         assert!(!r.failed);
         assert!(r.text.contains("improved"));
     }
@@ -457,7 +531,7 @@ mod tests {
     fn new_and_missing_benches_do_not_gate() {
         let base = vec![entry("g", "a", 100.0), entry("old", "gone", 50.0)];
         let cur = vec![entry("g", "a", 100.0), entry("new", "fresh", 9999.0)];
-        let r = compare(&base, &cur, 0.25);
+        let r = compare(&base, &cur, 0.25, 0.0);
         assert!(!r.failed, "{}", r.text);
         assert!(r.text.contains("new/fresh"));
         assert!(r.text.contains("old/gone"));
@@ -474,7 +548,7 @@ mod tests {
             entry("large_scene_scaling", "sharded/60000", 5.0e6),
             entry("large_scene_scaling", "sharded/500000", 9.0e6),
         ];
-        let r = compare(&base, &cur, 0.25);
+        let r = compare(&base, &cur, 0.25, 0.0);
         assert!(!r.failed, "{}", r.text);
         assert!(
             r.text.contains("new (informational)"),
@@ -486,7 +560,7 @@ mod tests {
         assert!(r.text.contains("14000000"), "summed total:\n{}", r.text);
         // Existing groups still gate as usual alongside a new group.
         let regressed = vec![entry("g", "a", 200.0), entry("new_grp", "x", 1.0)];
-        let r2 = compare(&base, &regressed, 0.25);
+        let r2 = compare(&base, &regressed, 0.25, 0.0);
         assert!(r2.failed, "{}", r2.text);
     }
 
@@ -507,7 +581,7 @@ mod tests {
         ];
         // Introduction PR: the new groups are informational, never gated —
         // even at absurd cost.
-        let r = compare(&old_baseline, &first_run, 0.25);
+        let r = compare(&old_baseline, &first_run, 0.25, 0.0);
         assert!(!r.failed, "{}", r.text);
         assert_eq!(r.text.matches("new (informational)").count(), 2);
 
@@ -519,7 +593,7 @@ mod tests {
             entry("tile_sort", "radix/dense", 550.0),
             entry("tracking_iteration_steady_state", "warm_arena", 950.0),
         ];
-        let r2 = compare(&refreshed_baseline, &ok_run, 0.25);
+        let r2 = compare(&refreshed_baseline, &ok_run, 0.25, 0.0);
         assert!(!r2.failed, "{}", r2.text);
         assert!(!r2.text.contains("new (informational)"), "{}", r2.text);
 
@@ -529,7 +603,7 @@ mod tests {
             entry("tile_sort", "radix/dense", 700.0),
             entry("tracking_iteration_steady_state", "warm_arena", 900.0),
         ];
-        let r3 = compare(&refreshed_baseline, &regressed_run, 0.25);
+        let r3 = compare(&refreshed_baseline, &regressed_run, 0.25, 0.0);
         assert!(r3.failed, "{}", r3.text);
         assert!(r3.text.contains("REGRESSED"), "{}", r3.text);
     }
@@ -547,7 +621,7 @@ mod tests {
             entry("g", "size/1024", 1000.0),
             entry("g", "size/2048", 1000.0),
         ];
-        let r = compare(&base, &cur, 0.25);
+        let r = compare(&base, &cur, 0.25, 0.0);
         assert!(r.failed, "{}", r.text);
         assert!(r.text.contains("renamed benches"), "{}", r.text);
         // Renamed but within threshold: passes, still labeled.
@@ -555,14 +629,76 @@ mod tests {
             entry("g", "size/1024", 110.0),
             entry("g", "size/2048", 110.0),
         ];
-        let r2 = compare(&base, &ok, 0.25);
+        let r2 = compare(&base, &ok, 0.25, 0.0);
         assert!(!r2.failed, "{}", r2.text);
         assert!(r2.text.contains("ok (renamed benches)"), "{}", r2.text);
     }
 
     #[test]
     fn empty_baseline_passes() {
-        let r = compare(&[], &[entry("g", "a", 1.0)], 0.25);
+        let r = compare(&[], &[entry("g", "a", 1.0)], 0.25, 0.0);
         assert!(!r.failed);
+    }
+
+    /// min-of-N is the gated metric when present: a doubled median with a
+    /// stable minimum is scheduler noise, not a regression — and the
+    /// converse (stable median, regressed minimum) is a real slowdown.
+    #[test]
+    fn min_of_n_is_gated_not_median() {
+        let base = vec![entry_min("g", "a", 100.0, 90.0)];
+        // Median doubled (noisy run) but min within threshold: passes.
+        let noisy = vec![entry_min("g", "a", 200.0, 95.0)];
+        let r = compare(&base, &noisy, 0.25, 0.0);
+        assert!(!r.failed, "{}", r.text);
+        // Median flat but min regressed 2x: fails.
+        let slow = vec![entry_min("g", "a", 100.0, 180.0)];
+        let r2 = compare(&base, &slow, 0.25, 0.0);
+        assert!(r2.failed, "{}", r2.text);
+    }
+
+    /// Baselines committed before the shim recorded `min_ns` gate on their
+    /// medians; current entries still contribute their minimum. The mixed
+    /// comparison stays meaningful because min <= median always.
+    #[test]
+    fn old_baseline_without_min_ns_gates_on_median() {
+        let base = vec![entry("g", "a", 100.0)];
+        let cur = vec![entry_min("g", "a", 500.0, 160.0)];
+        let r = compare(&base, &cur, 0.25, 0.0);
+        assert!(r.failed, "min 160 vs median 100 is +60%:\n{}", r.text);
+        let ok = vec![entry_min("g", "a", 500.0, 110.0)];
+        let r2 = compare(&base, &ok, 0.25, 0.0);
+        assert!(!r2.failed, "{}", r2.text);
+    }
+
+    /// The absolute noise floor keeps tiny groups from flaking the gate:
+    /// +60% on a 100ns group is jitter, +60% on a millisecond group is a
+    /// regression — same percentage, different verdicts.
+    #[test]
+    fn noise_floor_absorbs_small_absolute_regressions() {
+        let base = vec![entry("tiny", "a", 100.0), entry("big", "a", 1.0e6)];
+        let cur = vec![entry("tiny", "a", 160.0), entry("big", "a", 1.0e6)];
+        let r = compare(&base, &cur, 0.25, 100_000.0);
+        assert!(!r.failed, "{}", r.text);
+        assert!(r.text.contains("ok (within noise floor)"), "{}", r.text);
+
+        // The same +60% on the big group exceeds the floor and fails.
+        let cur2 = vec![entry("tiny", "a", 100.0), entry("big", "a", 1.6e6)];
+        let r2 = compare(&base, &cur2, 0.25, 100_000.0);
+        assert!(r2.failed, "{}", r2.text);
+        assert!(r2.text.contains("REGRESSED"), "{}", r2.text);
+    }
+
+    /// The floor also applies to the renamed-benches whole-group path.
+    #[test]
+    fn noise_floor_applies_to_renamed_groups() {
+        let base = vec![entry("g", "size/1000", 100.0)];
+        let cur = vec![entry("g", "size/1024", 160.0)];
+        let r = compare(&base, &cur, 0.25, 100_000.0);
+        assert!(!r.failed, "{}", r.text);
+        assert!(
+            r.text.contains("ok (within noise floor, renamed benches)"),
+            "{}",
+            r.text
+        );
     }
 }

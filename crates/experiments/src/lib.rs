@@ -20,6 +20,7 @@ mod hardware;
 mod persistence;
 mod profiling;
 mod runtime;
+mod telemetry;
 
 pub use algorithm::{fig13, fig14, table2, table6, table7};
 pub use common::{
@@ -30,6 +31,7 @@ pub use hardware::{fig15, fig16, fig17, table4};
 pub use persistence::persistence;
 pub use profiling::{fig3, fig4, fig5, fig6};
 pub use runtime::{arena_steady_state, runtime_scaling, serving};
+pub use telemetry::telemetry;
 
 /// All experiments: the paper artifacts in paper order, then the runtime
 /// subsystem's scaling, serving and persistence scenarios.
@@ -51,6 +53,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "arena",
     "serving",
     "persistence",
+    "telemetry",
 ];
 
 /// Runs one experiment by name.
@@ -77,6 +80,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Result<String, String> {
         "arena" => arena_steady_state(scale),
         "serving" => serving(scale),
         "persistence" => persistence(scale),
+        "telemetry" => telemetry(scale),
         other => return Err(format!("unknown experiment: {other}")),
     })
 }

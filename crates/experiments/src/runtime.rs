@@ -175,11 +175,17 @@ pub fn serving(scale: Scale) -> String {
         "steps",
         "ATE (cm)",
         "PSNR (dB)",
-        "session wall (s)",
+        "wall (s)",
+        "p50 (ms)",
+        "p99 (ms)",
+        "p999 (ms)",
+        "I/O (ms)",
     ]);
+    let ms = |ns: u64| f(ns as f64 / 1e6, 2);
     let mut busy = 0.0f64;
     for outcome in &outcomes {
         busy += outcome.stats.wall.as_secs_f64();
+        let io = outcome.stats.hibernate_wall + outcome.stats.rehydrate_wall;
         table.row(vec![
             outcome.stats.label.clone(),
             outcome.report.frames_processed.to_string(),
@@ -187,14 +193,23 @@ pub fn serving(scale: Scale) -> String {
             f(outcome.report.ate.rmse * 100.0, 2),
             f(outcome.report.mean_psnr, 2),
             f(outcome.stats.wall.as_secs_f64(), 2),
+            ms(outcome.stats.latency.p50()),
+            ms(outcome.stats.latency.p99()),
+            ms(outcome.stats.latency.p999()),
+            f(io.as_secs_f64() * 1e3, 2),
         ]);
     }
+    let fleet = rtgs_runtime::fleet_latency(&outcomes);
     format!(
-        "{} concurrent SLAM sessions over one pool ({} wall seconds, {:.2} busy-seconds served):\n{}",
+        "{} concurrent SLAM sessions over one pool ({} wall seconds, {:.2} busy-seconds served):\n{}\nfleet step latency: {} steps, p50 {} ms, p99 {} ms, p999 {} ms\n",
         outcomes.len(),
         f(wall.as_secs_f64(), 2),
         busy,
-        table.render()
+        table.render(),
+        fleet.count(),
+        ms(fleet.p50()),
+        ms(fleet.p99()),
+        ms(fleet.p999()),
     )
 }
 
@@ -224,5 +239,7 @@ mod tests {
         for algo in BaseAlgorithm::all() {
             assert!(out.contains(algo.name()), "missing {}", algo.name());
         }
+        assert!(out.contains("fleet step latency"), "{out}");
+        assert!(out.contains("p999"), "{out}");
     }
 }

@@ -381,6 +381,41 @@ impl FrameArena {
     pub fn backward(&self) -> &BackwardOutput {
         &self.backward
     }
+
+    /// Approximate bytes held by the arena's principal reusable buffers at
+    /// their current capacities. Capacities never shrink, so over a session
+    /// this is monotone — the arena's high-water mark, reported through the
+    /// `arena.high_water_bytes` telemetry gauge.
+    pub fn high_water_bytes(&self) -> usize {
+        use crate::gaussian::{Gaussian3d, GaussianGrad};
+        use rtgs_math::Vec3;
+        use std::mem::size_of;
+        let visible = self.visible.ids.capacity() * size_of::<u32>()
+            + self.visible.scene.len() * size_of::<Gaussian3d>();
+        let tiles = (self.tiles.entries.capacity()
+            + self.tiles.offsets.capacity()
+            + self.tiles.slot_ids.capacity())
+            * size_of::<u32>();
+        // Image, depth, transmittance and per-pixel workload buffers all
+        // share the camera's pixel count.
+        let pixels = self.output.final_transmittance.capacity();
+        let forward = pixels * (size_of::<Vec3>() + 2 * size_of::<f32>() + size_of::<u32>());
+        let fragments = self
+            .fragments
+            .tiles
+            .iter()
+            .map(|t| {
+                t.frags.capacity() * size_of::<crate::forward::CachedFragment>()
+                    + t.offsets.capacity() * size_of::<u32>()
+            })
+            .sum::<usize>();
+        let grads = self.backward.gaussians.capacity() * size_of::<GaussianGrad>()
+            + self.loss.pixel_grads.color.capacity() * size_of::<Vec3>()
+            + (self.loss.pixel_grads.depth.capacity()
+                + self.loss.pixel_grads.transmittance.capacity())
+                * size_of::<f32>();
+        visible + tiles + forward + fragments + grads
+    }
 }
 
 #[cfg(test)]

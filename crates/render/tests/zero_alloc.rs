@@ -13,6 +13,11 @@
 //! backend's task dispatch allocates in the pool by design; the zero-alloc
 //! contract covers the kernels and their buffers, which the parallel path
 //! shares — see CONTRIBUTING.md "Zero-allocation steady state".)
+//!
+//! The measured iterations run with **telemetry recording on**: span
+//! tracing enabled, the thread ring pre-warmed, a histogram recorded and a
+//! span emitted per iteration — exactly what the instrumented SLAM hot path
+//! does. Observability must not cost the allocation contract.
 
 use rtgs_math::{Quat, Se3, Vec3};
 use rtgs_render::{
@@ -86,6 +91,13 @@ fn steady_state_iteration_performs_zero_allocations() {
     let pose_a = Se3::IDENTITY;
     let pose_b = Se3::from_translation(Vec3::new(0.015, 0.01, -0.005));
 
+    // Telemetry on, like an instrumented serving run: the one-time costs
+    // (ring allocation, registry handle resolution) land in warm-up, after
+    // which recording must be allocation-free.
+    rtgs_telemetry::set_tracing_enabled(true);
+    rtgs_telemetry::warm_thread_ring();
+    let iter_hist = rtgs_telemetry::global().histogram("render.zero_alloc.iter_ns");
+
     let mut arena = FrameArena::new();
     let warm_start = alloc_counter::thread_allocations();
     for w2c in [&pose_a, &pose_b, &pose_a, &pose_b] {
@@ -107,18 +119,34 @@ fn steady_state_iteration_performs_zero_allocations() {
     );
 
     // Steady state: zero allocations across full iterations, including the
-    // pose the arena did not run last.
+    // pose the arena did not run last — with a span and a histogram sample
+    // recorded per iteration, as the instrumented pipeline does.
     let before = alloc_counter::thread_allocations();
     for w2c in [&pose_a, &pose_b, &pose_a, &pose_b, &pose_a, &pose_b] {
+        let t0 = std::time::Instant::now();
+        let _span = rtgs_telemetry::SpanGuard::new("render.zero_alloc.iter", "stage", 0);
         let loss = iteration(&mut arena, &map, &mask, w2c, &camera, &gt, &cfg);
+        iter_hist.record(t0.elapsed().as_nanos() as u64);
         assert!(loss.is_finite());
     }
     let steady_allocs = alloc_counter::thread_allocations() - before;
+    rtgs_telemetry::set_tracing_enabled(false);
     assert_eq!(
         steady_allocs, 0,
         "steady-state iterations must not allocate (counted {steady_allocs} allocations \
-         over 6 iterations after warm-up)"
+         over 6 iterations after warm-up, telemetry recording enabled)"
     );
+    assert_eq!(iter_hist.count(), 6, "every iteration must be recorded");
+    let recorded: usize = rtgs_telemetry::collect_spans()
+        .iter()
+        .map(|(_, events)| {
+            events
+                .iter()
+                .filter(|e| e.name == "render.zero_alloc.iter")
+                .count()
+        })
+        .sum();
+    assert_eq!(recorded, 6, "every iteration span must be in the ring");
 }
 
 #[test]

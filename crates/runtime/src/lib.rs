@@ -51,8 +51,8 @@ pub use backend::{
     exclusive_prefix_sum, exclusive_prefix_sum_into, shared_pool, Backend, BackendChoice, Parallel,
     ScratchPool, Serial, SharedSlice,
 };
-pub use pool::{Scope, ThreadPool};
+pub use pool::{PoolStats, Scope, ThreadPool};
 pub use scheduler::{
-    EvictionPolicy, Session, SessionOutcome, SessionScheduler, SessionStats, SessionStatus,
-    ShutdownHandle,
+    fleet_latency, EvictionPolicy, Session, SessionOutcome, SessionScheduler, SessionStats,
+    SessionStatus, ShutdownHandle,
 };

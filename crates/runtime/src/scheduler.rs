@@ -28,6 +28,7 @@
 //! resident (asserted end-to-end in `rtgs-slam`'s serving tests).
 
 use crate::pool::ThreadPool;
+use rtgs_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, SnapshotWriter, SpanGuard};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -146,6 +147,27 @@ pub struct SessionStats {
     pub completed: bool,
     /// Times this session was hibernated to disk by the eviction policy.
     pub hibernations: usize,
+    /// Times this session was rehydrated from disk.
+    pub rehydrations: usize,
+    /// Wall-clock spent writing this session's spill files (I/O that would
+    /// otherwise vanish from per-session accounting — it happens outside
+    /// the step window).
+    pub hibernate_wall: Duration,
+    /// Wall-clock spent reading this session's spill files back.
+    pub rehydrate_wall: Duration,
+    /// Per-step latency distribution (nanoseconds), for p50/p99/p999
+    /// extraction; merge across sessions with [`fleet_latency`].
+    pub latency: HistogramSnapshot,
+}
+
+/// Merges every outcome's per-session step-latency histogram into one
+/// fleet-wide distribution.
+pub fn fleet_latency<R>(outcomes: &[SessionOutcome<R>]) -> HistogramSnapshot {
+    let mut fleet = HistogramSnapshot::empty();
+    for outcome in outcomes {
+        fleet.merge(&outcome.stats.latency);
+    }
+    fleet
 }
 
 /// A finished session: its stats plus the report it produced.
@@ -191,6 +213,52 @@ struct Entry<S> {
     /// insertion index).
     last_stepped_round: u64,
     hibernations: usize,
+    rehydrations: usize,
+    hibernate_wall: Duration,
+    rehydrate_wall: Duration,
+    /// Per-step latency in nanoseconds (pre-sized buckets; recording from a
+    /// pool worker is wait-free and allocation-free).
+    latency: Histogram,
+}
+
+impl<S> Entry<S> {
+    #[inline]
+    fn record_step(&mut self, elapsed: Duration, round: u64) {
+        self.wall += elapsed;
+        self.latency.record(elapsed.as_nanos() as u64);
+        self.steps += 1;
+        self.last_stepped_round = round;
+    }
+}
+
+/// Fleet-wide metric handles resolved once from the global registry.
+struct SchedulerMetrics {
+    step_ns: Arc<Histogram>,
+    steps: Arc<Counter>,
+    hibernations: Arc<Counter>,
+    rehydrations: Arc<Counter>,
+    hibernate_ns: Arc<Counter>,
+    rehydrate_ns: Arc<Counter>,
+    pool_jobs: Arc<Gauge>,
+    pool_steals: Arc<Gauge>,
+    pool_parks: Arc<Gauge>,
+}
+
+impl SchedulerMetrics {
+    fn from_global() -> Self {
+        let registry = rtgs_telemetry::global();
+        Self {
+            step_ns: registry.histogram("serve.step_ns"),
+            steps: registry.counter("serve.steps"),
+            hibernations: registry.counter("serve.hibernate.count"),
+            rehydrations: registry.counter("serve.rehydrate.count"),
+            hibernate_ns: registry.counter("serve.hibernate.ns"),
+            rehydrate_ns: registry.counter("serve.rehydrate.ns"),
+            pool_jobs: registry.gauge("pool.jobs"),
+            pool_steals: registry.gauge("pool.steals"),
+            pool_parks: registry.gauge("pool.parks"),
+        }
+    }
 }
 
 /// Serves N sessions concurrently over one pool with round-robin fairness.
@@ -199,6 +267,8 @@ pub struct SessionScheduler<S: Session> {
     sessions: Vec<Entry<S>>,
     stop: Arc<AtomicBool>,
     policy: Option<EvictionPolicy>,
+    metrics: SchedulerMetrics,
+    snapshot_writer: Option<SnapshotWriter>,
 }
 
 impl<S: Session> SessionScheduler<S> {
@@ -215,12 +285,30 @@ impl<S: Session> SessionScheduler<S> {
             sessions: Vec::new(),
             stop: Arc::new(AtomicBool::new(false)),
             policy: None,
+            metrics: SchedulerMetrics::from_global(),
+            snapshot_writer: None,
         }
     }
 
     /// Attaches a hibernate-to-disk eviction policy (see the module docs).
     pub fn set_eviction_policy(&mut self, policy: EvictionPolicy) {
         self.policy = Some(policy);
+    }
+
+    /// Attaches a periodic telemetry-snapshot writer: the global registry is
+    /// exported to the writer's path between rounds (rate-limited by the
+    /// writer's interval) and once more on shutdown.
+    pub fn set_snapshot_writer(&mut self, writer: SnapshotWriter) {
+        self.snapshot_writer = Some(writer);
+    }
+
+    /// Mirrors the pool's scheduling counters into the global registry so
+    /// exports carry worker utilization alongside session latency.
+    fn export_pool_stats(&self) {
+        let stats = self.pool.stats();
+        self.metrics.pool_jobs.set(stats.jobs as i64);
+        self.metrics.pool_steals.set(stats.steals as i64);
+        self.metrics.pool_parks.set(stats.parks as i64);
     }
 
     /// Registers a session; returns its index (stable in the output).
@@ -236,6 +324,10 @@ impl<S: Session> SessionScheduler<S> {
             evictable: true,
             last_stepped_round: 0,
             hibernations: 0,
+            rehydrations: 0,
+            hibernate_wall: Duration::ZERO,
+            rehydrate_wall: Duration::ZERO,
+            latency: Histogram::new(),
         });
         self.sessions.len() - 1
     }
@@ -304,11 +396,17 @@ impl<S: Session> SessionScheduler<S> {
             let path = policy.spill_path(coldest);
             let entry = &mut self.sessions[coldest];
             let bytes_before = entry.session.resident_bytes();
+            let _span = SpanGuard::new("serve.hibernate", "io", coldest as u64);
+            let t0 = Instant::now();
             match entry.session.hibernate(&path) {
                 Ok(()) => {
+                    let elapsed = t0.elapsed();
                     entry.hibernated = true;
                     entry.parked_bytes = bytes_before;
                     entry.hibernations += 1;
+                    entry.hibernate_wall += elapsed;
+                    self.metrics.hibernations.incr();
+                    self.metrics.hibernate_ns.add(elapsed.as_nanos() as u64);
                 }
                 Err(_) => {
                     // Unsupported (or failed) — permanently exempt so the
@@ -326,6 +424,8 @@ impl<S: Session> SessionScheduler<S> {
             .expect("hibernated sessions only exist under a policy");
         let path = policy.spill_path(idx);
         let entry = &mut self.sessions[idx];
+        let _span = SpanGuard::new("serve.rehydrate", "io", idx as u64);
+        let t0 = Instant::now();
         if let Err(e) = entry.session.rehydrate(&path) {
             // The spill file is the only copy of the session's state; not
             // being able to read it back is unrecoverable for this run.
@@ -335,7 +435,12 @@ impl<S: Session> SessionScheduler<S> {
                 path.display()
             );
         }
+        let elapsed = t0.elapsed();
         entry.hibernated = false;
+        entry.rehydrations += 1;
+        entry.rehydrate_wall += elapsed;
+        self.metrics.rehydrations.incr();
+        self.metrics.rehydrate_ns.add(elapsed.as_nanos() as u64);
     }
 
     /// Runs all sessions to completion (or until shutdown), returning one
@@ -360,18 +465,23 @@ impl<S: Session> SessionScheduler<S> {
             round += 1;
             // Phase 1: every resident live session advances one step; the
             // steps run concurrently on the pool.
+            let fleet_step_ns: &Histogram = &self.metrics.step_ns;
+            let fleet_steps: &Counter = &self.metrics.steps;
             self.pool.scope(|scope| {
-                for entry in self
+                for (idx, entry) in self
                     .sessions
                     .iter_mut()
-                    .filter(|entry| !entry.done && !entry.hibernated)
+                    .enumerate()
+                    .filter(|(_, entry)| !entry.done && !entry.hibernated)
                 {
                     scope.spawn(move || {
+                        let _span = SpanGuard::new("serve.step", "session", idx as u64);
                         let t0 = Instant::now();
                         let status = entry.session.step();
-                        entry.wall += t0.elapsed();
-                        entry.steps += 1;
-                        entry.last_stepped_round = round;
+                        let elapsed = t0.elapsed();
+                        entry.record_step(elapsed, round);
+                        fleet_step_ns.record(elapsed.as_nanos() as u64);
+                        fleet_steps.incr();
                         if status == SessionStatus::Finished {
                             entry.done = true;
                         }
@@ -400,11 +510,14 @@ impl<S: Session> SessionScheduler<S> {
                 self.enforce_budget(1, self.sessions[idx].parked_bytes);
                 self.rehydrate(idx);
                 let entry = &mut self.sessions[idx];
+                let span = SpanGuard::new("serve.step", "session", idx as u64);
                 let t0 = Instant::now();
                 let status = entry.session.step();
-                entry.wall += t0.elapsed();
-                entry.steps += 1;
-                entry.last_stepped_round = round;
+                let elapsed = t0.elapsed();
+                drop(span);
+                entry.record_step(elapsed, round);
+                self.metrics.step_ns.record(elapsed.as_nanos() as u64);
+                self.metrics.steps.incr();
                 if status == SessionStatus::Finished {
                     entry.done = true;
                 }
@@ -414,6 +527,13 @@ impl<S: Session> SessionScheduler<S> {
             // Budgets may be exceeded on the very first round (every
             // session starts resident) or after sessions finished.
             self.enforce_budget(0, 0);
+
+            if self.snapshot_writer.is_some() {
+                self.export_pool_stats();
+                if let Some(writer) = &mut self.snapshot_writer {
+                    writer.maybe_write(rtgs_telemetry::global()).ok();
+                }
+            }
         }
 
         // Collect: a hibernated session must be brought back before it can
@@ -434,6 +554,12 @@ impl<S: Session> SessionScheduler<S> {
             }
         }
 
+        // Shutdown dump: one final registry export with fresh pool stats.
+        self.export_pool_stats();
+        if let Some(writer) = &mut self.snapshot_writer {
+            writer.write_now(rtgs_telemetry::global()).ok();
+        }
+
         self.sessions
             .into_iter()
             .enumerate()
@@ -445,6 +571,10 @@ impl<S: Session> SessionScheduler<S> {
                     wall: entry.wall,
                     completed: entry.done,
                     hibernations: entry.hibernations,
+                    rehydrations: entry.rehydrations,
+                    hibernate_wall: entry.hibernate_wall,
+                    rehydrate_wall: entry.rehydrate_wall,
+                    latency: entry.latency.snapshot(),
                 },
                 report: entry.session.finish(),
             })
@@ -509,7 +639,14 @@ mod tests {
             assert_eq!(outcome.stats.steps, target);
             assert_eq!(outcome.report, target);
             assert_eq!(outcome.stats.hibernations, 0);
+            assert_eq!(outcome.stats.rehydrations, 0);
+            assert_eq!(outcome.stats.hibernate_wall, Duration::ZERO);
+            // Every step landed in the latency histogram.
+            assert_eq!(outcome.stats.latency.count() as usize, target);
         }
+        let fleet = fleet_latency(&outcomes);
+        assert_eq!(fleet.count(), 3 + 7 + 1 + 5);
+        assert!(fleet.p50() <= fleet.p999());
     }
 
     #[test]
@@ -685,6 +822,17 @@ mod tests {
             total_hibernations > 0,
             "a 2-resident budget over 5 sessions must hibernate someone"
         );
+        // Spill I/O is accounted: every hibernation has a matching wall
+        // charge, and rehydrations bring each parked session back.
+        for outcome in &outcomes {
+            if outcome.stats.hibernations > 0 {
+                assert!(outcome.stats.rehydrations > 0);
+                assert!(outcome.stats.hibernate_wall > Duration::ZERO);
+                assert!(outcome.stats.rehydrate_wall > Duration::ZERO);
+            } else {
+                assert_eq!(outcome.stats.rehydrate_wall, Duration::ZERO);
+            }
+        }
         // The property the test is named for: once eviction kicked in,
         // live residency never exceeded the 2-session budget — the
         // just-in-time rehydration clears a slot *before* bringing a

@@ -39,6 +39,7 @@ pub use pipeline::{
     SlamPipeline, SlamReport,
 };
 pub use profile::StageTimings;
+pub use rtgs_telemetry::{StageId, StageNanos};
 pub use serve::{serve_sessions, serve_sessions_with_eviction};
 pub use snapshot::config_fingerprint;
 pub use tracking::{

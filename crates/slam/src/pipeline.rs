@@ -5,13 +5,14 @@
 use crate::keyframe::{KeyframeContext, KeyframePolicy};
 use crate::map::{densify, prune_transparent, seed_from_frame, MapConfig};
 use crate::optimizer::{MapLearningRates, MapOptimizer};
-use crate::profile::StageTimings;
+use crate::profile::{record_stage, StageTimings};
 use crate::tracking::{track_frame_with, IterationArtifacts, TrackingConfig, TrackingObserver};
 use rtgs_math::Se3;
 use rtgs_metrics::{absolute_trajectory_error, psnr, AteResult};
 use rtgs_render::{render_frame_with, FrameArena, Image, ShardedScene, WorkloadTrace};
 use rtgs_runtime::{Backend, BackendChoice};
 use rtgs_scene::{RgbdFrame, SyntheticDataset};
+use rtgs_telemetry::{emit_span, ns_since_epoch, Counter, Gauge, Histogram, StageId, StageNanos};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -343,6 +344,32 @@ impl SlamReport {
     }
 }
 
+/// Pre-resolved global-registry handles recorded once per frame. Resolving
+/// by name goes through the registry mutex and allocates the key string, so
+/// the pipeline does it once at construction, not on the frame path.
+pub(crate) struct PipelineMetrics {
+    /// Fleet-wide per-frame latency (tracking + mapping wall) histogram.
+    frame_ns: Arc<Histogram>,
+    /// Frames processed across all sessions in this process.
+    frames: Arc<Counter>,
+    /// Frustum-cull survivor count at the end of each frame.
+    visible_gaussians: Arc<Histogram>,
+    /// High-water mark over every session's [`FrameArena`] footprint.
+    arena_high_water: Arc<Gauge>,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        let registry = rtgs_telemetry::global();
+        Self {
+            frame_ns: registry.histogram("slam.frame_ns"),
+            frames: registry.counter("slam.frames"),
+            visible_gaussians: registry.histogram("slam.visible_gaussians"),
+            arena_high_water: registry.gauge("arena.high_water_bytes"),
+        }
+    }
+}
+
 struct ExtensionObserver<'e> {
     extension: &'e mut dyn PipelineExtension,
 }
@@ -371,8 +398,9 @@ pub struct SlamPipeline<'d> {
     pub(crate) keyframes: Vec<usize>,
     pub(crate) last_keyframe_image: Option<Image>,
     pub(crate) frame_reports: Vec<FrameReport>,
-    pub(crate) tracking_timings: StageTimings,
-    pub(crate) mapping_timings: StageTimings,
+    pub(crate) tracking_timings: StageNanos,
+    pub(crate) mapping_timings: StageNanos,
+    pub(crate) metrics: PipelineMetrics,
     pub(crate) tracking_wall: Duration,
     pub(crate) mapping_wall: Duration,
     pub(crate) peak_gaussians: usize,
@@ -411,8 +439,9 @@ impl<'d> SlamPipeline<'d> {
             keyframes: Vec::new(),
             last_keyframe_image: None,
             frame_reports: Vec::new(),
-            tracking_timings: StageTimings::default(),
-            mapping_timings: StageTimings::default(),
+            tracking_timings: StageNanos::default(),
+            mapping_timings: StageNanos::default(),
+            metrics: PipelineMetrics::default(),
             tracking_wall: Duration::ZERO,
             mapping_wall: Duration::ZERO,
             peak_gaussians: 0,
@@ -463,7 +492,9 @@ impl<'d> SlamPipeline<'d> {
         let frame = &self.dataset.frames[index];
 
         if index == 0 {
+            let t0 = Instant::now();
             self.initialize(frame);
+            self.record_frame_metrics(index, t0.elapsed(), t0);
             return Some(index);
         }
 
@@ -599,7 +630,31 @@ impl<'d> SlamPipeline<'d> {
             traces: result.traces,
             mapping_traces: std::mem::take(&mut self.pending_mapping_traces),
         });
+        self.record_frame_metrics(index, tracking_wall + mapping_wall, t0);
         Some(index)
+    }
+
+    /// Records the frame's telemetry: latency into the fleet-wide
+    /// `slam.frame_ns` histogram (the source of the serving report's
+    /// percentiles), the frustum-cull survivor count, the arena's
+    /// high-water footprint, and a `slam.frame` span covering the frame.
+    fn record_frame_metrics(&mut self, index: usize, wall: Duration, start: Instant) {
+        let wall_ns = wall.as_nanos() as u64;
+        self.metrics.frame_ns.record(wall_ns);
+        self.metrics.frames.incr();
+        self.metrics
+            .visible_gaussians
+            .record(self.arena.visible().ids.len() as u64);
+        self.metrics
+            .arena_high_water
+            .set_max(self.arena.high_water_bytes() as i64);
+        emit_span(
+            "slam.frame",
+            "frame",
+            ns_since_epoch(start),
+            wall_ns,
+            index as u64,
+        );
     }
 
     fn initialize(&mut self, frame: &RgbdFrame) {
@@ -663,6 +718,7 @@ impl<'d> SlamPipeline<'d> {
         let densify_at = iterations / 2;
 
         for iter in 0..iterations {
+            let it = iter as u64;
             // 70% current keyframe, 30% a previous keyframe.
             let target_index = if iter % 10 < 7 || self.keyframes.is_empty() {
                 index
@@ -681,15 +737,33 @@ impl<'d> SlamPipeline<'d> {
                 .cull(&self.scene, &w2c, &camera, Some(&self.mask), &*self.backend);
             self.arena.project_visible(&w2c, &camera, &*self.backend);
             let t1 = Instant::now();
-            self.mapping_timings.preprocess += t1 - t0;
+            record_stage(
+                &mut self.mapping_timings,
+                StageId::Preprocess,
+                ns_since_epoch(t0),
+                (t1 - t0).as_nanos() as u64,
+                it,
+            );
             self.arena.assign_tiles(&camera, &*self.backend);
             let t2 = Instant::now();
-            self.mapping_timings.sorting += t2 - t1;
+            record_stage(
+                &mut self.mapping_timings,
+                StageId::Sorting,
+                ns_since_epoch(t1),
+                (t2 - t1).as_nanos() as u64,
+                it,
+            );
             // Fused tile pass: forward records fragment sequences so the
             // backward pass skips the re-walk (bitwise-identical output).
             self.arena.render_fused(&camera, &*self.backend);
             let t3 = Instant::now();
-            self.mapping_timings.render += t3 - t2;
+            record_stage(
+                &mut self.mapping_timings,
+                StageId::Render,
+                ns_since_epoch(t2),
+                (t3 - t2).as_nanos() as u64,
+                it,
+            );
 
             self.arena.compute_loss(
                 &frame.color,
@@ -699,13 +773,28 @@ impl<'d> SlamPipeline<'d> {
             self.arena
                 .backward_visible_fused(&camera, &w2c, &*self.backend);
             let grad_stats = self.arena.backward().stats;
-            self.mapping_timings.render_bp += Duration::from_nanos(grad_stats.rendering_bp_nanos);
-            self.mapping_timings.preprocess_bp +=
-                Duration::from_nanos(grad_stats.preprocessing_bp_nanos);
             let t4 = Instant::now();
-            self.mapping_timings.other += (t4 - t3).saturating_sub(Duration::from_nanos(
-                grad_stats.rendering_bp_nanos + grad_stats.preprocessing_bp_nanos,
-            ));
+            // BP intervals are measured by the backward kernel itself; see
+            // the matching comment in `track_frame_with`.
+            let t3_ns = ns_since_epoch(t3);
+            let rbp = grad_stats.rendering_bp_nanos;
+            let pbp = grad_stats.preprocessing_bp_nanos;
+            record_stage(&mut self.mapping_timings, StageId::RenderBp, t3_ns, rbp, it);
+            record_stage(
+                &mut self.mapping_timings,
+                StageId::PreprocessBp,
+                t3_ns + rbp,
+                pbp,
+                it,
+            );
+            let other_ns = ((t4 - t3).as_nanos() as u64).saturating_sub(rbp + pbp);
+            record_stage(
+                &mut self.mapping_timings,
+                StageId::Other,
+                t3_ns + rbp + pbp,
+                other_ns,
+                it,
+            );
 
             if self.config.record_traces {
                 self.pending_mapping_traces.push(WorkloadTrace::from_render(
@@ -795,6 +884,8 @@ impl<'d> SlamPipeline<'d> {
             }
         }
 
+        // The report exposes `Duration`-typed views over the hot-path
+        // nanosecond accumulators (exact conversion).
         let mut stage = self.tracking_timings;
         stage.accumulate(&self.mapping_timings);
         let total_wall = self
@@ -816,9 +907,9 @@ impl<'d> SlamPipeline<'d> {
             tracking_wall: self.tracking_wall,
             mapping_wall: self.mapping_wall,
             total_wall,
-            stage_timings: stage,
-            tracking_timings: self.tracking_timings,
-            mapping_timings: self.mapping_timings,
+            stage_timings: StageTimings::from(&stage),
+            tracking_timings: StageTimings::from(&self.tracking_timings),
+            mapping_timings: StageTimings::from(&self.mapping_timings),
             keyframes: self.keyframes.len(),
             frames: self.frame_reports.clone(),
         }

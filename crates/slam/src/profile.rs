@@ -1,6 +1,14 @@
 //! Per-stage wall-clock accounting (the measurements behind the paper's
 //! Fig. 3 latency breakdowns).
+//!
+//! The pipeline accumulates into [`rtgs_telemetry::StageNanos`] on the hot
+//! path (plain `u64` adds) and emits one telemetry span per stage with the
+//! *same* measured interval; [`StageTimings`] is the `Duration`-typed view
+//! reports expose. The conversions are exact — `Duration::from_nanos`
+//! round-trips bitwise — so the span-derived breakdown, the accumulator and
+//! the report always agree.
 
+use rtgs_telemetry::{StageId, StageNanos};
 use std::time::Duration;
 
 /// Accumulated wall-clock time per pipeline step (Steps ❶–❺ plus "other").
@@ -60,6 +68,50 @@ impl StageTimings {
     }
 }
 
+/// Accounts one measured stage interval: adds it to the accumulator and
+/// emits the stage span with the *same* nanoseconds, so the span-derived
+/// breakdown and the accumulator agree exactly (asserted by the
+/// `span_accounting` integration test).
+#[inline]
+pub(crate) fn record_stage(
+    timings: &mut StageNanos,
+    stage: StageId,
+    start_ns: u64,
+    dur_ns: u64,
+    arg: u64,
+) {
+    timings.add(stage, dur_ns);
+    rtgs_telemetry::emit_span(stage.span_name(), "stage", start_ns, dur_ns, arg);
+}
+
+impl From<&StageNanos> for StageTimings {
+    fn from(n: &StageNanos) -> Self {
+        StageTimings {
+            preprocess: Duration::from_nanos(n.get(StageId::Preprocess)),
+            sorting: Duration::from_nanos(n.get(StageId::Sorting)),
+            render: Duration::from_nanos(n.get(StageId::Render)),
+            render_bp: Duration::from_nanos(n.get(StageId::RenderBp)),
+            preprocess_bp: Duration::from_nanos(n.get(StageId::PreprocessBp)),
+            other: Duration::from_nanos(n.get(StageId::Other)),
+        }
+    }
+}
+
+impl From<&StageTimings> for StageNanos {
+    fn from(t: &StageTimings) -> Self {
+        StageNanos {
+            nanos: [
+                t.preprocess.as_nanos() as u64,
+                t.sorting.as_nanos() as u64,
+                t.render.as_nanos() as u64,
+                t.render_bp.as_nanos() as u64,
+                t.preprocess_bp.as_nanos() as u64,
+                t.other.as_nanos() as u64,
+            ],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +160,47 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.render, Duration::from_millis(15));
         assert_eq!(a.sorting, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn accumulate_is_associative() {
+        let a = StageTimings {
+            preprocess: Duration::from_nanos(7),
+            render: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let b = StageTimings {
+            render: Duration::from_millis(5),
+            sorting: Duration::from_micros(3),
+            ..Default::default()
+        };
+        let c = StageTimings {
+            render_bp: Duration::from_millis(2),
+            other: Duration::from_nanos(11),
+            ..Default::default()
+        };
+        let mut ab = a;
+        ab.accumulate(&b);
+        let mut ab_c = ab;
+        ab_c.accumulate(&c);
+        let mut bc = b;
+        bc.accumulate(&c);
+        let mut a_bc = a;
+        a_bc.accumulate(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    /// The `Duration` view and the hot-path nanosecond accumulator convert
+    /// back and forth without loss.
+    #[test]
+    fn stage_nanos_roundtrip_is_exact() {
+        let nanos = StageNanos {
+            nanos: [1, 22, 333, 4_444, 55_555, 666_666_666_666],
+        };
+        let view = StageTimings::from(&nanos);
+        assert_eq!(StageNanos::from(&view), nanos);
+        assert_eq!(view.total(), Duration::from_nanos(nanos.total()));
+        let shares: f64 = view.shares().iter().sum();
+        assert!((shares - 1.0).abs() < 1e-9);
     }
 }

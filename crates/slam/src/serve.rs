@@ -128,7 +128,20 @@ mod tests {
             assert_eq!(outcome.stats.steps, 3, "one step per frame");
             assert_eq!(outcome.report.frames_processed, 3);
             assert_eq!(outcome.report.trajectory.len(), 3);
+            // Per-session latency percentiles come straight from the
+            // scheduler's telemetry histogram: one sample per frame.
+            assert_eq!(
+                outcome.stats.latency.count(),
+                3,
+                "{}: one latency sample per frame",
+                outcome.stats.label
+            );
+            assert!(outcome.stats.latency.p50() <= outcome.stats.latency.p999());
         }
+        // Fleet-wide percentiles merge the per-session histograms.
+        let fleet = rtgs_runtime::fleet_latency(&outcomes);
+        assert_eq!(fleet.count(), 12);
+        assert!(fleet.p50() > 0);
     }
 
     #[test]
@@ -181,6 +194,14 @@ mod tests {
             hibernations > 0,
             "3 sessions under a 2-resident budget must hibernate"
         );
+        for o in &evicted {
+            if o.stats.hibernations > 0 {
+                // Satellite: hibernation I/O wall-clock is accounted.
+                assert!(o.stats.hibernate_wall > std::time::Duration::ZERO);
+                assert!(o.stats.rehydrations >= 1, "{}", o.stats.label);
+                assert!(o.stats.rehydrate_wall > std::time::Duration::ZERO);
+            }
+        }
         for (a, b) in resident.iter().zip(evicted.iter()) {
             assert_eq!(a.stats.label, b.stats.label);
             assert_eq!(a.stats.steps, b.stats.steps, "{}", a.stats.label);

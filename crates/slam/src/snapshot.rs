@@ -32,7 +32,6 @@ use crate::optimizer::{MapOptimizer, PARAMS_PER_GAUSSIAN};
 use crate::pipeline::{
     BaseAlgorithm, FrameReport, NoExtension, PipelineExtension, SlamConfig, SlamPipeline,
 };
-use crate::profile::StageTimings;
 use rtgs_math::{Quat, Se3, Vec3};
 use rtgs_render::{FrameArena, Image, LossKind, ShardedScene};
 use rtgs_scene::SyntheticDataset;
@@ -40,6 +39,7 @@ use rtgs_snapshot::format::{put_f32, put_len, put_u64, put_u8, Cursor};
 use rtgs_snapshot::{
     CaptureStats, Channel, CheckpointLog, SectionBuilder, Sections, SnapshotError,
 };
+use rtgs_telemetry::StageNanos;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -148,28 +148,22 @@ fn read_duration(c: &mut Cursor<'_>) -> Result<Duration, SnapshotError> {
     Ok(Duration::from_nanos(c.u64()?))
 }
 
-fn put_timings(out: &mut Vec<u8>, t: &StageTimings) {
-    for d in [
-        t.preprocess,
-        t.sorting,
-        t.render,
-        t.render_bp,
-        t.preprocess_bp,
-        t.other,
-    ] {
-        put_duration(out, d);
+// Stage accumulators travel as six u64 nanosecond counts — the exact byte
+// layout the format has always used (each stage was a `Duration` encoded
+// via `put_duration`), so moving the pipeline to `StageNanos` changes no
+// snapshot bytes.
+fn put_timings(out: &mut Vec<u8>, t: &StageNanos) {
+    for ns in t.nanos {
+        put_u64(out, ns);
     }
 }
 
-fn read_timings(c: &mut Cursor<'_>) -> Result<StageTimings, SnapshotError> {
-    Ok(StageTimings {
-        preprocess: read_duration(c)?,
-        sorting: read_duration(c)?,
-        render: read_duration(c)?,
-        render_bp: read_duration(c)?,
-        preprocess_bp: read_duration(c)?,
-        other: read_duration(c)?,
-    })
+fn read_timings(c: &mut Cursor<'_>) -> Result<StageNanos, SnapshotError> {
+    let mut nanos = [0u64; rtgs_telemetry::STAGE_COUNT];
+    for ns in &mut nanos {
+        *ns = c.u64()?;
+    }
+    Ok(StageNanos { nanos })
 }
 
 fn put_pose(out: &mut Vec<u8>, pose: &Se3) {
@@ -205,8 +199,8 @@ struct SessionMeta {
     optimizer_step: u64,
     tracking_wall: Duration,
     mapping_wall: Duration,
-    tracking_timings: StageTimings,
-    mapping_timings: StageTimings,
+    tracking_timings: StageNanos,
+    mapping_timings: StageNanos,
     trajectory: Vec<Se3>,
     keyframes: Vec<usize>,
     last_keyframe_image: Option<Image>,
@@ -306,7 +300,23 @@ impl SlamPipeline<'_> {
             mask.data[id as usize] = f32::from(self.mask[id as usize]);
         }
         let meta = self.encode_session_meta();
-        log.capture(&self.scene, &[adam_m, adam_v, mask], &meta)
+        let stats = log.capture(&self.scene, &[adam_m, adam_v, mask], &meta)?;
+        // Delta-vs-base byte accounting: how much the incremental encoding
+        // saves is a first-class serving metric.
+        let registry = rtgs_telemetry::global();
+        if stats.is_base {
+            registry
+                .counter("snapshot.base.bytes")
+                .add(stats.bytes as u64);
+        } else {
+            registry
+                .counter("snapshot.delta.bytes")
+                .add(stats.bytes as u64);
+        }
+        registry
+            .histogram("snapshot.capture_ns")
+            .record(stats.elapsed.as_nanos() as u64);
+        Ok(stats)
     }
 
     /// Checkpoints into a fresh single-capture log (a full snapshot).
@@ -399,8 +409,17 @@ impl SlamPipeline<'_> {
     ///
     /// Checkpoint errors (see [`Self::checkpoint_into`]) or file I/O.
     pub fn hibernate_to(&mut self, path: &Path) -> Result<(), SnapshotError> {
+        let t0 = Instant::now();
         let log = self.checkpoint()?;
-        std::fs::write(path, log.encode())?;
+        let bytes = log.encode();
+        std::fs::write(path, &bytes)?;
+        let registry = rtgs_telemetry::global();
+        registry
+            .counter("snapshot.hibernate.bytes")
+            .add(bytes.len() as u64);
+        registry
+            .histogram("snapshot.hibernate_ns")
+            .record(t0.elapsed().as_nanos() as u64);
         self.scene = ShardedScene::new(self.config.map.shard_cell_size);
         self.map_optimizer = MapOptimizer::new(0, self.config.map_lrs);
         self.arena = FrameArena::new();
@@ -424,9 +443,18 @@ impl SlamPipeline<'_> {
     /// [`SnapshotError::ConfigMismatch`] when the file was written under a
     /// different configuration.
     pub fn rehydrate_from(&mut self, path: &Path) -> Result<(), SnapshotError> {
+        let t0 = Instant::now();
         let bytes = std::fs::read(path)?;
         let log = CheckpointLog::decode(&bytes)?;
-        self.apply_restored(&log)
+        self.apply_restored(&log)?;
+        let registry = rtgs_telemetry::global();
+        registry
+            .counter("snapshot.rehydrate.bytes")
+            .add(bytes.len() as u64);
+        registry
+            .histogram("snapshot.rehydrate_ns")
+            .record(t0.elapsed().as_nanos() as u64);
+        Ok(())
     }
 
     /// Whether the session's heavy state is currently spilled to disk.

@@ -9,7 +9,7 @@
 //! not the total map size, while staying bitwise-identical to rendering
 //! the full map.
 
-use crate::profile::StageTimings;
+use crate::profile::record_stage;
 use rtgs_math::Se3;
 use rtgs_render::{
     BackwardOutput, FrameArena, LossConfig, PinholeCamera, RenderOutput, ShardedScene,
@@ -17,6 +17,7 @@ use rtgs_render::{
 };
 use rtgs_runtime::Backend;
 use rtgs_scene::RgbdFrame;
+use rtgs_telemetry::{ns_since_epoch, StageId, StageNanos};
 use std::time::Instant;
 
 /// Tracking configuration.
@@ -180,7 +181,7 @@ pub fn track_frame<O: TrackingObserver>(
     config: &TrackingConfig,
     mask: &mut [bool],
     observer: &mut O,
-    timings: &mut StageTimings,
+    timings: &mut StageNanos,
 ) -> TrackResult {
     track_frame_with(
         map,
@@ -212,7 +213,7 @@ pub fn track_frame_with<O: TrackingObserver>(
     config: &TrackingConfig,
     mask: &mut [bool],
     observer: &mut O,
-    timings: &mut StageTimings,
+    timings: &mut StageNanos,
     arena: &mut FrameArena,
     backend: &dyn Backend,
 ) -> TrackResult {
@@ -234,6 +235,7 @@ pub fn track_frame_with<O: TrackingObserver>(
     let mut rms = [0.0f32; 6];
 
     for iteration in 0..config.iterations {
+        let it = iteration as u64;
         let t0 = Instant::now();
         // Frustum-cull pre-pass + gather: only surviving shards feed the
         // projection, masked (pruned) IDs drop out here before any math.
@@ -241,27 +243,51 @@ pub fn track_frame_with<O: TrackingObserver>(
         arena.cull(map, &w2c, camera, Some(&*mask), backend);
         arena.project_visible(&w2c, camera, backend);
         let t1 = Instant::now();
-        timings.preprocess += t1 - t0;
+        record_stage(
+            timings,
+            StageId::Preprocess,
+            ns_since_epoch(t0),
+            (t1 - t0).as_nanos() as u64,
+            it,
+        );
         arena.assign_tiles(camera, backend);
         let t2 = Instant::now();
-        timings.sorting += t2 - t1;
+        record_stage(
+            timings,
+            StageId::Sorting,
+            ns_since_epoch(t1),
+            (t2 - t1).as_nanos() as u64,
+            it,
+        );
         // Fused tile pass: the render records each pixel's fragment
         // sequence so the backward pass consumes it instead of re-walking
         // the sorted splat lists (bitwise-identical to the unfused path).
         arena.render_fused(camera, backend);
         let t3 = Instant::now();
-        timings.render += t3 - t2;
+        record_stage(
+            timings,
+            StageId::Render,
+            ns_since_epoch(t2),
+            (t3 - t2).as_nanos() as u64,
+            it,
+        );
 
         let loss = arena.compute_loss(&frame.color, frame.depth.as_ref(), &config.loss);
         arena.backward_visible_fused(camera, &w2c, backend);
         let grad_stats = arena.backward().stats;
         let grad_pose = arena.backward().pose;
-        timings.render_bp += std::time::Duration::from_nanos(grad_stats.rendering_bp_nanos);
-        timings.preprocess_bp += std::time::Duration::from_nanos(grad_stats.preprocessing_bp_nanos);
         let t4 = Instant::now();
-        timings.other += (t4 - t3).saturating_sub(std::time::Duration::from_nanos(
-            grad_stats.rendering_bp_nanos + grad_stats.preprocessing_bp_nanos,
-        ));
+        // The BP stages are measured out-of-band by the backward kernel;
+        // their spans tile the [t3, t4] interval in kernel order, with the
+        // unattributed remainder (loss, trust-region bookkeeping) as
+        // "other" — durations exact, offsets reconstructed.
+        let t3_ns = ns_since_epoch(t3);
+        let rbp = grad_stats.rendering_bp_nanos;
+        let pbp = grad_stats.preprocessing_bp_nanos;
+        record_stage(timings, StageId::RenderBp, t3_ns, rbp, it);
+        record_stage(timings, StageId::PreprocessBp, t3_ns + rbp, pbp, it);
+        let other_ns = ((t4 - t3).as_nanos() as u64).saturating_sub(rbp + pbp);
+        record_stage(timings, StageId::Other, t3_ns + rbp + pbp, other_ns, it);
 
         // Trust-region accept/reject: keep the best pose, adapt the step.
         for (r, g) in rms.iter_mut().zip(grad_pose.iter()) {
@@ -357,7 +383,7 @@ mod tests {
         let gt_w2c = ds.poses_c2w[0].inverse();
         let perturbed = gt_w2c.retract([0.01, -0.0075, 0.005, 0.004, -0.003, 0.002]);
         let mut mask = vec![true; map.capacity()];
-        let mut timings = StageTimings::default();
+        let mut timings = StageNanos::default();
         let config = TrackingConfig {
             iterations: 20,
             ..Default::default()
@@ -394,7 +420,7 @@ mod tests {
         let gt_w2c = ds.poses_c2w[0].inverse();
         let perturbed = gt_w2c.retract([0.015, 0.01, -0.01, 0.0, 0.005, 0.0]);
         let mut mask = vec![true; map.capacity()];
-        let mut timings = StageTimings::default();
+        let mut timings = StageNanos::default();
         let result = track_frame(
             &map,
             perturbed,
@@ -416,7 +442,7 @@ mod tests {
         let ds = small_dataset();
         let map = sharded(&ds);
         let mut mask = vec![true; map.capacity()];
-        let mut timings = StageTimings::default();
+        let mut timings = StageNanos::default();
         let _ = track_frame(
             &map,
             ds.poses_c2w[0].inverse(),
@@ -430,9 +456,14 @@ mod tests {
             &mut NoObserver,
             &mut timings,
         );
-        assert!(timings.render > std::time::Duration::ZERO);
-        assert!(timings.render_bp > std::time::Duration::ZERO);
-        assert!(timings.preprocess > std::time::Duration::ZERO);
+        assert!(timings.get(StageId::Render) > 0);
+        assert!(timings.get(StageId::RenderBp) > 0);
+        assert!(timings.get(StageId::Preprocess) > 0);
+        assert_eq!(
+            crate::profile::StageTimings::from(&timings).total(),
+            std::time::Duration::from_nanos(timings.total()),
+            "the Duration view is an exact view"
+        );
     }
 
     #[test]
@@ -440,7 +471,7 @@ mod tests {
         let ds = small_dataset();
         let map = sharded(&ds);
         let mut mask = vec![true; map.capacity()];
-        let mut timings = StageTimings::default();
+        let mut timings = StageNanos::default();
         let result = track_frame(
             &map,
             ds.poses_c2w[0].inverse(),
@@ -466,7 +497,7 @@ mod tests {
         let map = sharded(&ds);
         let mut full_mask = vec![true; map.capacity()];
         let mut half_mask: Vec<bool> = (0..map.capacity()).map(|i| i % 2 == 0).collect();
-        let mut timings = StageTimings::default();
+        let mut timings = StageNanos::default();
         let cfg = TrackingConfig {
             iterations: 2,
             ..Default::default()
@@ -510,7 +541,7 @@ mod tests {
         let ds = small_dataset();
         let map = sharded(&ds);
         let mut mask = vec![true; map.capacity()];
-        let mut timings = StageTimings::default();
+        let mut timings = StageNanos::default();
         let result = track_frame(
             &map,
             ds.poses_c2w[0].inverse(),
@@ -558,7 +589,7 @@ mod tests {
         let ds = small_dataset();
         let map = sharded(&ds);
         let mut mask = vec![true; map.capacity()];
-        let mut timings = StageTimings::default();
+        let mut timings = StageNanos::default();
         let mut obs = CheckIds { checked: false };
         let _ = track_frame(
             &map,

@@ -97,6 +97,8 @@ pub struct CaptureStats {
     pub total_shards: usize,
     /// Encoded size of this capture in bytes.
     pub bytes: usize,
+    /// Wall-clock the capture took (change scan + encode).
+    pub elapsed: std::time::Duration,
 }
 
 /// A base snapshot plus an ordered chain of dirty-shard deltas. See the
@@ -179,8 +181,9 @@ impl CheckpointLog {
                 ch.name
             );
         }
+        let capture_start = std::time::Instant::now();
         let total_shards = scene.shard_count();
-        let stats = if self.base.is_empty() {
+        let mut stats = if self.base.is_empty() {
             let state = scene.export_state();
             self.base = encode_base(&state, channels, meta);
             CaptureStats {
@@ -188,6 +191,7 @@ impl CheckpointLog {
                 shards_written: total_shards,
                 total_shards,
                 bytes: self.base.len(),
+                elapsed: std::time::Duration::ZERO,
             }
         } else {
             let changed: Vec<u32> = scene
@@ -209,9 +213,11 @@ impl CheckpointLog {
                 shards_written: changed.len(),
                 total_shards,
                 bytes,
+                elapsed: std::time::Duration::ZERO,
             }
         };
         self.seen_versions = scene.shards().iter().map(|s| s.version()).collect();
+        stats.elapsed = capture_start.elapsed();
         Ok(stats)
     }
 

@@ -1,0 +1,264 @@
+//! Exporters: registry snapshots as plain text or JSON, span rings as Chrome
+//! `trace_event` JSON, and a periodic snapshot writer for serving runs.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::registry::{MetricValue, Registry, RegistrySnapshot};
+use crate::spans::collect_spans;
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a registry snapshot as aligned plain text, one metric per line.
+pub fn render_text(snapshot: &RegistrySnapshot) -> String {
+    let width = snapshot
+        .entries
+        .keys()
+        .map(String::len)
+        .max()
+        .unwrap_or(0)
+        .max(6);
+    let mut out = String::new();
+    for (name, value) in &snapshot.entries {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "counter    {name:<width$}  {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "gauge      {name:<width$}  {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "histogram  {name:<width$}  count={} mean={:.0} min={} p50={} p99={} p999={} max={}",
+                    h.count(),
+                    h.mean(),
+                    h.min(),
+                    h.p50(),
+                    h.p99(),
+                    h.p999(),
+                    h.max(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a registry snapshot as a JSON object keyed by metric name.
+/// Histograms are summarized (count/sum/min/max/mean/p50/p99/p999) rather
+/// than dumped bucket-by-bucket.
+pub fn render_json(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\n  \"metrics\": {");
+    let mut first = true;
+    for (name, value) in &snapshot.entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        escape_json(name, &mut out);
+        out.push_str("\": ");
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{{\"type\": \"counter\", \"value\": {v}}}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {v}}}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"p999\": {}}}",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max(),
+                    h.mean(),
+                    h.p50(),
+                    h.p99(),
+                    h.p999(),
+                );
+            }
+        }
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Serializes every thread's recorded spans as Chrome `trace_event` JSON
+/// (complete `"ph": "X"` events, microsecond timestamps). Load the result in
+/// `chrome://tracing` or <https://ui.perfetto.dev> for a flame chart of a
+/// multi-session run. Rings are left intact (export is a copy).
+pub fn chrome_trace_json() -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    let mut first = true;
+    for (tid, events) in collect_spans() {
+        for event in events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n  {\"name\": \"");
+            escape_json(event.name, &mut out);
+            out.push_str("\", \"cat\": \"");
+            escape_json(event.cat, &mut out);
+            let _ = write!(
+                out,
+                "\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, \"args\": {{\"arg\": {}}}}}",
+                event.start_ns as f64 / 1_000.0,
+                event.dur_ns as f64 / 1_000.0,
+                tid,
+                event.arg,
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Periodically writes registry snapshots to a file during a run, plus a
+/// final one-shot dump on shutdown (`write_now`). The format follows the
+/// file extension: `.json` gets [`render_json`], anything else plain text.
+pub struct SnapshotWriter {
+    path: PathBuf,
+    every: Duration,
+    last: Option<Instant>,
+}
+
+impl SnapshotWriter {
+    /// Creates a writer targeting `path`, rewriting at most every `every`.
+    pub fn new(path: impl Into<PathBuf>, every: Duration) -> Self {
+        SnapshotWriter {
+            path: path.into(),
+            every,
+            last: None,
+        }
+    }
+
+    /// Destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn render(&self, registry: &Registry) -> String {
+        let snapshot = registry.snapshot();
+        if self.path.extension().is_some_and(|e| e == "json") {
+            render_json(&snapshot)
+        } else {
+            render_text(&snapshot)
+        }
+    }
+
+    /// Writes a snapshot if at least `every` has elapsed since the last
+    /// write (the first call always writes). Returns whether it wrote.
+    pub fn maybe_write(&mut self, registry: &Registry) -> io::Result<bool> {
+        let due = self.last.map_or(true, |last| last.elapsed() >= self.every);
+        if due {
+            std::fs::write(&self.path, self.render(registry))?;
+            self.last = Some(Instant::now());
+        }
+        Ok(due)
+    }
+
+    /// Unconditionally writes a snapshot (the shutdown dump).
+    pub fn write_now(&mut self, registry: &Registry) -> io::Result<()> {
+        std::fs::write(&self.path, self.render(registry))?;
+        self.last = Some(Instant::now());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("serve.steps").add(42);
+        r.gauge("arena.high_water").set(1 << 20);
+        let h = r.histogram("frame.ns");
+        for v in [1_000u64, 2_000, 3_000, 1_000_000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn text_render_lists_every_metric() {
+        let text = render_text(&sample_registry().snapshot());
+        assert!(text.contains("counter"));
+        assert!(text.contains("serve.steps"));
+        assert!(text.contains("42"));
+        assert!(text.contains("gauge"));
+        assert!(text.contains("histogram"));
+        assert!(text.contains("p999="));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_render_is_parseable_shape() {
+        let json = render_json(&sample_registry().snapshot());
+        assert!(json.contains("\"serve.steps\": {\"type\": \"counter\", \"value\": 42}"));
+        assert!(json.contains("\"type\": \"histogram\""));
+        assert!(json.contains("\"p999\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_structure() {
+        let json = chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn snapshot_writer_honors_interval_and_extension() {
+        let registry = sample_registry();
+        let dir = std::env::temp_dir().join("rtgs-telemetry-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+
+        let mut writer = SnapshotWriter::new(&path, Duration::from_secs(3600));
+        assert!(writer.maybe_write(&registry).unwrap(), "first write is due");
+        assert!(
+            !writer.maybe_write(&registry).unwrap(),
+            "second write within the interval is skipped"
+        );
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("\"type\": \"histogram\""), "json format");
+
+        let text_path = dir.join("metrics.txt");
+        let mut text_writer = SnapshotWriter::new(&text_path, Duration::ZERO);
+        text_writer.write_now(&registry).unwrap();
+        let contents = std::fs::read_to_string(&text_path).unwrap();
+        assert!(contents.contains("histogram"), "text format");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! Always-on observability for the RTGS serving stack: a lock-cheap metrics
+//! registry (counters, gauges, log-scale latency histograms with exact
+//! p50/p99/p999 extraction), structured span tracing into pre-sized
+//! per-thread rings with Chrome `trace_event` export, and text/JSON snapshot
+//! exporters.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero-cost when disabled.** Hot paths route probes through the
+//!    statically-dispatched [`Recorder`] seam; the [`NoopRecorder`] compiles
+//!    every probe away. The default [`RingRecorder`] guards span recording
+//!    behind one relaxed atomic load.
+//! 2. **Allocation-free when enabled.** Histograms are fixed atomic bucket
+//!    arrays, span rings are pre-sized and overwrite-on-wrap, and metric
+//!    handles are `Arc`s resolved once at registration — the steady-state
+//!    render path stays inside the repo's counting-allocator zero-alloc
+//!    gate with recording on.
+//! 3. **Std-only.** No dependencies; works in the offline build environment.
+//!
+//! # Example
+//!
+//! ```
+//! use rtgs_telemetry as telemetry;
+//!
+//! let frame_ns = telemetry::global().histogram("doc.frame_ns");
+//! telemetry::set_tracing_enabled(true);
+//! {
+//!     let _span = telemetry::span!("doc.track_frame", 0);
+//!     frame_ns.record(1_250_000); // 1.25 ms
+//! }
+//! telemetry::set_tracing_enabled(false);
+//! let snapshot = frame_ns.snapshot();
+//! assert_eq!(snapshot.p50(), snapshot.p999()); // single observation
+//! let trace = telemetry::chrome_trace_json();
+//! assert!(trace.contains("doc.track_frame"));
+//! ```
+
+mod export;
+mod hist;
+mod registry;
+mod spans;
+mod stage;
+
+pub use export::{chrome_trace_json, render_json, render_text, SnapshotWriter};
+pub use hist::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use registry::{global, Counter, Gauge, MetricValue, Registry, RegistrySnapshot};
+pub use spans::{
+    clear_spans, collect_spans, dropped_spans, emit_span, ns_since_epoch, set_ring_capacity,
+    set_tracing_enabled, tracing_enabled, warm_thread_ring, NoopRecorder, Recorder, RingRecorder,
+    SpanEvent, SpanGuard, DEFAULT_RING_CAPACITY,
+};
+pub use stage::{StageId, StageNanos, STAGE_COUNT};

@@ -1,0 +1,151 @@
+//! Pipeline-stage identifiers and the nanosecond accumulator behind the
+//! paper's Fig. 3 latency breakdown.
+//!
+//! The render/SLAM crates account per-iteration stage time into a
+//! [`StageNanos`] (plain `u64` adds on the hot path) and emit one span per
+//! stage with the *same* measured interval, so the span-derived breakdown
+//! and the accumulator agree exactly. Higher layers (e.g.
+//! `rtgs_slam::StageTimings`) are `Duration`-typed views over this type.
+
+/// The five paper pipeline steps plus "other" (loss, optimizer, bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum StageId {
+    /// Step ❶ Preprocessing (projection + tile intersection setup).
+    Preprocess = 0,
+    /// Step ❷ Sorting (tile list construction + depth sort).
+    Sorting = 1,
+    /// Step ❸ Rendering (alpha compute + blend).
+    Render = 2,
+    /// Step ❹ Rendering BP.
+    RenderBp = 3,
+    /// Step ❺ Preprocessing BP (incl. pose/parameter updates).
+    PreprocessBp = 4,
+    /// Everything else (loss, optimizer steps, bookkeeping).
+    Other = 5,
+}
+
+/// Number of stages tracked by [`StageNanos`].
+pub const STAGE_COUNT: usize = 6;
+
+impl StageId {
+    /// All stages, in accumulator order.
+    pub const ALL: [StageId; STAGE_COUNT] = [
+        StageId::Preprocess,
+        StageId::Sorting,
+        StageId::Render,
+        StageId::RenderBp,
+        StageId::PreprocessBp,
+        StageId::Other,
+    ];
+
+    /// The span name recorded for this stage (`"stage.<name>"`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            StageId::Preprocess => "stage.preprocess",
+            StageId::Sorting => "stage.sorting",
+            StageId::Render => "stage.render",
+            StageId::RenderBp => "stage.render_bp",
+            StageId::PreprocessBp => "stage.preprocess_bp",
+            StageId::Other => "stage.other",
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageId::Preprocess => "preprocess",
+            StageId::Sorting => "sorting",
+            StageId::Render => "render",
+            StageId::RenderBp => "render_bp",
+            StageId::PreprocessBp => "preprocess_bp",
+            StageId::Other => "other",
+        }
+    }
+
+    /// Maps a stage span name back to its stage (export-side parsing).
+    pub fn from_span_name(name: &str) -> Option<StageId> {
+        StageId::ALL.into_iter().find(|s| s.span_name() == name)
+    }
+}
+
+/// Accumulated per-stage wall-clock nanoseconds. The hot-path representation
+/// behind `StageTimings`: adding a sample is one array add, no `Duration`
+/// arithmetic, no allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Nanoseconds per stage, indexed by [`StageId`] discriminant.
+    pub nanos: [u64; STAGE_COUNT],
+}
+
+impl StageNanos {
+    /// Adds `ns` to `stage`.
+    #[inline]
+    pub fn add(&mut self, stage: StageId, ns: u64) {
+        self.nanos[stage as usize] += ns;
+    }
+
+    /// Nanoseconds accumulated for `stage`.
+    #[inline]
+    pub fn get(&self, stage: StageId) -> u64 {
+        self.nanos[stage as usize]
+    }
+
+    /// Adds another accumulator's times into this one.
+    pub fn accumulate(&mut self, other: &StageNanos) {
+        for (dst, src) in self.nanos.iter_mut().zip(other.nanos.iter()) {
+            *dst += src;
+        }
+    }
+
+    /// Sum over all stages.
+    pub fn total(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get_roundtrip() {
+        let mut s = StageNanos::default();
+        s.add(StageId::Render, 100);
+        s.add(StageId::Render, 50);
+        s.add(StageId::Other, 7);
+        assert_eq!(s.get(StageId::Render), 150);
+        assert_eq!(s.get(StageId::Other), 7);
+        assert_eq!(s.total(), 157);
+    }
+
+    #[test]
+    fn accumulate_is_associative() {
+        let a = StageNanos {
+            nanos: [1, 2, 3, 4, 5, 6],
+        };
+        let b = StageNanos {
+            nanos: [10, 20, 30, 40, 50, 60],
+        };
+        let c = StageNanos {
+            nanos: [100, 200, 300, 400, 500, 600],
+        };
+        let mut ab = a;
+        ab.accumulate(&b);
+        let mut ab_c = ab;
+        ab_c.accumulate(&c);
+        let mut bc = b;
+        bc.accumulate(&c);
+        let mut a_bc = a;
+        a_bc.accumulate(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn span_names_roundtrip() {
+        for stage in StageId::ALL {
+            assert_eq!(StageId::from_span_name(stage.span_name()), Some(stage));
+        }
+        assert_eq!(StageId::from_span_name("stage.unknown"), None);
+    }
+}

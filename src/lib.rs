@@ -35,3 +35,5 @@ pub use rtgs_render as render;
 pub use rtgs_runtime as runtime;
 pub use rtgs_scene as scene;
 pub use rtgs_slam as slam;
+pub use rtgs_snapshot as snapshot;
+pub use rtgs_telemetry as telemetry;
