@@ -19,9 +19,11 @@ use rtgs_render::{
     backward, backward_fused_with, backward_with, compute_loss, render_frame, render_frame_with,
     render_fused_with, render_with, LossConfig, WorkloadTrace,
 };
-use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
+use rtgs_runtime::{
+    Backend, BackendChoice, IngestConfig, IngestHub, LatePolicy, Parallel, Serial, Serve,
+};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
-use rtgs_slam::{serve_sessions, BaseAlgorithm, SlamConfig, SlamPipeline, SlamReport};
+use rtgs_slam::{BaseAlgorithm, OpenLoopSession, SlamConfig, SlamPipeline, SlamReport};
 use rtgs_snapshot::{Channel, CheckpointLog};
 use std::time::Duration;
 
@@ -774,7 +776,80 @@ fn bench_session_serving(c: &mut Criterion) {
                     )
                 })
                 .collect();
-            serve_sessions(sessions, 4)
+            Serve::builder().threads(4).run(sessions)
+        })
+    });
+    group.finish();
+}
+
+/// Open-loop ingestion primitives and serving overhead: the bounded-inbox
+/// push/pop round trip, the drop-oldest churn path under a producer storm,
+/// and the 4-session open-loop serve against the closed-loop equivalent
+/// from `session_serving`. All CPU-only and arrival-free (tickets are
+/// pre-queued), so timings are stable enough for BENCH_RESULTS.json.
+fn bench_loadgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loadgen");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("inbox_push_pop_256", |b| {
+        b.iter(|| {
+            let hub = IngestHub::new(IngestConfig::new().with_inbox_capacity(64));
+            let (tx, rx) = hub.channel::<u64>().unwrap();
+            let mut sum = 0u64;
+            for i in 0..256u64 {
+                tx.push(i);
+                let frame = rx.try_pop().unwrap();
+                sum += rx.frame_done(frame, false);
+            }
+            sum
+        })
+    });
+    group.bench_function("drop_oldest_storm_256", |b| {
+        b.iter(|| {
+            let hub = IngestHub::new(
+                IngestConfig::new()
+                    .with_inbox_capacity(4)
+                    .with_late_policy(LatePolicy::DropOldest),
+            );
+            let (tx, rx) = hub.channel::<u64>().unwrap();
+            for i in 0..256u64 {
+                tx.push(i);
+            }
+            tx.close();
+            let mut drained = 0u64;
+            while let Some(frame) = rx.try_pop() {
+                rx.frame_done(frame, false);
+                drained += 1;
+            }
+            drained
+        })
+    });
+    let ds = SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 3);
+    let mk_cfg = |algo: BaseAlgorithm| {
+        let mut cfg = SlamConfig::for_algorithm(algo).with_frames(3);
+        cfg.tracking.iterations = 2;
+        cfg.mapping_iterations = 2;
+        cfg
+    };
+    group.bench_function("open_loop_4_sessions_prequeued", |b| {
+        b.iter(|| {
+            let hub = IngestHub::new(IngestConfig::new().with_inbox_capacity(8));
+            let sessions = BaseAlgorithm::all()
+                .into_iter()
+                .map(|algo| {
+                    let (tx, rx) = hub.channel::<()>().unwrap();
+                    for _ in 0..3 {
+                        tx.push(());
+                    }
+                    tx.close();
+                    (
+                        algo.name().to_string(),
+                        OpenLoopSession::new(SlamPipeline::new(mk_cfg(algo), &ds), rx),
+                    )
+                })
+                .collect();
+            Serve::builder().threads(4).ingest(&hub).run(sessions)
         })
     });
     group.finish();
@@ -914,6 +989,7 @@ criterion_group!(
     bench_large_scene_scaling,
     bench_runtime_scaling,
     bench_session_serving,
+    bench_loadgen,
     bench_snapshot_full,
     bench_snapshot_delta,
 );

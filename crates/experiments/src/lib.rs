@@ -17,6 +17,7 @@
 mod algorithm;
 mod common;
 mod hardware;
+mod loadgen;
 mod persistence;
 mod profiling;
 mod runtime;
@@ -28,6 +29,7 @@ pub use common::{
     Table, Variant,
 };
 pub use hardware::{fig15, fig16, fig17, table4};
+pub use loadgen::loadgen;
 pub use persistence::persistence;
 pub use profiling::{fig3, fig4, fig5, fig6};
 pub use runtime::{arena_steady_state, runtime_scaling, serving};
@@ -52,6 +54,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "runtime",
     "arena",
     "serving",
+    "loadgen",
     "persistence",
     "telemetry",
 ];
@@ -79,6 +82,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Result<String, String> {
         "runtime" => runtime_scaling(scale),
         "arena" => arena_steady_state(scale),
         "serving" => serving(scale),
+        "loadgen" => loadgen(scale),
         "persistence" => persistence(scale),
         "telemetry" => telemetry(scale),
         other => return Err(format!("unknown experiment: {other}")),

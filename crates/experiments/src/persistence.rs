@@ -3,9 +3,9 @@
 //! serving with an eviction budget.
 
 use crate::common::{f, slam_config, Scale, Table};
-use rtgs_runtime::EvictionPolicy;
+use rtgs_runtime::{EvictionPolicy, Serve};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
-use rtgs_slam::{serve_sessions, serve_sessions_with_eviction, BaseAlgorithm, SlamPipeline};
+use rtgs_slam::{BaseAlgorithm, SlamPipeline};
 use rtgs_snapshot::CheckpointLog;
 use std::time::Instant;
 
@@ -101,11 +101,11 @@ pub fn persistence(scale: Scale) -> String {
             })
             .collect::<Vec<_>>()
     };
-    let resident = serve_sessions(build(&ds), 2);
+    let resident = Serve::builder().threads(2).run(build(&ds));
     let spill = std::env::temp_dir().join(format!("rtgs-persistence-{}", std::process::id()));
     let policy = EvictionPolicy::new(spill).with_max_resident_sessions(2);
     let t1 = Instant::now();
-    let evicted = serve_sessions_with_eviction(build(&ds), 2, policy);
+    let evicted = Serve::builder().threads(2).eviction(policy).run(build(&ds));
     let evicted_wall = t1.elapsed();
 
     let mut table = Table::new(&[

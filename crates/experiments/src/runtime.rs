@@ -4,9 +4,10 @@
 
 use crate::common::{f, slam_config, Scale, Table};
 use rtgs_render::{compute_loss, render_frame_fused_with, FrameArena, LossConfig};
+use rtgs_runtime::Serve;
 use rtgs_runtime::{Backend, BackendChoice, Parallel, Serial};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
-use rtgs_slam::{serve_sessions, BaseAlgorithm, SlamPipeline};
+use rtgs_slam::{BaseAlgorithm, SlamPipeline};
 use std::time::Instant;
 
 /// Serial-vs-parallel wall-clock of the four hot paths plus a bitwise
@@ -166,7 +167,7 @@ pub fn serving(scale: Scale) -> String {
             (algo.name().to_string(), SlamPipeline::new(cfg, &ds))
         })
         .collect();
-    let outcomes = serve_sessions(sessions, 0);
+    let outcomes = Serve::builder().threads(0).run(sessions);
     let wall = t0.elapsed();
 
     let mut table = Table::new(&[

@@ -8,11 +8,10 @@
 
 use crate::common::{f, slam_config, Scale, Table};
 use rtgs_render::ShardedScene;
-use rtgs_runtime::{fleet_latency, EvictionPolicy};
+use rtgs_runtime::{fleet_latency, EvictionPolicy, Serve};
 use rtgs_scene::{DatasetProfile, SyntheticDataset};
 use rtgs_slam::{
-    serve_sessions_with_eviction, track_frame, BaseAlgorithm, NoObserver, SlamPipeline, StageId,
-    StageNanos, TrackingConfig,
+    track_frame, BaseAlgorithm, NoObserver, SlamPipeline, StageId, StageNanos, TrackingConfig,
 };
 use rtgs_telemetry as telemetry;
 
@@ -70,11 +69,10 @@ pub fn telemetry(scale: Scale) -> String {
             (algo.name().to_string(), SlamPipeline::new(cfg, &ds))
         })
         .collect();
-    let outcomes = serve_sessions_with_eviction(
-        sessions,
-        2,
-        EvictionPolicy::new(spill.clone()).with_max_resident_sessions(2),
-    );
+    let outcomes = Serve::builder()
+        .threads(2)
+        .eviction(EvictionPolicy::new(spill.clone()).with_max_resident_sessions(2))
+        .run(sessions);
     telemetry::set_tracing_enabled(false);
     std::fs::remove_dir_all(&spill).ok();
 

@@ -1,0 +1,882 @@
+//! Open-loop frame ingestion: bounded per-session inboxes, admission
+//! control, and backpressure/drop policies — the front-end that turns the
+//! closed-loop scheduler into a serving system.
+//!
+//! Closed-loop serving (every tenant always has its next frame ready) can
+//! only measure *throughput*. Production SLAM traffic is **open-loop**:
+//! cameras emit frames at their own rate whether or not the server keeps up,
+//! so the metrics that matter are queueing latency under offered load, drop
+//! rate, and sessions-per-core at a fixed SLO. This module provides the
+//! open-loop substrate, std-only and channel-based:
+//!
+//! - an [`IngestHub`] owns the fleet-wide budgets and hands out per-session
+//!   channels. Opening a channel is **admission**: it can fail with a typed
+//!   [`AdmissionError`] when the session cap or the inbox-memory budget
+//!   would be exceeded — loud rejection at the front door instead of silent
+//!   degradation inside;
+//! - a [`FrameProducer`] is the tenant half: it pushes timestamped frames
+//!   into a bounded inbox, with a configurable [`LatePolicy`] deciding what
+//!   happens when the inbox is full (block the producer, drop the oldest
+//!   queued frame, or reject the incoming one). Every drop is counted,
+//!   per-inbox and in the global telemetry registry;
+//! - a [`FrameInbox`] is the scheduler half: the session pops a frame, does
+//!   the work, and reports [`FrameInbox::frame_done`], which records the
+//!   frame's full sojourn (queueing + service) into a latency histogram.
+//!   An inbox knows whether it [`has_work`](FrameInbox::has_work), so the
+//!   scheduler can *park* idle sessions instead of burning round-robin
+//!   slots on them, and a [`WorkSignal`] wakes the scheduler when any
+//!   producer delivers into an empty fleet.
+//!
+//! Frames are timestamped at push ([`IngestFrame::enqueued`]); the latency
+//! recorded at `frame_done` is therefore the end-to-end figure an open-loop
+//! load generator needs for p50/p99/p999 at a given offered rate.
+
+use rtgs_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What happens to an incoming frame when its session's inbox is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatePolicy {
+    /// Block the producer until the session drains a slot (lossless
+    /// backpressure; couples the producer's rate to the server's).
+    Block,
+    /// Evict the oldest queued frame to make room (freshness-first: a SLAM
+    /// tracker prefers the newest observation over a stale backlog). The
+    /// default.
+    #[default]
+    DropOldest,
+    /// Reject the incoming frame and keep the queue (backlog-first).
+    DropNewest,
+}
+
+/// Configuration for the open-loop ingestion front-end.
+///
+/// `#[non_exhaustive]`: construct via [`IngestConfig::new`] (or
+/// `Default`) plus the `with_*` builders, so future knobs are non-breaking.
+#[derive(Debug, Clone)]
+#[must_use = "attach the config to an IngestHub (or ServeBuilder::ingest)"]
+#[non_exhaustive]
+pub struct IngestConfig {
+    /// Bounded inbox depth per session (frames). Values below 1 are treated
+    /// as 1.
+    pub inbox_capacity: usize,
+    /// Full-inbox behavior.
+    pub late_policy: LatePolicy,
+    /// Estimated bytes per queued frame, used by the inbox-memory admission
+    /// budget (`inbox_capacity * frame_bytes_hint` is reserved per channel).
+    pub frame_bytes_hint: usize,
+    /// Fleet-wide cap on reserved inbox memory (`None` = unlimited).
+    pub max_inbox_bytes: Option<usize>,
+    /// Cap on concurrently admitted sessions (`None` = unlimited).
+    pub max_sessions: Option<usize>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            inbox_capacity: 8,
+            late_policy: LatePolicy::default(),
+            frame_bytes_hint: 64,
+            max_inbox_bytes: None,
+            max_sessions: None,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// The default config: 8-deep inboxes, drop-oldest, no admission caps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-session inbox depth.
+    pub fn with_inbox_capacity(mut self, frames: usize) -> Self {
+        self.inbox_capacity = frames.max(1);
+        self
+    }
+
+    /// Sets the full-inbox behavior.
+    pub fn with_late_policy(mut self, policy: LatePolicy) -> Self {
+        self.late_policy = policy;
+        self
+    }
+
+    /// Sets the per-frame byte estimate for the inbox-memory budget.
+    pub fn with_frame_bytes_hint(mut self, bytes: usize) -> Self {
+        self.frame_bytes_hint = bytes;
+        self
+    }
+
+    /// Caps fleet-wide reserved inbox memory.
+    pub fn with_max_inbox_bytes(mut self, bytes: usize) -> Self {
+        self.max_inbox_bytes = Some(bytes);
+        self
+    }
+
+    /// Caps concurrently admitted sessions.
+    pub fn with_max_sessions(mut self, sessions: usize) -> Self {
+        self.max_sessions = Some(sessions);
+        self
+    }
+}
+
+/// Why a session was refused at admission. Every variant carries the budget
+/// that tripped, so rejections are actionable, not stringly mysterious.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The hub's concurrent-session cap is reached.
+    SessionLimit {
+        /// Configured cap.
+        limit: usize,
+        /// Sessions currently admitted.
+        admitted: usize,
+    },
+    /// The session's reported resident footprint alone exceeds the eviction
+    /// policy's byte budget — it could never be made resident.
+    ResidentBytes {
+        /// Configured resident-byte budget.
+        limit: usize,
+        /// Bytes the session asked for.
+        requested: usize,
+    },
+    /// Reserving this channel's inbox memory would exceed the hub budget.
+    InboxMemory {
+        /// Configured inbox-memory budget.
+        limit: usize,
+        /// Bytes already reserved by admitted channels.
+        reserved: usize,
+        /// Bytes this channel would reserve.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SessionLimit { limit, admitted } => write!(
+                f,
+                "admission rejected: session cap reached ({admitted} admitted, limit {limit})"
+            ),
+            Self::ResidentBytes { limit, requested } => write!(
+                f,
+                "admission rejected: session needs {requested} resident bytes, budget is {limit}"
+            ),
+            Self::InboxMemory {
+                limit,
+                reserved,
+                requested,
+            } => write!(
+                f,
+                "admission rejected: inbox reservation of {requested} bytes exceeds budget \
+                 ({reserved} of {limit} already reserved)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Result of a [`FrameProducer::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The frame was enqueued.
+    Accepted,
+    /// The frame was enqueued after evicting the oldest queued frame
+    /// ([`LatePolicy::DropOldest`]).
+    AcceptedDroppedOldest,
+    /// The frame was rejected, the queue kept ([`LatePolicy::DropNewest`]).
+    RejectedNewest,
+    /// The inbox is closed; the frame was discarded.
+    Closed,
+}
+
+impl PushOutcome {
+    /// Whether the pushed frame made it into the queue.
+    pub fn is_accepted(self) -> bool {
+        matches!(self, Self::Accepted | Self::AcceptedDroppedOldest)
+    }
+}
+
+/// A timestamped frame in flight: sequence number, arrival instant, payload.
+#[derive(Debug)]
+pub struct IngestFrame<T> {
+    /// Per-channel sequence number, assigned at push (0-based, gap-free on
+    /// the producer side — gaps on the consumer side are drops).
+    pub seq: u64,
+    /// When the producer delivered the frame (sojourn time is measured from
+    /// here).
+    pub enqueued: Instant,
+    /// The frame payload.
+    pub payload: T,
+}
+
+/// Wakes the scheduler when any producer delivers into an idle fleet.
+///
+/// A monotone version counter under a mutex plus a condvar: producers
+/// [`notify`](WorkSignal::notify) after every delivery, the scheduler
+/// [`wait_past`](WorkSignal::wait_past) a version it has already seen. The
+/// version makes the handoff race-free: a notification between "scan found
+/// nothing" and "wait" is never lost.
+#[derive(Debug, Default)]
+pub struct WorkSignal {
+    version: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl WorkSignal {
+    /// A fresh signal at version 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current version (capture before scanning for work).
+    pub fn version(&self) -> u64 {
+        *self.version.lock().unwrap()
+    }
+
+    /// Bumps the version and wakes all waiters.
+    pub fn notify(&self) {
+        let mut v = self.version.lock().unwrap();
+        *v += 1;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the version advances past `seen` or `timeout` elapses;
+    /// returns the version observed on wake.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let guard = self.version.lock().unwrap();
+        let (guard, _) = self
+            .cond
+            .wait_timeout_while(guard, timeout, |v| *v <= seen)
+            .unwrap();
+        *guard
+    }
+}
+
+/// Per-inbox counters shared by the producer and consumer halves.
+struct InboxCounters {
+    offered: AtomicU64,
+    processed: AtomicU64,
+    dropped_oldest: AtomicU64,
+    dropped_newest: AtomicU64,
+    blocked: AtomicU64,
+    degraded: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+impl InboxCounters {
+    fn new() -> Self {
+        Self {
+            offered: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            dropped_oldest: AtomicU64::new(0),
+            dropped_newest: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    fn record_depth(&self, depth: usize) {
+        self.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+struct InboxState<T> {
+    queue: VecDeque<IngestFrame<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// State shared by a channel's producer and inbox halves.
+struct Shared<T> {
+    state: Mutex<InboxState<T>>,
+    /// Signalled when a slot frees up (for [`LatePolicy::Block`] producers)
+    /// and on close.
+    space: Condvar,
+    capacity: usize,
+    policy: LatePolicy,
+    counters: InboxCounters,
+    /// End-to-end per-frame latency (push → `frame_done`), nanoseconds.
+    latency: Histogram,
+    /// Live producer clones; the channel auto-closes when the last drops.
+    producers: AtomicUsize,
+    hub: Arc<HubInner>,
+    /// Inbox-memory reservation released when the channel is fully dropped.
+    reserved_bytes: usize,
+}
+
+impl<T> Shared<T> {
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        if !st.closed {
+            st.closed = true;
+            drop(st);
+            // Blocked producers must observe the close, and a parked
+            // scheduler must wake to run the now-drained session's final
+            // (Finished) step.
+            self.space.notify_all();
+            self.hub.signal.notify();
+        }
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Frames abandoned in the queue leave the fleet-depth gauge.
+        if let Ok(st) = self.state.get_mut() {
+            self.hub.metrics.depth.add(-(st.queue.len() as i64));
+        }
+        self.hub
+            .reserved_bytes
+            .fetch_sub(self.reserved_bytes, Ordering::SeqCst);
+        self.hub.admitted.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The tenant half of a session channel: pushes timestamped frames.
+///
+/// Cloneable and `Send`; the channel closes when [`close`](Self::close) is
+/// called or the last clone drops.
+pub struct FrameProducer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for FrameProducer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameProducer")
+            .field("offered", &self.offered())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Clone for FrameProducer<T> {
+    fn clone(&self) -> Self {
+        self.shared.producers.fetch_add(1, Ordering::SeqCst);
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for FrameProducer<T> {
+    fn drop(&mut self) {
+        if self.shared.producers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.close();
+        }
+    }
+}
+
+impl<T> FrameProducer<T> {
+    /// Pushes a frame timestamped now. See [`push_at`](Self::push_at).
+    pub fn push(&self, payload: T) -> PushOutcome {
+        self.push_at(payload, Instant::now())
+    }
+
+    /// Pushes a frame with an explicit arrival timestamp (an open-loop load
+    /// generator backdates `enqueued` to the *intended* arrival instant so
+    /// measured latency includes scheduling delay on the producer side).
+    ///
+    /// Full-inbox behavior follows the hub's [`LatePolicy`]; every outcome
+    /// is counted in the channel's [`IngestStats`] and the global registry.
+    pub fn push_at(&self, payload: T, enqueued: Instant) -> PushOutcome {
+        let sh = &self.shared;
+        let mut st = sh.state.lock().unwrap();
+        let outcome = loop {
+            if st.closed {
+                return PushOutcome::Closed;
+            }
+            if st.queue.len() < sh.capacity {
+                break PushOutcome::Accepted;
+            }
+            match sh.policy {
+                LatePolicy::Block => {
+                    sh.counters.blocked.fetch_add(1, Ordering::Relaxed);
+                    st = sh.space.wait(st).unwrap();
+                }
+                LatePolicy::DropOldest => {
+                    st.queue.pop_front();
+                    sh.counters.dropped_oldest.fetch_add(1, Ordering::Relaxed);
+                    sh.hub.metrics.dropped_oldest.incr();
+                    break PushOutcome::AcceptedDroppedOldest;
+                }
+                LatePolicy::DropNewest => {
+                    sh.counters.offered.fetch_add(1, Ordering::Relaxed);
+                    sh.counters.dropped_newest.fetch_add(1, Ordering::Relaxed);
+                    sh.hub.metrics.offered.incr();
+                    sh.hub.metrics.dropped_newest.incr();
+                    return PushOutcome::RejectedNewest;
+                }
+            }
+        };
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push_back(IngestFrame {
+            seq,
+            enqueued,
+            payload,
+        });
+        let depth = st.queue.len();
+        drop(st);
+        sh.counters.offered.fetch_add(1, Ordering::Relaxed);
+        sh.counters.record_depth(depth);
+        sh.hub.metrics.offered.incr();
+        if matches!(outcome, PushOutcome::Accepted) {
+            sh.hub.metrics.depth.add(1);
+        }
+        sh.hub.signal.notify();
+        outcome
+    }
+
+    /// Closes the channel: the inbox drains its backlog, then reports
+    /// end-of-stream. Idempotent.
+    pub fn close(&self) {
+        self.shared.close();
+    }
+
+    /// Frames offered so far on this channel (accepted + dropped).
+    pub fn offered(&self) -> u64 {
+        self.shared.counters.offered.load(Ordering::Relaxed)
+    }
+}
+
+/// The scheduler half of a session channel: pops frames, reports results.
+pub struct FrameInbox<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for FrameInbox<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameInbox")
+            .field("depth", &self.depth())
+            .field("closed", &self.is_closed())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> FrameInbox<T> {
+    /// Pops the next queued frame, if any. Never blocks.
+    pub fn try_pop(&self) -> Option<IngestFrame<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        let frame = st.queue.pop_front();
+        drop(st);
+        if frame.is_some() {
+            self.shared.hub.metrics.depth.add(-1);
+            // A slot opened: wake one blocked producer.
+            self.shared.space.notify_one();
+        }
+        frame
+    }
+
+    /// Frames currently queued.
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether at least one frame is queued.
+    pub fn has_work(&self) -> bool {
+        !self.shared.state.lock().unwrap().queue.is_empty()
+    }
+
+    /// Whether the producer side has closed the channel.
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().unwrap().closed
+    }
+
+    /// Whether the stream is over: closed *and* the backlog is empty.
+    pub fn is_drained(&self) -> bool {
+        let st = self.shared.state.lock().unwrap();
+        st.closed && st.queue.is_empty()
+    }
+
+    /// Reports a popped frame as processed, recording its end-to-end sojourn
+    /// (push → now) in the channel's latency histogram. `degraded` marks
+    /// frames served on the downsampled shed path. Returns the recorded
+    /// latency in nanoseconds.
+    pub fn frame_done(&self, frame: IngestFrame<T>, degraded: bool) -> u64 {
+        let ns = frame.enqueued.elapsed().as_nanos() as u64;
+        let c = &self.shared.counters;
+        c.processed.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            c.degraded.fetch_add(1, Ordering::Relaxed);
+            self.shared.hub.metrics.degraded.incr();
+        }
+        self.shared.latency.record(ns);
+        self.shared.hub.metrics.processed.incr();
+        self.shared.hub.metrics.frame_ns.record(ns);
+        ns
+    }
+
+    /// Snapshot of this channel's ingestion counters and latency
+    /// distribution.
+    pub fn stats(&self) -> IngestStats {
+        let c = &self.shared.counters;
+        IngestStats {
+            offered: c.offered.load(Ordering::Relaxed),
+            processed: c.processed.load(Ordering::Relaxed),
+            dropped_oldest: c.dropped_oldest.load(Ordering::Relaxed),
+            dropped_newest: c.dropped_newest.load(Ordering::Relaxed),
+            blocked: c.blocked.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            max_depth: c.max_depth.load(Ordering::Relaxed),
+            latency: self.shared.latency.snapshot(),
+        }
+    }
+}
+
+/// Snapshot of one channel's open-loop counters, carried into
+/// `SessionStats::ingest` so serving outcomes report drops and sheds
+/// alongside step latency.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct IngestStats {
+    /// Frames the producer offered (accepted + dropped).
+    pub offered: u64,
+    /// Frames popped and reported done by the session.
+    pub processed: u64,
+    /// Queued frames evicted by [`LatePolicy::DropOldest`].
+    pub dropped_oldest: u64,
+    /// Incoming frames rejected by [`LatePolicy::DropNewest`].
+    pub dropped_newest: u64,
+    /// Times a [`LatePolicy::Block`] producer had to wait for a slot.
+    pub blocked: u64,
+    /// Frames served on the degraded (downsampled) shed path.
+    pub degraded: u64,
+    /// High-water inbox depth.
+    pub max_depth: u64,
+    /// End-to-end per-frame latency (queueing + service), nanoseconds.
+    pub latency: HistogramSnapshot,
+}
+
+impl IngestStats {
+    /// Total frames dropped under either policy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_oldest + self.dropped_newest
+    }
+
+    /// Dropped fraction of offered frames (0 when nothing was offered).
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Global-registry handles for fleet-wide ingestion metrics.
+struct HubMetrics {
+    offered: Arc<Counter>,
+    processed: Arc<Counter>,
+    dropped_oldest: Arc<Counter>,
+    dropped_newest: Arc<Counter>,
+    degraded: Arc<Counter>,
+    /// Frames queued across all inboxes right now.
+    depth: Arc<Gauge>,
+    frame_ns: Arc<Histogram>,
+}
+
+impl HubMetrics {
+    fn from_global() -> Self {
+        let registry = rtgs_telemetry::global();
+        Self {
+            offered: registry.counter("ingest.offered"),
+            processed: registry.counter("ingest.processed"),
+            dropped_oldest: registry.counter("ingest.dropped_oldest"),
+            dropped_newest: registry.counter("ingest.dropped_newest"),
+            degraded: registry.counter("ingest.degraded_frames"),
+            depth: registry.gauge("ingest.depth"),
+            frame_ns: registry.histogram("ingest.frame_ns"),
+        }
+    }
+}
+
+struct HubInner {
+    config: IngestConfig,
+    signal: WorkSignal,
+    admitted: AtomicUsize,
+    reserved_bytes: AtomicUsize,
+    metrics: HubMetrics,
+}
+
+/// Fleet-wide ingestion front-end: owns the admission budgets and the
+/// scheduler wake signal, and hands out per-session bounded channels.
+///
+/// Cheap to clone (an `Arc`); clone one half to the producer threads and
+/// attach another to the scheduler via `ServeBuilder::ingest`.
+#[derive(Clone)]
+pub struct IngestHub {
+    inner: Arc<HubInner>,
+}
+
+impl IngestHub {
+    /// A hub enforcing `config`'s budgets.
+    pub fn new(config: IngestConfig) -> Self {
+        Self {
+            inner: Arc::new(HubInner {
+                config,
+                signal: WorkSignal::new(),
+                admitted: AtomicUsize::new(0),
+                reserved_bytes: AtomicUsize::new(0),
+                metrics: HubMetrics::from_global(),
+            }),
+        }
+    }
+
+    /// The hub's configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.inner.config
+    }
+
+    /// Sessions currently admitted (channels open).
+    pub fn admitted(&self) -> usize {
+        self.inner.admitted.load(Ordering::SeqCst)
+    }
+
+    /// Inbox memory currently reserved by admitted channels.
+    pub fn reserved_bytes(&self) -> usize {
+        self.inner.reserved_bytes.load(Ordering::SeqCst)
+    }
+
+    /// The signal producers pulse on delivery; the scheduler parks on it
+    /// when no session has work.
+    pub fn signal(&self) -> &WorkSignal {
+        &self.inner.signal
+    }
+
+    /// Admits one session: reserves its inbox memory and returns the
+    /// channel's two halves.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::SessionLimit`] when `max_sessions` channels are
+    /// already open; [`AdmissionError::InboxMemory`] when reserving
+    /// `inbox_capacity * frame_bytes_hint` would exceed `max_inbox_bytes`.
+    /// Rejection leaves the hub's accounting untouched.
+    pub fn channel<T: Send>(&self) -> Result<(FrameProducer<T>, FrameInbox<T>), AdmissionError> {
+        let cfg = &self.inner.config;
+        let capacity = cfg.inbox_capacity.max(1);
+        let requested = capacity.saturating_mul(cfg.frame_bytes_hint);
+        // Single-admitter convention: serving setup opens channels from one
+        // thread, so check-then-reserve under SeqCst loads is race-free
+        // there; concurrent admitters could only over-admit transiently.
+        let admitted = self.inner.admitted.load(Ordering::SeqCst);
+        if let Some(limit) = cfg.max_sessions {
+            if admitted >= limit {
+                return Err(AdmissionError::SessionLimit { limit, admitted });
+            }
+        }
+        let reserved = self.inner.reserved_bytes.load(Ordering::SeqCst);
+        if let Some(limit) = cfg.max_inbox_bytes {
+            if reserved.saturating_add(requested) > limit {
+                return Err(AdmissionError::InboxMemory {
+                    limit,
+                    reserved,
+                    requested,
+                });
+            }
+        }
+        self.inner.admitted.fetch_add(1, Ordering::SeqCst);
+        self.inner
+            .reserved_bytes
+            .fetch_add(requested, Ordering::SeqCst);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(InboxState {
+                queue: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            capacity,
+            policy: cfg.late_policy,
+            counters: InboxCounters::new(),
+            latency: Histogram::new(),
+            producers: AtomicUsize::new(1),
+            hub: Arc::clone(&self.inner),
+            reserved_bytes: requested,
+        });
+        Ok((
+            FrameProducer {
+                shared: Arc::clone(&shared),
+            },
+            FrameInbox { shared },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub(cfg: IngestConfig) -> IngestHub {
+        IngestHub::new(cfg)
+    }
+
+    #[test]
+    fn fifo_order_and_stats_without_pressure() {
+        let h = hub(IngestConfig::new().with_inbox_capacity(8));
+        let (tx, rx) = h.channel::<u32>().unwrap();
+        for v in 0..5u32 {
+            assert_eq!(tx.push(v), PushOutcome::Accepted);
+        }
+        assert_eq!(rx.depth(), 5);
+        for expect in 0..5u32 {
+            let frame = rx.try_pop().unwrap();
+            assert_eq!(frame.payload, expect);
+            assert_eq!(frame.seq, u64::from(expect));
+            rx.frame_done(frame, false);
+        }
+        assert!(rx.try_pop().is_none());
+        let stats = rx.stats();
+        assert_eq!(stats.offered, 5);
+        assert_eq!(stats.processed, 5);
+        assert_eq!(stats.dropped(), 0);
+        assert_eq!(stats.max_depth, 5);
+        assert_eq!(stats.latency.count(), 5);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_contiguous_suffix() {
+        let h = hub(IngestConfig::new().with_inbox_capacity(3));
+        let (tx, rx) = h.channel::<u64>().unwrap();
+        for v in 0..10u64 {
+            let outcome = tx.push(v);
+            assert!(outcome.is_accepted());
+        }
+        // Capacity 3, drop-oldest: the queue is exactly the newest suffix.
+        let kept: Vec<u64> = std::iter::from_fn(|| rx.try_pop().map(|f| f.payload)).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        let stats = rx.stats();
+        assert_eq!(stats.offered, 10);
+        assert_eq!(stats.dropped_oldest, 7);
+        assert_eq!(stats.dropped_newest, 0);
+    }
+
+    #[test]
+    fn drop_newest_keeps_oldest_prefix() {
+        let h = hub(IngestConfig::new()
+            .with_inbox_capacity(3)
+            .with_late_policy(LatePolicy::DropNewest));
+        let (tx, rx) = h.channel::<u64>().unwrap();
+        for v in 0..3u64 {
+            assert_eq!(tx.push(v), PushOutcome::Accepted);
+        }
+        for v in 3..10u64 {
+            assert_eq!(tx.push(v), PushOutcome::RejectedNewest);
+        }
+        let kept: Vec<u64> = std::iter::from_fn(|| rx.try_pop().map(|f| f.payload)).collect();
+        assert_eq!(kept, vec![0, 1, 2]);
+        let stats = rx.stats();
+        assert_eq!(stats.offered, 10);
+        assert_eq!(stats.dropped_newest, 7);
+    }
+
+    #[test]
+    fn block_policy_waits_for_space_and_wakes_on_pop() {
+        let h = hub(IngestConfig::new()
+            .with_inbox_capacity(1)
+            .with_late_policy(LatePolicy::Block));
+        let (tx, rx) = h.channel::<u64>().unwrap();
+        assert_eq!(tx.push(0), PushOutcome::Accepted);
+        let t = std::thread::spawn(move || tx.push(1));
+        // Give the producer time to block on the full inbox, then drain.
+        std::thread::sleep(Duration::from_millis(20));
+        let frame = rx.try_pop().unwrap();
+        assert_eq!(frame.payload, 0);
+        assert_eq!(t.join().unwrap(), PushOutcome::Accepted);
+        assert_eq!(rx.try_pop().unwrap().payload, 1);
+        assert!(rx.stats().blocked >= 1);
+    }
+
+    #[test]
+    fn close_unblocks_producer_and_drains() {
+        let h = hub(IngestConfig::new()
+            .with_inbox_capacity(1)
+            .with_late_policy(LatePolicy::Block));
+        let (tx, rx) = h.channel::<u64>().unwrap();
+        assert_eq!(tx.push(0), PushOutcome::Accepted);
+        let tx2 = tx.clone();
+        let t = std::thread::spawn(move || tx2.push(1));
+        std::thread::sleep(Duration::from_millis(20));
+        tx.close();
+        assert_eq!(t.join().unwrap(), PushOutcome::Closed);
+        assert!(rx.is_closed());
+        assert!(!rx.is_drained(), "backlog still queued");
+        assert_eq!(rx.try_pop().unwrap().payload, 0);
+        assert!(rx.is_drained());
+        assert_eq!(tx.push(2), PushOutcome::Closed);
+    }
+
+    #[test]
+    fn dropping_last_producer_closes_the_channel() {
+        let h = hub(IngestConfig::new());
+        let (tx, rx) = h.channel::<u64>().unwrap();
+        let tx2 = tx.clone();
+        drop(tx);
+        assert!(!rx.is_closed(), "a clone still holds the channel open");
+        tx2.push(7);
+        drop(tx2);
+        assert!(rx.is_closed());
+        assert_eq!(rx.try_pop().unwrap().payload, 7);
+        assert!(rx.is_drained());
+    }
+
+    #[test]
+    fn session_cap_rejects_loudly_and_releases_on_drop() {
+        let h = hub(IngestConfig::new().with_max_sessions(2));
+        let a = h.channel::<u8>().unwrap();
+        let _b = h.channel::<u8>().unwrap();
+        match h.channel::<u8>() {
+            Err(AdmissionError::SessionLimit { limit, admitted }) => {
+                assert_eq!(limit, 2);
+                assert_eq!(admitted, 2);
+            }
+            other => panic!("expected SessionLimit, got {other:?}"),
+        }
+        // Dropping a channel releases its admission slot.
+        drop(a);
+        assert_eq!(h.admitted(), 1);
+        assert!(h.channel::<u8>().is_ok());
+    }
+
+    #[test]
+    fn inbox_memory_budget_rejects_with_accounting() {
+        let h = hub(IngestConfig::new()
+            .with_inbox_capacity(4)
+            .with_frame_bytes_hint(100)
+            .with_max_inbox_bytes(1000));
+        let _a = h.channel::<u8>().unwrap(); // 400 reserved
+        let _b = h.channel::<u8>().unwrap(); // 800 reserved
+        match h.channel::<u8>() {
+            Err(AdmissionError::InboxMemory {
+                limit,
+                reserved,
+                requested,
+            }) => {
+                assert_eq!(limit, 1000);
+                assert_eq!(reserved, 800);
+                assert_eq!(requested, 400);
+            }
+            other => panic!("expected InboxMemory, got {other:?}"),
+        }
+        assert_eq!(h.reserved_bytes(), 800, "rejection reserves nothing");
+    }
+
+    #[test]
+    fn work_signal_version_handoff_is_lossless() {
+        let signal = Arc::new(WorkSignal::new());
+        let seen = signal.version();
+        // Notify *before* the wait starts: the versioned wait must not
+        // sleep through it.
+        signal.notify();
+        let woke = signal.wait_past(seen, Duration::from_secs(5));
+        assert!(woke > seen);
+        // And a wait with no pending notification times out quietly.
+        let v = signal.version();
+        assert_eq!(signal.wait_past(v, Duration::from_millis(5)), v);
+    }
+}

@@ -13,11 +13,16 @@
 //!    [`BackendChoice`] is the `Copy` selector configuration structs embed.
 //! 3. **[`SessionScheduler`]** — multi-tenant serving: N concurrent
 //!    [`Session`]s advance in round-robin rounds over one pool, with
-//!    per-session stats and graceful shutdown.
+//!    per-session stats and graceful shutdown. Configure a run through the
+//!    single front door, [`Serve::builder`].
+//! 4. **[`ingest`]** — the open-loop front-end: tenants stream timestamped
+//!    frames into bounded per-session inboxes under admission control and
+//!    configurable late-frame policies; the scheduler parks sessions whose
+//!    inbox is empty and sheds load when a session falls behind its SLO.
 //!
 //! The hot paths of the differentiable rasterizer (`rtgs-render`) and the
 //! SLAM pipeline (`rtgs-slam`) are expressed against layer 2; whole
-//! pipelines are served through layer 3.
+//! pipelines are served through layers 3–4.
 //!
 //! # Example
 //!
@@ -44,15 +49,22 @@
 //! ```
 
 mod backend;
+pub mod ingest;
 mod pool;
 mod scheduler;
+mod serve;
 
 pub use backend::{
     exclusive_prefix_sum, exclusive_prefix_sum_into, shared_pool, Backend, BackendChoice, Parallel,
     ScratchPool, Serial, SharedSlice,
 };
+pub use ingest::{
+    AdmissionError, FrameInbox, FrameProducer, IngestConfig, IngestFrame, IngestHub, IngestStats,
+    LatePolicy, PushOutcome, WorkSignal,
+};
 pub use pool::{PoolStats, Scope, ThreadPool};
 pub use scheduler::{
-    fleet_latency, EvictionPolicy, Session, SessionOutcome, SessionScheduler, SessionStats,
-    SessionStatus, ShutdownHandle,
+    fleet_latency, EvictionPolicy, Session, SessionIoError, SessionOutcome, SessionScheduler,
+    SessionStats, SessionStatus, ShutdownHandle,
 };
+pub use serve::{Serve, ServeBuilder};

@@ -26,7 +26,20 @@
 //! evicted. Hibernation must not change results: a session that was
 //! evicted and rehydrated produces the same report as one that stayed
 //! resident (asserted end-to-end in `rtgs-slam`'s serving tests).
+//!
+//! # Open-loop readiness
+//!
+//! Under the [`ingest`](crate::ingest) front-end, sessions are driven by
+//! frames arriving in bounded inboxes rather than an always-ready dataset.
+//! The scheduler consults [`Session::ready`] before every round: a session
+//! with nothing to do **parks** — it is not stepped, consumes no pool job,
+//! and records no latency sample. When *no* session is ready, the scheduler
+//! blocks on the hub's [`WorkSignal`](crate::ingest::WorkSignal) instead of
+//! spinning, waking as soon as any producer delivers a frame. Admission of
+//! new sessions goes through [`SessionScheduler::try_admit`], which rejects
+//! with a typed [`AdmissionError`] instead of silently overcommitting.
 
+use crate::ingest::{AdmissionError, IngestHub, IngestStats};
 use crate::pool::ThreadPool;
 use rtgs_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, SnapshotWriter, SpanGuard};
 use std::path::{Path, PathBuf};
@@ -39,8 +52,55 @@ use std::time::{Duration, Instant};
 pub enum SessionStatus {
     /// The session has more work; it will be stepped again next round.
     Running,
+    /// The session had nothing to do (e.g. its inbox was empty): the step
+    /// was a no-op and is not counted or latency-sampled. Prefer returning
+    /// `false` from [`Session::ready`] so the scheduler never spends a pool
+    /// job finding out; `Idle` is the in-step fallback for races.
+    Idle,
     /// The session is complete; it will not be stepped again.
     Finished,
+}
+
+/// Typed failure of a session's spill I/O hooks, replacing the former
+/// stringly `Result<(), String>` so callers can branch on the cause and
+/// error sources are preserved.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SessionIoError {
+    /// The session does not implement hibernation; the scheduler
+    /// permanently exempts it from eviction.
+    Unsupported(&'static str),
+    /// The spill file could not be read or written.
+    Io(std::io::Error),
+    /// The session's snapshot layer failed (wraps e.g. `rtgs-snapshot`'s
+    /// `SnapshotError`).
+    Snapshot(Box<dyn std::error::Error + Send + Sync>),
+}
+
+impl std::fmt::Display for SessionIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unsupported(what) => write!(f, "unsupported: {what}"),
+            Self::Io(e) => write!(f, "spill i/o failed: {e}"),
+            Self::Snapshot(e) => write!(f, "snapshot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Unsupported(_) => None,
+            Self::Io(e) => Some(e),
+            Self::Snapshot(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<std::io::Error> for SessionIoError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
 }
 
 /// An incrementally-steppable workload that yields a report when done.
@@ -57,6 +117,24 @@ pub trait Session: Send {
     /// done so far).
     fn finish(self) -> Self::Report;
 
+    /// Whether the session has work available right now. A session
+    /// returning `false` is **parked** for the round: not stepped, no pool
+    /// job, no latency sample. The default (`true`) preserves closed-loop
+    /// behavior, where the next unit of work is always available.
+    ///
+    /// Open-loop sessions report their inbox state here
+    /// (frame queued, or stream drained and a final `Finished` step due).
+    fn ready(&self) -> bool {
+        true
+    }
+
+    /// Open-loop ingestion counters for this session, surfaced in
+    /// [`SessionStats::ingest`]. `None` (the default) for closed-loop
+    /// sessions.
+    fn ingest_stats(&self) -> Option<IngestStats> {
+        None
+    }
+
     /// Approximate bytes of resident heavy state, summed against
     /// [`EvictionPolicy::max_resident_bytes`]. `0` (the default) means
     /// unknown/negligible.
@@ -65,15 +143,17 @@ pub trait Session: Send {
     }
 
     /// Spills the session's heavy state to `path` and releases the
-    /// memory. The default reports unsupported, which permanently exempts
-    /// the session from eviction.
+    /// memory. The default reports [`SessionIoError::Unsupported`], which
+    /// permanently exempts the session from eviction.
     ///
     /// # Errors
     ///
-    /// A human-readable reason; the scheduler marks the session
+    /// A typed [`SessionIoError`]; the scheduler marks the session
     /// non-evictable and moves on.
-    fn hibernate(&mut self, _path: &Path) -> Result<(), String> {
-        Err("session does not support hibernation".into())
+    fn hibernate(&mut self, _path: &Path) -> Result<(), SessionIoError> {
+        Err(SessionIoError::Unsupported(
+            "session does not support hibernation",
+        ))
     }
 
     /// Reloads state spilled by [`Session::hibernate`]. Only called on a
@@ -81,16 +161,23 @@ pub trait Session: Send {
     ///
     /// # Errors
     ///
-    /// A human-readable reason; the scheduler treats a rehydration failure
-    /// as fatal for the run (state on disk is the only copy) and panics.
-    fn rehydrate(&mut self, _path: &Path) -> Result<(), String> {
-        Err("session does not support rehydration".into())
+    /// A typed [`SessionIoError`]; the scheduler treats a rehydration
+    /// failure as fatal for the run (state on disk is the only copy) and
+    /// panics.
+    fn rehydrate(&mut self, _path: &Path) -> Result<(), SessionIoError> {
+        Err(SessionIoError::Unsupported(
+            "session does not support rehydration",
+        ))
     }
 }
 
 /// Residency budget driving hibernate-to-disk eviction.
+///
+/// `#[non_exhaustive]`: construct via [`EvictionPolicy::new`] plus the
+/// `with_*` builders, so future budget knobs are non-breaking.
 #[derive(Debug, Clone)]
-#[must_use = "attach the policy with SessionScheduler::set_eviction_policy"]
+#[must_use = "attach the policy with ServeBuilder::eviction"]
+#[non_exhaustive]
 pub struct EvictionPolicy {
     /// Maximum sessions resident at once (`None` = unlimited). Values
     /// below 1 are treated as 1 — something must be resident to step.
@@ -155,6 +242,13 @@ pub struct SessionStats {
     pub hibernate_wall: Duration,
     /// Wall-clock spent reading this session's spill files back.
     pub rehydrate_wall: Duration,
+    /// Rounds this session was parked for lack of work (not ready, or a
+    /// step that returned [`SessionStatus::Idle`]). Parked rounds consume
+    /// no pool jobs and record no latency samples.
+    pub idle_rounds: usize,
+    /// Open-loop ingestion counters (offered/processed/dropped/degraded and
+    /// end-to-end frame latency); `None` for closed-loop sessions.
+    pub ingest: Option<IngestStats>,
     /// Per-step latency distribution (nanoseconds), for p50/p99/p999
     /// extraction; merge across sessions with [`fleet_latency`].
     pub latency: HistogramSnapshot,
@@ -212,6 +306,11 @@ struct Entry<S> {
     /// Round of the most recent step (coldness metric; ties broken by
     /// insertion index).
     last_stepped_round: u64,
+    /// Rounds skipped because the session had no work.
+    idle_rounds: usize,
+    /// Readiness sampled once at the top of the current round, so the
+    /// park decision and the spawn filter agree.
+    ready_now: bool,
     hibernations: usize,
     rehydrations: usize,
     hibernate_wall: Duration,
@@ -235,6 +334,8 @@ impl<S> Entry<S> {
 struct SchedulerMetrics {
     step_ns: Arc<Histogram>,
     steps: Arc<Counter>,
+    /// Live sessions parked (no work) as of the latest round.
+    idle_sessions: Arc<Gauge>,
     hibernations: Arc<Counter>,
     rehydrations: Arc<Counter>,
     hibernate_ns: Arc<Counter>,
@@ -250,6 +351,7 @@ impl SchedulerMetrics {
         Self {
             step_ns: registry.histogram("serve.step_ns"),
             steps: registry.counter("serve.steps"),
+            idle_sessions: registry.gauge("serve.idle_sessions"),
             hibernations: registry.counter("serve.hibernate.count"),
             rehydrations: registry.counter("serve.rehydrate.count"),
             hibernate_ns: registry.counter("serve.hibernate.ns"),
@@ -267,6 +369,7 @@ pub struct SessionScheduler<S: Session> {
     sessions: Vec<Entry<S>>,
     stop: Arc<AtomicBool>,
     policy: Option<EvictionPolicy>,
+    ingest: Option<IngestHub>,
     metrics: SchedulerMetrics,
     snapshot_writer: Option<SnapshotWriter>,
 }
@@ -285,6 +388,7 @@ impl<S: Session> SessionScheduler<S> {
             sessions: Vec::new(),
             stop: Arc::new(AtomicBool::new(false)),
             policy: None,
+            ingest: None,
             metrics: SchedulerMetrics::from_global(),
             snapshot_writer: None,
         }
@@ -293,6 +397,14 @@ impl<S: Session> SessionScheduler<S> {
     /// Attaches a hibernate-to-disk eviction policy (see the module docs).
     pub fn set_eviction_policy(&mut self, policy: EvictionPolicy) {
         self.policy = Some(policy);
+    }
+
+    /// Attaches the open-loop ingestion hub: the scheduler parks on the
+    /// hub's [`WorkSignal`](crate::ingest::WorkSignal) when no session is
+    /// ready, and [`try_admit`](Self::try_admit) enforces the hub's
+    /// session cap.
+    pub fn set_ingest(&mut self, hub: &IngestHub) {
+        self.ingest = Some(hub.clone());
     }
 
     /// Attaches a periodic telemetry-snapshot writer: the global registry is
@@ -323,6 +435,8 @@ impl<S: Session> SessionScheduler<S> {
             parked_bytes: 0,
             evictable: true,
             last_stepped_round: 0,
+            idle_rounds: 0,
+            ready_now: true,
             hibernations: 0,
             rehydrations: 0,
             hibernate_wall: Duration::ZERO,
@@ -330,6 +444,41 @@ impl<S: Session> SessionScheduler<S> {
             latency: Histogram::new(),
         });
         self.sessions.len() - 1
+    }
+
+    /// Admission-controlled [`add_session`](Self::add_session): the session
+    /// is checked against the ingest hub's concurrent-session cap and the
+    /// eviction policy's resident-byte budget before registration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed rejection reason **and the session back** —
+    /// scheduler state is untouched, so the caller can retry later, shrink
+    /// the session, or route it to another scheduler.
+    pub fn try_admit(
+        &mut self,
+        label: impl Into<String>,
+        session: S,
+    ) -> Result<usize, (AdmissionError, S)> {
+        if let Some(limit) = self
+            .ingest
+            .as_ref()
+            .and_then(|hub| hub.config().max_sessions)
+        {
+            let admitted = self.sessions.iter().filter(|e| !e.done).count();
+            if admitted >= limit {
+                return Err((AdmissionError::SessionLimit { limit, admitted }, session));
+            }
+        }
+        if let Some(limit) = self.policy.as_ref().and_then(|p| p.max_resident_bytes) {
+            let requested = session.resident_bytes();
+            // A session larger than the whole byte budget could never be
+            // made resident — even alone — so it can never be stepped.
+            if requested > limit {
+                return Err((AdmissionError::ResidentBytes { limit, requested }, session));
+            }
+        }
+        Ok(self.add_session(label, session))
     }
 
     /// Number of registered sessions.
@@ -463,8 +612,28 @@ impl<S: Session> SessionScheduler<S> {
         let mut round: u64 = 0;
         while !self.stop.load(Ordering::SeqCst) && self.sessions.iter().any(|entry| !entry.done) {
             round += 1;
-            // Phase 1: every resident live session advances one step; the
-            // steps run concurrently on the pool.
+            // Readiness scan: sample each live session once so the park
+            // decision and the spawn filter agree within the round. The
+            // ingest signal version is captured *before* the scan — a frame
+            // delivered after its session was scanned bumps the version, so
+            // the park-wait below returns immediately instead of sleeping
+            // through the delivery.
+            let seen = self.ingest.as_ref().map(|hub| hub.signal().version());
+            let mut live = 0usize;
+            let mut idle = 0usize;
+            for entry in self.sessions.iter_mut().filter(|e| !e.done) {
+                live += 1;
+                entry.ready_now = entry.session.ready();
+                if !entry.ready_now {
+                    entry.idle_rounds += 1;
+                    idle += 1;
+                }
+            }
+            self.metrics.idle_sessions.set(idle as i64);
+
+            // Phase 1: every *ready* resident live session advances one
+            // step; the steps run concurrently on the pool. Parked sessions
+            // spawn no pool job at all.
             let fleet_step_ns: &Histogram = &self.metrics.step_ns;
             let fleet_steps: &Counter = &self.metrics.steps;
             self.pool.scope(|scope| {
@@ -472,18 +641,27 @@ impl<S: Session> SessionScheduler<S> {
                     .sessions
                     .iter_mut()
                     .enumerate()
-                    .filter(|(_, entry)| !entry.done && !entry.hibernated)
+                    .filter(|(_, entry)| !entry.done && !entry.hibernated && entry.ready_now)
                 {
                     scope.spawn(move || {
                         let _span = SpanGuard::new("serve.step", "session", idx as u64);
                         let t0 = Instant::now();
                         let status = entry.session.step();
                         let elapsed = t0.elapsed();
-                        entry.record_step(elapsed, round);
-                        fleet_step_ns.record(elapsed.as_nanos() as u64);
-                        fleet_steps.incr();
-                        if status == SessionStatus::Finished {
-                            entry.done = true;
+                        match status {
+                            SessionStatus::Idle => {
+                                // The readiness probe raced a consumer: the
+                                // no-op is not a step and takes no sample.
+                                entry.idle_rounds += 1;
+                            }
+                            SessionStatus::Running | SessionStatus::Finished => {
+                                entry.record_step(elapsed, round);
+                                fleet_step_ns.record(elapsed.as_nanos() as u64);
+                                fleet_steps.incr();
+                                if status == SessionStatus::Finished {
+                                    entry.done = true;
+                                }
+                            }
                         }
                     });
                 }
@@ -497,7 +675,7 @@ impl<S: Session> SessionScheduler<S> {
                 .sessions
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| !e.done && e.hibernated)
+                .filter(|(_, e)| !e.done && e.hibernated && e.ready_now)
                 .map(|(i, _)| i)
                 .collect();
             for idx in parked {
@@ -515,11 +693,18 @@ impl<S: Session> SessionScheduler<S> {
                 let status = entry.session.step();
                 let elapsed = t0.elapsed();
                 drop(span);
-                entry.record_step(elapsed, round);
-                self.metrics.step_ns.record(elapsed.as_nanos() as u64);
-                self.metrics.steps.incr();
-                if status == SessionStatus::Finished {
-                    entry.done = true;
+                match status {
+                    SessionStatus::Idle => {
+                        entry.idle_rounds += 1;
+                    }
+                    SessionStatus::Running | SessionStatus::Finished => {
+                        entry.record_step(elapsed, round);
+                        self.metrics.step_ns.record(elapsed.as_nanos() as u64);
+                        self.metrics.steps.incr();
+                        if status == SessionStatus::Finished {
+                            entry.done = true;
+                        }
+                    }
                 }
                 self.enforce_budget(0, 0);
             }
@@ -532,6 +717,20 @@ impl<S: Session> SessionScheduler<S> {
                 self.export_pool_stats();
                 if let Some(writer) = &mut self.snapshot_writer {
                     writer.maybe_write(rtgs_telemetry::global()).ok();
+                }
+            }
+
+            // Park the whole scheduler when every live session was idle:
+            // block on the ingest signal (woken by the next delivery or
+            // channel close) rather than spinning rounds. Without a hub a
+            // short yield bounds the spin — `ready()` then has no
+            // producer-side edge to wait on.
+            if live > 0 && idle == live {
+                match (&self.ingest, seen) {
+                    (Some(hub), Some(seen)) => {
+                        hub.signal().wait_past(seen, Duration::from_millis(1));
+                    }
+                    _ => std::thread::sleep(Duration::from_micros(200)),
                 }
             }
         }
@@ -563,20 +762,25 @@ impl<S: Session> SessionScheduler<S> {
         self.sessions
             .into_iter()
             .enumerate()
-            .map(|(session, entry)| SessionOutcome {
-                stats: SessionStats {
-                    session,
-                    label: entry.label,
-                    steps: entry.steps,
-                    wall: entry.wall,
-                    completed: entry.done,
-                    hibernations: entry.hibernations,
-                    rehydrations: entry.rehydrations,
-                    hibernate_wall: entry.hibernate_wall,
-                    rehydrate_wall: entry.rehydrate_wall,
-                    latency: entry.latency.snapshot(),
-                },
-                report: entry.session.finish(),
+            .map(|(session, entry)| {
+                let ingest = entry.session.ingest_stats();
+                SessionOutcome {
+                    stats: SessionStats {
+                        session,
+                        label: entry.label,
+                        steps: entry.steps,
+                        wall: entry.wall,
+                        completed: entry.done,
+                        hibernations: entry.hibernations,
+                        rehydrations: entry.rehydrations,
+                        hibernate_wall: entry.hibernate_wall,
+                        rehydrate_wall: entry.rehydrate_wall,
+                        idle_rounds: entry.idle_rounds,
+                        ingest,
+                        latency: entry.latency.snapshot(),
+                    },
+                    report: entry.session.finish(),
+                }
             })
             .collect()
     }
@@ -770,8 +974,8 @@ mod tests {
             self.bytes
         }
 
-        fn hibernate(&mut self, path: &Path) -> Result<(), String> {
-            std::fs::write(path, self.count.to_le_bytes()).map_err(|e| e.to_string())?;
+        fn hibernate(&mut self, path: &Path) -> Result<(), SessionIoError> {
+            std::fs::write(path, self.count.to_le_bytes())?;
             let mut p = self.resident.lock().unwrap();
             p.resident_now -= 1;
             p.armed = true;
@@ -780,9 +984,11 @@ mod tests {
             Ok(())
         }
 
-        fn rehydrate(&mut self, path: &Path) -> Result<(), String> {
-            let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-            let arr: [u8; 8] = bytes.try_into().map_err(|_| "bad spill file".to_string())?;
+        fn rehydrate(&mut self, path: &Path) -> Result<(), SessionIoError> {
+            let bytes = std::fs::read(path)?;
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| SessionIoError::Snapshot("bad spill file".into()))?;
             self.count = usize::from_le_bytes(arr);
             let mut p = self.resident.lock().unwrap();
             p.resident_now += 1;

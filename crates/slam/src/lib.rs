@@ -22,6 +22,7 @@
 //! assert_eq!(report.frames_processed, 3);
 //! ```
 
+mod ingest;
 mod keyframe;
 mod map;
 mod optimizer;
@@ -31,6 +32,7 @@ mod serve;
 mod snapshot;
 mod tracking;
 
+pub use ingest::{OpenLoopSession, SloPolicy};
 pub use keyframe::{KeyframeContext, KeyframePolicy};
 pub use map::{densify, prune_transparent, seed_from_frame, MapConfig};
 pub use optimizer::{MapLearningRates, MapOptimizer, PoseOptimizer, PARAMS_PER_GAUSSIAN};
@@ -40,6 +42,7 @@ pub use pipeline::{
 };
 pub use profile::StageTimings;
 pub use rtgs_telemetry::{StageId, StageNanos};
+#[allow(deprecated)] // re-exported until the deprecation window closes
 pub use serve::{serve_sessions, serve_sessions_with_eviction};
 pub use snapshot::config_fingerprint;
 pub use tracking::{

@@ -411,6 +411,11 @@ pub struct SlamPipeline<'d> {
     /// [`SlamPipeline::hibernate_to`]); stepping or reporting in this
     /// state is a scheduler bug and panics loudly.
     pub(crate) hibernated: bool,
+    /// Load-shed resolution floor (1 = none): under SLO pressure the serve
+    /// layer raises this so tracking runs on the downsampled path until the
+    /// backlog drains. Combined with the extension's own downsampling ramp
+    /// via `max`; predicted keyframes still track at full resolution.
+    pub(crate) pressure_factor: usize,
 }
 
 impl<'d> SlamPipeline<'d> {
@@ -449,7 +454,24 @@ impl<'d> SlamPipeline<'d> {
             run_start: None,
             pending_mapping_traces: Vec::new(),
             hibernated: false,
+            pressure_factor: 1,
         }
+    }
+
+    /// Sets the load-shed resolution factor (clamped to at least 1; 1
+    /// disables shedding). While above 1, tracking of non-keyframe frames
+    /// runs on the downsampled path — the same degradation mechanism as the
+    /// extensions' dynamic-downsampling ramp, driven by serving pressure
+    /// instead of frames-since-keyframe. The effective factor is the `max`
+    /// of both, still subject to the keyframe full-resolution rule and the
+    /// resolution floor.
+    pub fn set_pressure_factor(&mut self, factor: usize) {
+        self.pressure_factor = factor.max(1);
+    }
+
+    /// Current load-shed resolution factor (1 = no shedding).
+    pub fn pressure_factor(&self) -> usize {
+        self.pressure_factor
     }
 
     /// Current map (sharded store; stable IDs, frustum-cullable shards).
@@ -501,7 +523,13 @@ impl<'d> SlamPipeline<'d> {
         // ---- Tracking -----------------------------------------------------
         let frames_since_kf = index - self.keyframes.last().copied().unwrap_or(0);
         let directives = self.extension.frame_directives(index, frames_since_kf);
-        let mut factor = directives.resolution_factor.max(1);
+        // Serving pressure combines with the extension's downsampling ramp;
+        // applied before the keyframe clamp so keyframes stay full-res even
+        // while shedding.
+        let mut factor = directives
+            .resolution_factor
+            .max(self.pressure_factor)
+            .max(1);
         if self
             .config
             .keyframe_policy

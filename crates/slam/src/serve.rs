@@ -17,7 +17,7 @@
 //! stayed resident (tested below).
 
 use crate::pipeline::{SlamPipeline, SlamReport};
-use rtgs_runtime::{EvictionPolicy, Session, SessionOutcome, SessionScheduler, SessionStatus};
+use rtgs_runtime::{EvictionPolicy, Serve, Session, SessionIoError, SessionOutcome, SessionStatus};
 use std::path::Path;
 
 impl Session for SlamPipeline<'_> {
@@ -41,12 +41,14 @@ impl Session for SlamPipeline<'_> {
         SlamPipeline::resident_bytes(self)
     }
 
-    fn hibernate(&mut self, path: &Path) -> Result<(), String> {
-        self.hibernate_to(path).map_err(|e| e.to_string())
+    fn hibernate(&mut self, path: &Path) -> Result<(), SessionIoError> {
+        self.hibernate_to(path)
+            .map_err(|e| SessionIoError::Snapshot(Box::new(e)))
     }
 
-    fn rehydrate(&mut self, path: &Path) -> Result<(), String> {
-        self.rehydrate_from(path).map_err(|e| e.to_string())
+    fn rehydrate(&mut self, path: &Path) -> Result<(), SessionIoError> {
+        self.rehydrate_from(path)
+            .map_err(|e| SessionIoError::Snapshot(Box::new(e)))
     }
 }
 
@@ -54,15 +56,15 @@ impl Session for SlamPipeline<'_> {
 /// sessions over the shared pool with `threads` workers (`0` = machine
 /// size). Returns one outcome (scheduling stats + [`SlamReport`]) per
 /// session, in input order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rtgs_runtime::Serve::builder().threads(n).run(sessions)` instead"
+)]
 pub fn serve_sessions<'d>(
     sessions: Vec<(String, SlamPipeline<'d>)>,
     threads: usize,
 ) -> Vec<SessionOutcome<SlamReport>> {
-    let mut scheduler = SessionScheduler::new(threads);
-    for (label, pipeline) in sessions {
-        scheduler.add_session(label, pipeline);
-    }
-    scheduler.run()
+    Serve::builder().threads(threads).run(sessions)
 }
 
 /// [`serve_sessions`] under a hibernate-to-disk [`EvictionPolicy`]: when
@@ -70,20 +72,25 @@ pub fn serve_sessions<'d>(
 /// session checkpoints to the policy's spill directory and is rehydrated
 /// transparently before its next frame. Results are identical to serving
 /// fully resident.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rtgs_runtime::Serve::builder().threads(n).eviction(policy).run(sessions)` instead"
+)]
 pub fn serve_sessions_with_eviction<'d>(
     sessions: Vec<(String, SlamPipeline<'d>)>,
     threads: usize,
     policy: EvictionPolicy,
 ) -> Vec<SessionOutcome<SlamReport>> {
-    let mut scheduler = SessionScheduler::new(threads);
-    scheduler.set_eviction_policy(policy);
-    for (label, pipeline) in sessions {
-        scheduler.add_session(label, pipeline);
-    }
-    scheduler.run()
+    Serve::builder()
+        .threads(threads)
+        .eviction(policy)
+        .run(sessions)
 }
 
 #[cfg(test)]
+// The deprecated wrappers stay tested until their removal window closes:
+// they must keep producing results bitwise-identical to the builder.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::pipeline::{BaseAlgorithm, SlamConfig};
@@ -249,11 +256,11 @@ mod tests {
             Session::resident_bytes(&self.inner)
         }
 
-        fn hibernate(&mut self, path: &Path) -> Result<(), String> {
+        fn hibernate(&mut self, path: &Path) -> Result<(), SessionIoError> {
             Session::hibernate(&mut self.inner, path)
         }
 
-        fn rehydrate(&mut self, path: &Path) -> Result<(), String> {
+        fn rehydrate(&mut self, path: &Path) -> Result<(), SessionIoError> {
             Session::rehydrate(&mut self.inner, path)
         }
     }
@@ -265,12 +272,12 @@ mod tests {
     #[test]
     fn shutdown_mid_stream_is_frame_consistent_including_hibernated() {
         let ds = SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 50);
-        let mut scheduler = SessionScheduler::new(2);
         // 1-resident budget over 3 sessions: at any instant at least one
         // live session is parked on disk.
-        scheduler.set_eviction_policy(
-            EvictionPolicy::new(spill_dir("shutdown")).with_max_resident_sessions(1),
-        );
+        let mut scheduler = Serve::builder()
+            .threads(2)
+            .eviction(EvictionPolicy::new(spill_dir("shutdown")).with_max_resident_sessions(1))
+            .build();
         let handle = scheduler.shutdown_handle();
         for (i, algo) in [
             BaseAlgorithm::GsSlam,
@@ -322,5 +329,55 @@ mod tests {
         let max = outcomes.iter().map(|o| o.stats.steps).max().unwrap();
         let min = outcomes.iter().map(|o| o.stats.steps).min().unwrap();
         assert!(max - min <= 1, "rounds are frame-fair ({min}..{max})");
+    }
+
+    /// API-redesign acceptance: the deprecated wrappers and the
+    /// [`Serve::builder`] chain are the same machine — closed-loop serving
+    /// results (trajectories, stats) are bitwise-identical through both
+    /// doors, with and without eviction.
+    #[test]
+    fn builder_is_bitwise_identical_to_deprecated_wrappers() {
+        let ds = SyntheticDataset::generate(DatasetProfile::tum_analog().tiny(), 4);
+        let algos = [BaseAlgorithm::GsSlam, BaseAlgorithm::MonoGs];
+        let build = |ds| {
+            algos
+                .iter()
+                .map(|&algo| {
+                    (
+                        algo.name().to_string(),
+                        SlamPipeline::new(quick_config(algo, 4), ds),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let via_wrapper = serve_sessions(build(&ds), 2);
+        let via_builder = Serve::builder().threads(2).run(build(&ds));
+        let policy = || EvictionPolicy::new(spill_dir("builder")).with_max_resident_sessions(1);
+        let evicted_wrapper = serve_sessions_with_eviction(build(&ds), 2, policy());
+        let evicted_builder = Serve::builder()
+            .threads(2)
+            .eviction(policy())
+            .run(build(&ds));
+
+        for (a, b) in via_wrapper
+            .iter()
+            .zip(&via_builder)
+            .chain(evicted_wrapper.iter().zip(&evicted_builder))
+        {
+            assert_eq!(a.stats.label, b.stats.label);
+            assert_eq!(a.stats.steps, b.stats.steps);
+            assert_eq!(a.stats.completed, b.stats.completed);
+            assert_eq!(a.report.frames_processed, b.report.frames_processed);
+            for (pa, pb) in a.report.trajectory.iter().zip(b.report.trajectory.iter()) {
+                assert_eq!(pa.translation, pb.translation, "{}", a.stats.label);
+                assert_eq!(pa.rotation, pb.rotation, "{}", a.stats.label);
+            }
+            assert_eq!(a.report.ate.rmse, b.report.ate.rmse);
+            assert_eq!(a.report.mean_psnr, b.report.mean_psnr);
+            assert_eq!(a.report.peak_gaussians, b.report.peak_gaussians);
+        }
+        // Closed-loop sessions report no ingest stats through either door.
+        assert!(via_builder.iter().all(|o| o.stats.ingest.is_none()));
     }
 }

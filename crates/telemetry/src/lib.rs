@@ -37,12 +37,14 @@
 
 mod export;
 mod hist;
+mod recent;
 mod registry;
 mod spans;
 mod stage;
 
 pub use export::{chrome_trace_json, render_json, render_text, SnapshotWriter};
 pub use hist::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use recent::RecentWindow;
 pub use registry::{global, Counter, Gauge, MetricValue, Registry, RegistrySnapshot};
 pub use spans::{
     clear_spans, collect_spans, dropped_spans, emit_span, ns_since_epoch, set_ring_capacity,
