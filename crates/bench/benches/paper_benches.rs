@@ -935,6 +935,67 @@ fn bench_snapshot_delta(c: &mut Criterion) {
     group.finish();
 }
 
+/// Replication subsystem: the steady-state cost of streaming one delta
+/// record — capture + seal + send + follower validate/replay/ack — over
+/// the in-process transport, against the capture-only baseline (the cost
+/// a non-replicated checkpointing session already pays). Informational:
+/// no gate keys on this group.
+fn bench_replication_stream(c: &mut Criterion) {
+    use rtgs_replicate::{duplex_pair, FaultPlan, Follower, ReplicationPolicy, Replicator};
+
+    let mut group = c.benchmark_group("replication_stream");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let (mut map, channels) = churned_snapshot_map(20_000);
+
+    let (a, b) = duplex_pair();
+    let mut primary = Replicator::new(a, 7, ReplicationPolicy::new(), FaultPlan::lossless(1));
+    let mut follower = Follower::new(b, 7);
+    let mut frame = 0u64;
+    primary
+        .on_frame(frame, |log| log.capture(&map, &channels, b"m"))
+        .unwrap();
+    primary.pump().unwrap();
+    follower.pump().unwrap();
+
+    group.bench_function("delta_record_roundtrip", |b| {
+        b.iter(|| {
+            frame += 1;
+            for k in 0..100u32 {
+                let id =
+                    (frame as u32).wrapping_mul(97).wrapping_add(k * 193) % map.capacity() as u32;
+                if map.is_live(id) {
+                    map.gaussian_mut(id).opacity += 1e-4;
+                }
+            }
+            primary
+                .on_frame(frame, |log| log.capture(&map, &channels, b"m"))
+                .unwrap();
+            primary.pump().unwrap();
+            follower.pump().unwrap();
+            primary.pump().unwrap(); // consume the ack
+        })
+    });
+
+    let mut baseline = CheckpointLog::new();
+    let _ = baseline.capture(&map, &channels, b"m").unwrap();
+    let mut tick = 0u32;
+    group.bench_function("capture_only_baseline", |b| {
+        b.iter(|| {
+            tick = tick.wrapping_add(1);
+            for k in 0..100u32 {
+                let id = tick.wrapping_mul(97).wrapping_add(k * 193) % map.capacity() as u32;
+                if map.is_live(id) {
+                    map.gaussian_mut(id).opacity += 1e-4;
+                }
+            }
+            baseline.capture(&map, &channels, b"m").unwrap()
+        })
+    });
+    group.finish();
+}
+
 /// A mid-size sharded map grown through insert/tombstone/recycle churn,
 /// with pipeline-shaped ID-keyed channels.
 fn churned_snapshot_map(n: usize) -> (rtgs_render::ShardedScene, Vec<Channel>) {
@@ -992,5 +1053,6 @@ criterion_group!(
     bench_loadgen,
     bench_snapshot_full,
     bench_snapshot_delta,
+    bench_replication_stream,
 );
 criterion_main!(benches);

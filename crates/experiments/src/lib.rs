@@ -16,6 +16,7 @@
 
 mod algorithm;
 mod common;
+mod failover;
 mod hardware;
 mod loadgen;
 mod persistence;
@@ -28,6 +29,7 @@ pub use common::{
     dataset, default_backend, f, run_variant, set_default_backend, slam_config, to_workload, Scale,
     Table, Variant,
 };
+pub use failover::failover;
 pub use hardware::{fig15, fig16, fig17, table4};
 pub use loadgen::loadgen;
 pub use persistence::persistence;
@@ -56,6 +58,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "serving",
     "loadgen",
     "persistence",
+    "failover",
     "telemetry",
 ];
 
@@ -84,6 +87,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Result<String, String> {
         "serving" => serving(scale),
         "loadgen" => loadgen(scale),
         "persistence" => persistence(scale),
+        "failover" => failover(scale),
         "telemetry" => telemetry(scale),
         other => return Err(format!("unknown experiment: {other}")),
     })

@@ -1,0 +1,355 @@
+//! Deterministic transport fault injection.
+//!
+//! Every failure path in the replication stack must be exercisable on
+//! demand, reproducibly. A [`FaultPlan`] is a seeded recipe of envelope-
+//! granularity faults — drop, duplicate, reorder, truncate, corrupt,
+//! delay — plus an optional `kill_primary_at_frame` for failover drills.
+//! [`FaultyLink`] applies the plan to a [`ByteLink`]'s **forward**
+//! direction (records); the return direction (acks) stays clean, which
+//! keeps the harness simple without weakening coverage — a lost ack is
+//! indistinguishable from a lost record to the retransmission logic.
+//!
+//! Determinism contract (see CONTRIBUTING, "Fault-injection policy"):
+//! identical seed + identical send sequence ⇒ identical faults. No
+//! wall-clock randomness anywhere — delays are measured in *pump ticks*,
+//! not time.
+
+use crate::transport::ByteLink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded, deterministic plan of transport faults.
+///
+/// Probabilities are per sent envelope, applied in the order drop →
+/// duplicate → truncate → corrupt → delay (reordering emerges from
+/// delaying some envelopes past their successors).
+#[derive(Debug, Clone)]
+#[must_use = "attach the plan to a FaultyLink"]
+pub struct FaultPlan {
+    /// Seed of the fault stream.
+    pub seed: u64,
+    /// Probability an envelope vanishes entirely.
+    pub drop: f64,
+    /// Probability an envelope is sent twice.
+    pub duplicate: f64,
+    /// Probability an envelope is cut short mid-payload.
+    pub truncate: f64,
+    /// Probability one payload byte is flipped.
+    pub corrupt: f64,
+    /// Probability an envelope is held back and released later (this is
+    /// also the reordering mechanism — held envelopes land behind their
+    /// successors).
+    pub delay: f64,
+    /// Maximum pump ticks a delayed envelope is held.
+    pub max_delay_ticks: u32,
+    /// Crash drill: the primary is declared dead once it has processed
+    /// this many frames (enforced by the harness driving the primary, not
+    /// by the link).
+    pub kill_primary_at_frame: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the baseline control.
+    pub fn lossless(seed: u64) -> Self {
+        Self {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            truncate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            max_delay_ticks: 0,
+            kill_primary_at_frame: None,
+        }
+    }
+
+    /// An aggressive mixed plan: every fault class active at once.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            drop: 0.10,
+            duplicate: 0.10,
+            truncate: 0.05,
+            corrupt: 0.05,
+            delay: 0.15,
+            max_delay_ticks: 3,
+            kill_primary_at_frame: None,
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the duplicate probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the truncate probability.
+    pub fn with_truncate(mut self, p: f64) -> Self {
+        self.truncate = p;
+        self
+    }
+
+    /// Sets the corrupt probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets the delay probability and bound.
+    pub fn with_delay(mut self, p: f64, max_ticks: u32) -> Self {
+        self.delay = p;
+        self.max_delay_ticks = max_ticks;
+        self
+    }
+
+    /// Arms the kill-primary-at-frame-N crash drill.
+    pub fn with_kill_primary_at_frame(mut self, frame: u64) -> Self {
+        self.kill_primary_at_frame = Some(frame);
+        self
+    }
+}
+
+/// Counters of injected faults (exact, for assertions in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Envelopes sent into the link (before faults).
+    pub offered: u64,
+    /// Envelopes dropped.
+    pub dropped: u64,
+    /// Envelopes duplicated.
+    pub duplicated: u64,
+    /// Envelopes truncated.
+    pub truncated: u64,
+    /// Envelopes with a corrupted byte.
+    pub corrupted: u64,
+    /// Envelopes delayed (released on a later tick).
+    pub delayed: u64,
+}
+
+/// An envelope held back by the delay fault, keyed by its release tick.
+#[derive(Debug)]
+struct Held {
+    release_tick: u64,
+    bytes: Vec<u8>,
+}
+
+/// A [`ByteLink`] wrapper that applies a [`FaultPlan`] to envelopes sent
+/// through [`FaultyLink::send_envelope`]. Reads pass through untouched.
+#[derive(Debug)]
+pub struct FaultyLink<L: ByteLink> {
+    inner: L,
+    plan: FaultPlan,
+    rng: StdRng,
+    tick: u64,
+    held: Vec<Held>,
+    stats: FaultStats,
+}
+
+impl<L: ByteLink> FaultyLink<L> {
+    /// Wraps `inner` with `plan`'s fault stream.
+    pub fn new(inner: L, plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Self {
+            inner,
+            plan,
+            rng,
+            tick: 0,
+            held: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injected-fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Advances the fault clock one pump tick and releases every held
+    /// envelope that has come due (in held order — reordering relative to
+    /// newer envelopes has already happened by construction).
+    ///
+    /// # Errors
+    ///
+    /// Transport write failure.
+    pub fn tick(&mut self) -> std::io::Result<()> {
+        self.tick += 1;
+        let due: Vec<Vec<u8>> = {
+            let tick = self.tick;
+            let mut due = Vec::new();
+            self.held.retain_mut(|h| {
+                if h.release_tick <= tick {
+                    due.push(std::mem::take(&mut h.bytes));
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for bytes in due {
+            self.inner.write(&bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Releases every held envelope immediately (shutdown drain — the
+    /// fault clock stops mattering once the stream is flushing).
+    ///
+    /// # Errors
+    ///
+    /// Transport write failure.
+    pub fn flush_held(&mut self) -> std::io::Result<()> {
+        for held in std::mem::take(&mut self.held) {
+            self.inner.write(&held.bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Sends one envelope through the fault stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport write failure.
+    pub fn send_envelope(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stats.offered += 1;
+        if self.plan.drop > 0.0 && self.rng.gen_bool(self.plan.drop) {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        let copies = if self.plan.duplicate > 0.0 && self.rng.gen_bool(self.plan.duplicate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut out = bytes.to_vec();
+            if self.plan.truncate > 0.0 && self.rng.gen_bool(self.plan.truncate) && out.len() > 1 {
+                let keep = self.rng.gen_range(1..out.len());
+                out.truncate(keep);
+                self.stats.truncated += 1;
+            }
+            if self.plan.corrupt > 0.0 && self.rng.gen_bool(self.plan.corrupt) {
+                let i = self.rng.gen_range(0..out.len());
+                out[i] ^= 1 << self.rng.gen_range(0u32..8) as u8;
+                self.stats.corrupted += 1;
+            }
+            if self.plan.delay > 0.0
+                && self.plan.max_delay_ticks > 0
+                && self.rng.gen_bool(self.plan.delay)
+            {
+                let ticks = u64::from(self.rng.gen_range(1..=self.plan.max_delay_ticks));
+                self.held.push(Held {
+                    release_tick: self.tick + ticks,
+                    bytes: out,
+                });
+                self.stats.delayed += 1;
+            } else {
+                self.inner.write(&out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads pass through to the underlying link untouched.
+    ///
+    /// # Errors
+    ///
+    /// Transport read failure.
+    pub fn read_available(&mut self, out: &mut Vec<u8>) -> std::io::Result<usize> {
+        self.inner.read_available(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::duplex_pair;
+
+    fn pump_all(link: &mut FaultyLink<crate::transport::DuplexLink>) {
+        for _ in 0..16 {
+            link.tick().unwrap();
+        }
+    }
+
+    #[test]
+    fn lossless_plan_is_transparent() {
+        let (a, mut b) = duplex_pair();
+        let mut faulty = FaultyLink::new(a, FaultPlan::lossless(1));
+        faulty.send_envelope(b"one").unwrap();
+        faulty.send_envelope(b"two").unwrap();
+        let mut out = Vec::new();
+        b.read_available(&mut out).unwrap();
+        assert_eq!(out, b"onetwo");
+        assert_eq!(
+            faulty.stats(),
+            FaultStats {
+                offered: 2,
+                ..FaultStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let run = |seed: u64| {
+            let (a, mut b) = duplex_pair();
+            let mut faulty = FaultyLink::new(a, FaultPlan::chaos(seed));
+            for i in 0..200u32 {
+                faulty.send_envelope(&i.to_le_bytes()).unwrap();
+                faulty.tick().unwrap();
+            }
+            pump_all(&mut faulty);
+            let mut bytes = Vec::new();
+            b.read_available(&mut bytes).unwrap();
+            (faulty.stats(), bytes)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1, "different seeds should differ");
+    }
+
+    #[test]
+    fn chaos_injects_every_class() {
+        let (a, _b) = duplex_pair();
+        let mut faulty = FaultyLink::new(a, FaultPlan::chaos(7));
+        for i in 0..500u32 {
+            faulty.send_envelope(&[i as u8; 32]).unwrap();
+            faulty.tick().unwrap();
+        }
+        let stats = faulty.stats();
+        assert!(stats.dropped > 0);
+        assert!(stats.duplicated > 0);
+        assert!(stats.truncated > 0);
+        assert!(stats.corrupted > 0);
+        assert!(stats.delayed > 0);
+    }
+
+    #[test]
+    fn delayed_envelopes_release_in_tick_order() {
+        let (a, mut b) = duplex_pair();
+        let mut faulty = FaultyLink::new(a, FaultPlan::lossless(5).with_delay(1.0, 2));
+        faulty.send_envelope(b"late").unwrap();
+        let mut out = Vec::new();
+        assert_eq!(b.read_available(&mut out).unwrap(), 0, "held back");
+        pump_all(&mut faulty);
+        b.read_available(&mut out).unwrap();
+        assert_eq!(out, b"late");
+    }
+
+    #[test]
+    fn flush_held_releases_everything_now() {
+        let (a, mut b) = duplex_pair();
+        let mut faulty = FaultyLink::new(a, FaultPlan::lossless(5).with_delay(1.0, 1_000));
+        faulty.send_envelope(b"parked").unwrap();
+        faulty.flush_held().unwrap();
+        let mut out = Vec::new();
+        b.read_available(&mut out).unwrap();
+        assert_eq!(out, b"parked");
+    }
+}

@@ -1,0 +1,198 @@
+//! Protocol messages carried inside wire envelopes.
+//!
+//! One kind byte, then a kind-specific body:
+//!
+//! ```text
+//! 0  Record         body = StreamRecord::encode() (snapshot container)
+//! 1  Ack            epoch u32 LE, seq u64 LE  (cumulative: highest
+//!                   contiguously-applied sequence in that epoch)
+//! 2  ResyncRequest  epoch u32 LE (the follower's current epoch),
+//!                   reason u8 (diagnostic only)
+//! ```
+//!
+//! Acks are cumulative so a lost ack costs nothing — the next one covers
+//! it. A resync request tells the primary the delta chain is broken at the
+//! follower; the primary compacts, bumps the epoch and ships a fresh base.
+
+use rtgs_snapshot::{SnapshotError, StreamRecord};
+
+/// Why the follower requested a resync (diagnostic; any request triggers
+/// the same fresh-base response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ResyncReason {
+    /// A sequence number was skipped — a record was lost for good.
+    SequenceGap,
+    /// A record failed validation while being applied.
+    ApplyFailed,
+    /// A base record itself failed to decode.
+    BadBase,
+}
+
+impl ResyncReason {
+    fn code(self) -> u8 {
+        match self {
+            Self::SequenceGap => 0,
+            Self::ApplyFailed => 1,
+            Self::BadBase => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Self {
+        match code {
+            1 => Self::ApplyFailed,
+            2 => Self::BadBase,
+            _ => Self::SequenceGap,
+        }
+    }
+}
+
+/// A protocol message (either direction).
+#[derive(Debug)]
+pub enum Message {
+    /// Primary→follower: a base or delta stream record.
+    Record(StreamRecord),
+    /// Follower→primary: cumulative ack — every record of `epoch` up to
+    /// and including `seq` is applied.
+    Ack {
+        /// Epoch the ack belongs to.
+        epoch: u32,
+        /// Highest contiguously-applied sequence number.
+        seq: u64,
+    },
+    /// Follower→primary: the delta chain broke; send a fresh base.
+    ResyncRequest {
+        /// The follower's current epoch (stale requests are ignored once
+        /// the primary has already re-based past it).
+        epoch: u32,
+        /// Diagnostic reason.
+        reason: ResyncReason,
+    },
+}
+
+impl Message {
+    /// Serializes the message (the payload of one wire envelope).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Self::Record(record) => {
+                let body = record.encode();
+                let mut out = Vec::with_capacity(1 + body.len());
+                out.push(0);
+                out.extend_from_slice(&body);
+                out
+            }
+            Self::Ack { epoch, seq } => {
+                let mut out = Vec::with_capacity(13);
+                out.push(1);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out
+            }
+            Self::ResyncRequest { epoch, reason } => {
+                let mut out = Vec::with_capacity(6);
+                out.push(2);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.push(reason.code());
+                out
+            }
+        }
+    }
+
+    /// Parses an envelope payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] on an unknown kind or malformed body,
+    /// plus any record-decode error.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let (&kind, body) = bytes.split_first().ok_or(SnapshotError::Truncated {
+            context: "protocol message",
+        })?;
+        match kind {
+            0 => Ok(Self::Record(StreamRecord::decode(body)?)),
+            1 => {
+                if body.len() != 12 {
+                    return Err(SnapshotError::Truncated {
+                        context: "ack message",
+                    });
+                }
+                Ok(Self::Ack {
+                    epoch: u32::from_le_bytes([body[0], body[1], body[2], body[3]]),
+                    seq: u64::from_le_bytes([
+                        body[4], body[5], body[6], body[7], body[8], body[9], body[10], body[11],
+                    ]),
+                })
+            }
+            2 => {
+                if body.len() != 5 {
+                    return Err(SnapshotError::Truncated {
+                        context: "resync request",
+                    });
+                }
+                Ok(Self::ResyncRequest {
+                    epoch: u32::from_le_bytes([body[0], body[1], body[2], body[3]]),
+                    reason: ResyncReason::from_code(body[4]),
+                })
+            }
+            other => Err(SnapshotError::Corrupt {
+                context: format!("unknown protocol message kind {other}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgs_snapshot::{RecordKind, SectionBuilder};
+
+    #[test]
+    fn ack_and_resync_roundtrip() {
+        match Message::decode(&Message::Ack { epoch: 2, seq: 99 }.encode()).unwrap() {
+            Message::Ack { epoch, seq } => {
+                assert_eq!((epoch, seq), (2, 99));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match Message::decode(
+            &Message::ResyncRequest {
+                epoch: 7,
+                reason: ResyncReason::ApplyFailed,
+            }
+            .encode(),
+        )
+        .unwrap()
+        {
+            Message::ResyncRequest { epoch, reason } => {
+                assert_eq!(epoch, 7);
+                assert_eq!(reason, ResyncReason::ApplyFailed);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_message() {
+        let record = StreamRecord {
+            kind: RecordKind::Base,
+            epoch: 1,
+            seq: 5,
+            frame: 4,
+            frames_covered: 3,
+            config_fingerprint: 42,
+            payload: SectionBuilder::new().finish(),
+        };
+        match Message::decode(&Message::Record(record.clone()).encode()).unwrap() {
+            Message::Record(decoded) => assert_eq!(decoded, record),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_typed() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[9, 1, 2]).is_err());
+        assert!(Message::decode(&[1, 0, 0]).is_err()); // short ack
+    }
+}

@@ -1,0 +1,113 @@
+//! The byte-stream transport abstraction replication runs over.
+//!
+//! Replication needs exactly two primitives — append bytes, read whatever
+//! has arrived — so that is the whole [`ByteLink`] trait. The in-process
+//! [`duplex_pair`] backs tests, experiments and single-machine failover;
+//! a real socket slots in later by implementing the same two methods
+//! (non-blocking reads map directly onto `read_available`).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One direction of a byte stream: ordered, reliable at this layer (the
+/// fault harness injects loss *above* it), non-blocking to read.
+pub trait ByteLink: Send {
+    /// Appends `bytes` to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport I/O failure (the in-process link never fails).
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+
+    /// Moves every byte that has arrived since the last call into `out`.
+    /// Returns how many bytes were appended (0 = nothing pending).
+    ///
+    /// # Errors
+    ///
+    /// Transport I/O failure (the in-process link never fails).
+    fn read_available(&mut self, out: &mut Vec<u8>) -> std::io::Result<usize>;
+}
+
+/// Shared in-memory byte queue: one direction of the duplex pair.
+type SharedPipe = Arc<Mutex<VecDeque<u8>>>;
+
+/// In-process [`ByteLink`]: writes go to one shared queue, reads drain the
+/// other. The two ends of [`duplex_pair`] cross the queues, so each side's
+/// writes become the other side's reads — including across threads.
+#[derive(Debug)]
+pub struct DuplexLink {
+    outgoing: SharedPipe,
+    incoming: SharedPipe,
+}
+
+impl ByteLink for DuplexLink {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.outgoing
+            .lock()
+            .expect("duplex pipe poisoned")
+            .extend(bytes);
+        Ok(())
+    }
+
+    fn read_available(&mut self, out: &mut Vec<u8>) -> std::io::Result<usize> {
+        let mut pipe = self.incoming.lock().expect("duplex pipe poisoned");
+        let n = pipe.len();
+        out.extend(pipe.drain(..));
+        Ok(n)
+    }
+}
+
+/// A connected pair of in-process links: bytes written to one end arrive
+/// at the other, in both directions.
+#[must_use]
+pub fn duplex_pair() -> (DuplexLink, DuplexLink) {
+    let a_to_b: SharedPipe = Arc::new(Mutex::new(VecDeque::new()));
+    let b_to_a: SharedPipe = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        DuplexLink {
+            outgoing: Arc::clone(&a_to_b),
+            incoming: Arc::clone(&b_to_a),
+        },
+        DuplexLink {
+            outgoing: b_to_a,
+            incoming: a_to_b,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_pair_crosses_directions() {
+        let (mut a, mut b) = duplex_pair();
+        a.write(b"ping").unwrap();
+        b.write(b"pong").unwrap();
+
+        let mut at_b = Vec::new();
+        assert_eq!(b.read_available(&mut at_b).unwrap(), 4);
+        assert_eq!(at_b, b"ping");
+
+        let mut at_a = Vec::new();
+        assert_eq!(a.read_available(&mut at_a).unwrap(), 4);
+        assert_eq!(at_a, b"pong");
+
+        // Drained: nothing pending on either side.
+        assert_eq!(a.read_available(&mut at_a).unwrap(), 0);
+        assert_eq!(b.read_available(&mut at_b).unwrap(), 0);
+    }
+
+    #[test]
+    fn reads_preserve_write_order_and_accumulate() {
+        let (mut a, mut b) = duplex_pair();
+        a.write(b"one").unwrap();
+        a.write(b"two").unwrap();
+        let mut out = Vec::new();
+        b.read_available(&mut out).unwrap();
+        assert_eq!(out, b"onetwo");
+        a.write(b"three").unwrap();
+        b.read_available(&mut out).unwrap();
+        assert_eq!(out, b"onetwothree");
+    }
+}

@@ -1,0 +1,212 @@
+//! Self-synchronizing wire envelopes.
+//!
+//! Every protocol message travels as one envelope:
+//!
+//! ```text
+//! offset 0   magic        4 bytes  "RPLW"
+//!        4   payload len  u32 LE
+//!        8   payload crc  u32 LE   (CRC-32 over the payload bytes)
+//!       12   payload      len bytes
+//! ```
+//!
+//! The [`FrameScanner`] re-frames a damaged stream: it hunts for the magic
+//! (discarding leading junk), waits for incomplete envelopes, and on a CRC
+//! mismatch or an absurd length drains past the bad magic and rescans.
+//! Truncated envelopes self-heal — retransmissions keep appending bytes,
+//! so a declared length eventually becomes reachable, fails its CRC, and
+//! the scanner resynchronizes on the next genuine magic.
+
+use rtgs_snapshot::crc32;
+
+/// Envelope magic.
+pub const WIRE_MAGIC: [u8; 4] = *b"RPLW";
+/// Bytes before the payload: magic + length + CRC.
+pub const HEADER_LEN: usize = 12;
+/// Upper bound on a single payload — far above any real record, so a
+/// corrupt length field cannot stall the scanner waiting forever.
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+
+/// Wraps `payload` in a wire envelope.
+#[must_use]
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental envelope scanner over an append-only receive buffer.
+///
+/// Feed bytes with [`FrameScanner::extend`]; pull complete, CRC-verified
+/// payloads with [`FrameScanner::next_payload`]. Damage never panics and
+/// never yields a corrupt payload — it costs at most the bytes up to the
+/// next genuine magic.
+#[derive(Debug, Default)]
+pub struct FrameScanner {
+    buf: Vec<u8>,
+    /// Envelopes that failed CRC or carried an oversize length (for fault
+    /// accounting; the scanner already skipped them).
+    rejected: u64,
+}
+
+impl FrameScanner {
+    /// An empty scanner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Damaged envelopes skipped so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Bytes currently buffered (incomplete envelope tail).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Position of the next magic in the buffer, discarding everything
+    /// before it (keeping the last 3 bytes when no magic is found — they
+    /// may be a partial magic continued by the next read).
+    fn sync_to_magic(&mut self) -> bool {
+        if let Some(pos) = self
+            .buf
+            .windows(WIRE_MAGIC.len())
+            .position(|w| w == WIRE_MAGIC)
+        {
+            self.buf.drain(..pos);
+            true
+        } else {
+            let keep = self.buf.len().min(WIRE_MAGIC.len() - 1);
+            self.buf.drain(..self.buf.len() - keep);
+            false
+        }
+    }
+
+    /// Extracts the next complete valid payload, or `None` when the buffer
+    /// holds no complete envelope yet.
+    pub fn next_payload(&mut self) -> Option<Vec<u8>> {
+        loop {
+            if !self.sync_to_magic() {
+                return None;
+            }
+            if self.buf.len() < HEADER_LEN {
+                return None; // header still arriving
+            }
+            let len =
+                u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
+            if len > MAX_FRAME_LEN {
+                // Corrupt length: skip this magic and resynchronize.
+                self.buf.drain(..WIRE_MAGIC.len());
+                self.rejected += 1;
+                continue;
+            }
+            if self.buf.len() < HEADER_LEN + len {
+                return None; // payload still arriving (or truncated — more
+                             // bytes from retransmissions will resolve it)
+            }
+            let crc = u32::from_le_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]]);
+            let payload = &self.buf[HEADER_LEN..HEADER_LEN + len];
+            if crc32(payload) == crc {
+                let payload = payload.to_vec();
+                self.buf.drain(..HEADER_LEN + len);
+                return Some(payload);
+            }
+            // Corrupt payload (or a truncation that swallowed the real
+            // boundary): skip this magic, rescan from the next one.
+            self.buf.drain(..WIRE_MAGIC.len());
+            self.rejected += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_and_scan_roundtrip() {
+        let mut scanner = FrameScanner::new();
+        scanner.extend(&seal(b"alpha"));
+        scanner.extend(&seal(b""));
+        scanner.extend(&seal(b"gamma"));
+        assert_eq!(scanner.next_payload().unwrap(), b"alpha");
+        assert_eq!(scanner.next_payload().unwrap(), b"");
+        assert_eq!(scanner.next_payload().unwrap(), b"gamma");
+        assert!(scanner.next_payload().is_none());
+        assert_eq!(scanner.rejected(), 0);
+    }
+
+    #[test]
+    fn partial_envelope_waits_for_more_bytes() {
+        let sealed = seal(b"split across reads");
+        let mut scanner = FrameScanner::new();
+        for chunk in sealed.chunks(3) {
+            assert!(scanner.next_payload().is_none());
+            scanner.extend(chunk);
+        }
+        assert_eq!(scanner.next_payload().unwrap(), b"split across reads");
+    }
+
+    #[test]
+    fn leading_junk_is_skipped() {
+        let mut scanner = FrameScanner::new();
+        scanner.extend(b"noise noise RPL");
+        scanner.extend(&seal(b"payload"));
+        assert_eq!(scanner.next_payload().unwrap(), b"payload");
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected_and_scan_recovers() {
+        let mut bad = seal(b"will be damaged");
+        let n = bad.len();
+        bad[n - 2] ^= 0x10;
+        let mut scanner = FrameScanner::new();
+        scanner.extend(&bad);
+        scanner.extend(&seal(b"clean"));
+        assert_eq!(scanner.next_payload().unwrap(), b"clean");
+        assert_eq!(scanner.rejected(), 1);
+    }
+
+    #[test]
+    fn truncated_envelope_heals_when_followed_by_valid_one() {
+        let sealed = seal(b"this one gets cut short");
+        let mut scanner = FrameScanner::new();
+        scanner.extend(&sealed[..sealed.len() - 5]); // truncated
+        scanner.extend(&seal(b"survivor"));
+        // The truncated envelope's declared length swallows the survivor's
+        // header bytes; its CRC then fails and the scanner resyncs onto
+        // the survivor's magic... which was consumed. A retransmission
+        // makes it whole again:
+        let first = scanner.next_payload();
+        scanner.extend(&seal(b"survivor"));
+        let second = scanner.next_payload();
+        assert!(
+            [&first, &second]
+                .iter()
+                .any(|p| p.as_deref() == Some(b"survivor".as_slice())),
+            "a valid envelope after a truncated one must eventually emerge: \
+             {first:?} / {second:?}"
+        );
+        assert!(scanner.rejected() >= 1);
+    }
+
+    #[test]
+    fn oversize_length_does_not_stall() {
+        let mut bad = seal(b"x");
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut scanner = FrameScanner::new();
+        scanner.extend(&bad);
+        scanner.extend(&seal(b"after"));
+        assert_eq!(scanner.next_payload().unwrap(), b"after");
+        assert_eq!(scanner.rejected(), 1);
+    }
+}

@@ -135,13 +135,19 @@ pub enum AdmissionError {
         /// Sessions currently admitted.
         admitted: usize,
     },
-    /// The session's reported resident footprint alone exceeds the eviction
-    /// policy's byte budget — it could never be made resident.
+    /// Admitting the session would exceed the eviction policy's byte
+    /// budget: either its own footprint alone is over the budget, or it
+    /// does not fit beside the **live** residency of already-admitted
+    /// sessions (polled at admission time, so sessions that grew past
+    /// their at-admission estimates count at their current size).
     ResidentBytes {
         /// Configured resident-byte budget.
         limit: usize,
         /// Bytes the session asked for.
         requested: usize,
+        /// Live resident bytes of already-admitted sessions at the time of
+        /// the attempt.
+        resident: usize,
     },
     /// Reserving this channel's inbox memory would exceed the hub budget.
     InboxMemory {
@@ -161,9 +167,14 @@ impl std::fmt::Display for AdmissionError {
                 f,
                 "admission rejected: session cap reached ({admitted} admitted, limit {limit})"
             ),
-            Self::ResidentBytes { limit, requested } => write!(
+            Self::ResidentBytes {
+                limit,
+                requested,
+                resident,
+            } => write!(
                 f,
-                "admission rejected: session needs {requested} resident bytes, budget is {limit}"
+                "admission rejected: session needs {requested} resident bytes, \
+                 {resident} of {limit} already live"
             ),
             Self::InboxMemory {
                 limit,

@@ -64,7 +64,7 @@ pub use ingest::{
 };
 pub use pool::{PoolStats, Scope, ThreadPool};
 pub use scheduler::{
-    fleet_latency, EvictionPolicy, Session, SessionIoError, SessionOutcome, SessionScheduler,
-    SessionStats, SessionStatus, ShutdownHandle,
+    fleet_latency, EvictionPolicy, ReplicationOptions, ReplicationStats, Session, SessionIoError,
+    SessionOutcome, SessionScheduler, SessionStats, SessionStatus, ShutdownHandle,
 };
 pub use serve::{Serve, ServeBuilder};

@@ -169,6 +169,96 @@ pub trait Session: Send {
             "session does not support rehydration",
         ))
     }
+
+    /// Primary→follower replication counters for this session, surfaced in
+    /// [`SessionStats::replication`]. `None` (the default) for sessions
+    /// that do not replicate.
+    fn replication_stats(&self) -> Option<ReplicationStats> {
+        None
+    }
+
+    /// Flushes the session's replication stream — pump until every
+    /// outstanding record is acknowledged (or typed-fails) and the stream's
+    /// durable journal, if any, is fsynced. Called by the scheduler at
+    /// shutdown **before** [`Session::finish`], so the final stats satisfy
+    /// `frames_processed == frames_replicated + frames_dropped_by_policy`.
+    /// The default (non-replicating session) is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SessionIoError`]; the scheduler counts the failure
+    /// (`serve.replication.drain_failures`) and still collects the report.
+    fn drain_replication(&mut self) -> Result<(), SessionIoError> {
+        Ok(())
+    }
+}
+
+/// Primary-side replication counters for one session, as captured at
+/// collection time (see [`Session::replication_stats`]).
+///
+/// The accounting identity a drained shutdown guarantees:
+/// `frames_processed == frames_replicated + frames_dropped_by_policy`,
+/// with `frames_behind == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Frames whose state the follower has acknowledged (covered by acked
+    /// base/delta records).
+    pub frames_replicated: u64,
+    /// Frames deliberately not replicated by the stream's policy (e.g. a
+    /// capture stride), counted so frame accounting still balances.
+    pub frames_dropped_by_policy: u64,
+    /// Frames captured but not yet acknowledged — the follower's lag.
+    pub frames_behind: u64,
+    /// Encoded record bytes currently in flight (sent, unacknowledged).
+    pub bytes_queued: u64,
+    /// Stream records sent, including retransmits.
+    pub records_sent: u64,
+    /// Stream records acknowledged by the follower.
+    pub records_acked: u64,
+    /// Records retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Fresh-base resyncs after a broken delta chain.
+    pub resyncs: u64,
+    /// Current resync epoch.
+    pub epoch: u32,
+}
+
+/// Scheduler-level replication behavior, attached via
+/// [`crate::ServeBuilder::replicate`].
+///
+/// `#[non_exhaustive]`: construct via [`ReplicationOptions::new`] plus the
+/// `with_*` builders.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ReplicationOptions {
+    /// Drain every session's replication stream at graceful shutdown so
+    /// final stats balance (default `true`). Disable only for
+    /// fire-and-forget streams where shutdown latency matters more than
+    /// exact frame accounting.
+    pub drain_on_shutdown: bool,
+}
+
+impl Default for ReplicationOptions {
+    fn default() -> Self {
+        Self {
+            drain_on_shutdown: true,
+        }
+    }
+}
+
+impl ReplicationOptions {
+    /// The default options: drain on shutdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets whether graceful shutdown drains replication streams.
+    #[must_use]
+    pub fn with_drain_on_shutdown(mut self, drain: bool) -> Self {
+        self.drain_on_shutdown = drain;
+        self
+    }
 }
 
 /// Residency budget driving hibernate-to-disk eviction.
@@ -249,6 +339,9 @@ pub struct SessionStats {
     /// Open-loop ingestion counters (offered/processed/dropped/degraded and
     /// end-to-end frame latency); `None` for closed-loop sessions.
     pub ingest: Option<IngestStats>,
+    /// Primary-side replication counters, sampled after the shutdown drain;
+    /// `None` for sessions that do not replicate.
+    pub replication: Option<ReplicationStats>,
     /// Per-step latency distribution (nanoseconds), for p50/p99/p999
     /// extraction; merge across sessions with [`fleet_latency`].
     pub latency: HistogramSnapshot,
@@ -372,6 +465,7 @@ pub struct SessionScheduler<S: Session> {
     ingest: Option<IngestHub>,
     metrics: SchedulerMetrics,
     snapshot_writer: Option<SnapshotWriter>,
+    replication: Option<ReplicationOptions>,
 }
 
 impl<S: Session> SessionScheduler<S> {
@@ -391,6 +485,7 @@ impl<S: Session> SessionScheduler<S> {
             ingest: None,
             metrics: SchedulerMetrics::from_global(),
             snapshot_writer: None,
+            replication: None,
         }
     }
 
@@ -412,6 +507,13 @@ impl<S: Session> SessionScheduler<S> {
     /// writer's interval) and once more on shutdown.
     pub fn set_snapshot_writer(&mut self, writer: SnapshotWriter) {
         self.snapshot_writer = Some(writer);
+    }
+
+    /// Attaches replication behavior (see [`ReplicationOptions`]). Without
+    /// this the scheduler still drains replicating sessions at shutdown
+    /// with default options — attach explicitly only to change them.
+    pub fn set_replication(&mut self, options: ReplicationOptions) {
+        self.replication = Some(options);
     }
 
     /// Mirrors the pool's scheduling counters into the global registry so
@@ -472,10 +574,28 @@ impl<S: Session> SessionScheduler<S> {
         }
         if let Some(limit) = self.policy.as_ref().and_then(|p| p.max_resident_bytes) {
             let requested = session.resident_bytes();
+            // Live residency, polled at admission time — sessions grow past
+            // their at-admission estimates, so the budget check must see
+            // what they occupy *now*, not what they claimed when admitted.
+            let resident: usize = self
+                .sessions
+                .iter()
+                .filter(|e| !e.done && !e.hibernated)
+                .map(|e| e.session.resident_bytes())
+                .sum();
             // A session larger than the whole byte budget could never be
-            // made resident — even alone — so it can never be stepped.
-            if requested > limit {
-                return Err((AdmissionError::ResidentBytes { limit, requested }, session));
+            // made resident — even alone — so it can never be stepped; and
+            // one that does not fit beside the current residents would
+            // immediately blow the budget the eviction policy enforces.
+            if requested > limit || resident.saturating_add(requested) > limit {
+                return Err((
+                    AdmissionError::ResidentBytes {
+                        limit,
+                        requested,
+                        resident,
+                    },
+                    session,
+                ));
             }
         }
         Ok(self.add_session(label, session))
@@ -753,7 +873,28 @@ impl<S: Session> SessionScheduler<S> {
             }
         }
 
-        // Shutdown dump: one final registry export with fresh pool stats.
+        // Drain replication streams before reports are taken: outstanding
+        // records get acked (or typed-fail) and journals are fsynced, so
+        // `frames_processed == frames_replicated + frames_dropped_by_policy`
+        // holds in the final stats. On by default; an attached
+        // ReplicationOptions can opt out. Failures are counted, not fatal —
+        // the report still collects.
+        let drain = self
+            .replication
+            .as_ref()
+            .map_or(true, |options| options.drain_on_shutdown);
+        if drain {
+            let drain_failures =
+                rtgs_telemetry::global().counter("serve.replication.drain_failures");
+            for entry in &mut self.sessions {
+                if entry.session.drain_replication().is_err() {
+                    drain_failures.incr();
+                }
+            }
+        }
+
+        // Shutdown dump: one final registry export with fresh pool stats —
+        // after the replication drain, so follower-lag gauges are settled.
         self.export_pool_stats();
         if let Some(writer) = &mut self.snapshot_writer {
             writer.write_now(rtgs_telemetry::global()).ok();
@@ -764,6 +905,7 @@ impl<S: Session> SessionScheduler<S> {
             .enumerate()
             .map(|(session, entry)| {
                 let ingest = entry.session.ingest_stats();
+                let replication = entry.session.replication_stats();
                 SessionOutcome {
                     stats: SessionStats {
                         session,
@@ -777,6 +919,7 @@ impl<S: Session> SessionScheduler<S> {
                         rehydrate_wall: entry.rehydrate_wall,
                         idle_rounds: entry.idle_rounds,
                         ingest,
+                        replication,
                         latency: entry.latency.snapshot(),
                     },
                     report: entry.session.finish(),

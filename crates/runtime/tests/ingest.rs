@@ -235,7 +235,8 @@ fn admission_rejection_leaves_scheduler_untouched() {
             err,
             AdmissionError::ResidentBytes {
                 limit: 1_000,
-                requested: 5_000
+                requested: 5_000,
+                resident: 100,
             }
         ),
         "wrong rejection reason: {err}"
@@ -280,6 +281,85 @@ fn admission_rejection_leaves_scheduler_untouched() {
     assert!(outcomes.iter().all(|o| o.stats.completed));
     assert_eq!(outcomes[0].stats.label, "small");
     assert_eq!(outcomes[1].stats.label, "second");
+}
+
+/// A session whose footprint can grow after admission (shared cell so the
+/// test mutates it while the scheduler owns the session).
+#[derive(Debug)]
+struct Growing {
+    bytes: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl Session for Growing {
+    type Report = ();
+
+    fn step(&mut self) -> SessionStatus {
+        SessionStatus::Finished
+    }
+
+    fn finish(self) {}
+
+    fn resident_bytes(&self) -> usize {
+        self.bytes.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+/// Admission polls *live* resident bytes: a session that grew past its
+/// at-admission estimate shrinks the headroom later admits see, so the
+/// next admit is rejected even though the original estimates would fit.
+#[test]
+fn admission_counts_live_resident_bytes_not_estimates() {
+    let dir = std::env::temp_dir().join(format!("rtgs-admit-live-{}", std::process::id()));
+    let mut scheduler = Serve::builder()
+        .threads(1)
+        .eviction(EvictionPolicy::new(&dir).with_max_resident_bytes(1_000))
+        .build::<Growing>();
+
+    let bytes = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(200));
+    scheduler
+        .try_admit(
+            "grows",
+            Growing {
+                bytes: std::sync::Arc::clone(&bytes),
+            },
+        )
+        .expect("200 of 1000 fits");
+
+    // At the original estimate a 700-byte sibling would fit (200 + 700 <=
+    // 1000). But the session has since grown to 600 resident bytes...
+    bytes.store(600, std::sync::atomic::Ordering::SeqCst);
+    let (err, _returned) = scheduler
+        .try_admit(
+            "late",
+            Growing {
+                bytes: std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(700)),
+            },
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            AdmissionError::ResidentBytes {
+                limit: 1_000,
+                requested: 700,
+                resident: 600,
+            }
+        ),
+        "wrong rejection reason: {err}"
+    );
+
+    // A sibling that fits beside the *live* footprint is still admitted.
+    scheduler
+        .try_admit(
+            "fits",
+            Growing {
+                bytes: std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(300)),
+            },
+        )
+        .expect("600 + 300 <= 1000");
+    assert_eq!(scheduler.session_count(), 2);
+    let outcomes = scheduler.run();
+    assert_eq!(outcomes.len(), 2);
 }
 
 // ---------------------------------------------------------------------------

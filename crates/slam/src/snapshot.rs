@@ -412,7 +412,9 @@ impl SlamPipeline<'_> {
         let t0 = Instant::now();
         let log = self.checkpoint()?;
         let bytes = log.encode();
-        std::fs::write(path, &bytes)?;
+        // Staged + renamed: a crash mid-spill leaves at worst a `.tmp`
+        // sibling, never a torn file shadowing a valid older snapshot.
+        rtgs_snapshot::write_file_atomic(path, &bytes)?;
         let registry = rtgs_telemetry::global();
         registry
             .counter("snapshot.hibernate.bytes")
@@ -516,6 +518,25 @@ impl<'d> SlamPipeline<'d> {
         let mut pipeline = Self::with_extension(config, dataset, extension);
         pipeline.apply_restored(log)?;
         Ok(pipeline)
+    }
+
+    /// Rebuilds a session from a replication follower's accumulated
+    /// [`ReplayState`](rtgs_snapshot::ReplayState) — the promote step of a
+    /// failover. The replay re-bases into a log whose base is
+    /// byte-identical to the primary compacting at the same stream
+    /// position, so the promoted pipeline continues bitwise-identically.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::restore_from`] — including
+    /// [`SnapshotError::ConfigMismatch`] when the standby `config` differs
+    /// from the one the stream was captured under.
+    pub fn restore_from_replay(
+        config: SlamConfig,
+        dataset: &'d SyntheticDataset,
+        replay: &rtgs_snapshot::ReplayState,
+    ) -> Result<Self, SnapshotError> {
+        Self::restore_from(config, dataset, &replay.to_log())
     }
 }
 
@@ -774,6 +795,78 @@ mod tests {
         assert_eq!(a.mean_psnr, b.mean_psnr);
         std::fs::remove_file(&path).ok();
         std::fs::remove_dir(&dir).ok();
+    }
+
+    /// Hibernate commits via atomic rename: no `.tmp` sibling survives,
+    /// and a stale torn temp from a crashed previous writer neither blocks
+    /// the spill nor gets read back.
+    #[test]
+    fn hibernate_is_crash_safe_against_torn_temps() {
+        let ds = tiny_dataset(4);
+        let cfg = quick_config(4);
+        let dir = std::env::temp_dir().join(format!("rtgs-hib-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.snap");
+
+        // A torn temp left by a "crashed" earlier writer.
+        let torn = rtgs_snapshot::tmp_path(&path);
+        std::fs::write(&torn, b"RTGSSNAP torn mid-write").unwrap();
+
+        let mut p = SlamPipeline::new(cfg, &ds);
+        p.step();
+        p.hibernate_to(&path).expect("hibernate");
+        assert!(!torn.exists(), "commit must consume the temp sibling");
+        p.rehydrate_from(&path)
+            .expect("rehydrate reads committed bytes");
+        assert!(!p.is_hibernated());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Promoting from a follower's replay state continues exactly like
+    /// restoring from the primary's own log: stream base + deltas into a
+    /// ReplayState, promote, and the continuation is bitwise-identical to
+    /// an uninterrupted run.
+    #[test]
+    fn restore_from_replay_matches_restore_from_log() {
+        let ds = tiny_dataset(5);
+        let cfg = quick_config(5);
+
+        let mut uninterrupted = SlamPipeline::new(cfg, &ds);
+        let mut primary = SlamPipeline::new(cfg, &ds);
+        let mut log = CheckpointLog::new();
+        let mut replay: Option<rtgs_snapshot::ReplayState> = None;
+        for _ in 0..3 {
+            uninterrupted.step();
+            primary.step();
+            let stats = primary.checkpoint_into(&mut log).unwrap();
+            // What a follower would do with each shipped record.
+            if stats.is_base {
+                replay = Some(rtgs_snapshot::ReplayState::from_base(log.base_bytes()).unwrap());
+            } else {
+                let i = log.delta_count() - 1;
+                replay
+                    .as_mut()
+                    .unwrap()
+                    .apply_delta(log.delta_bytes(i).unwrap())
+                    .unwrap();
+            }
+        }
+        drop(primary); // the crash
+
+        let mut promoted =
+            SlamPipeline::restore_from_replay(cfg, &ds, &replay.unwrap()).expect("promote");
+        while uninterrupted.step().is_some() {}
+        while promoted.step().is_some() {}
+
+        let a = uninterrupted.report();
+        let b = promoted.report();
+        assert_eq!(a.frames_processed, b.frames_processed);
+        for (pa, pb) in a.trajectory.iter().zip(b.trajectory.iter()) {
+            assert_eq!(pa.translation, pb.translation);
+            assert_eq!(pa.rotation, pb.rotation);
+        }
+        assert_eq!(a.mean_psnr, b.mean_psnr);
     }
 
     #[test]

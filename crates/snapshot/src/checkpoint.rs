@@ -35,7 +35,7 @@ use rtgs_render::{SceneState, ShardState, ShardedScene};
 /// Tag of the base/delta channel section.
 const CHANNELS_TAG: [u8; 4] = *b"CHAN";
 /// Tag of the opaque caller-meta section.
-const META_TAG: [u8; 4] = *b"META";
+pub(crate) const META_TAG: [u8; 4] = *b"META";
 /// Tag of a delta's global header (capacity + free-list).
 const DELTA_HEADER_TAG: [u8; 4] = *b"DHDR";
 /// Tag of a delta's changed-shard records.
@@ -138,6 +138,25 @@ impl CheckpointLog {
     /// The encoded base snapshot (empty before the first capture).
     pub fn base_bytes(&self) -> &[u8] {
         &self.base
+    }
+
+    /// The encoded bytes of delta record `i` (`0..delta_count()`), in chain
+    /// order. This is the unit a replication stream ships: the base once,
+    /// then each delta as it is captured (see [`crate::stream`]).
+    pub fn delta_bytes(&self, i: usize) -> Option<&[u8]> {
+        self.deltas.get(i).map(Vec::as_slice)
+    }
+
+    /// A detached log wrapping an already-encoded base (no deltas). Used by
+    /// the replication follower to turn accumulated replay state back into
+    /// a restorable log.
+    pub(crate) fn from_base_bytes(base: Vec<u8>) -> Self {
+        Self {
+            base,
+            deltas: Vec::new(),
+            seen_versions: Vec::new(),
+            attached: false,
+        }
     }
 
     /// Total encoded size of base plus deltas.
@@ -325,7 +344,7 @@ fn delta_tag(i: usize) -> [u8; 4] {
 }
 
 /// Canonical base encoding: scene sections + full channels + meta.
-fn encode_base(state: &SceneState, channels: &[Channel], meta: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_base(state: &SceneState, channels: &[Channel], meta: &[u8]) -> Vec<u8> {
     let mut builder = SectionBuilder::new();
     encode_state_into(state, &mut builder);
     let live_ids: Vec<u32> = state
@@ -356,7 +375,7 @@ fn encode_base(state: &SceneState, channels: &[Channel], meta: &[u8]) -> Vec<u8>
 /// requesting a `capacity × width` allocation).
 const MAX_CHANNEL_WIDTH: usize = 4096;
 
-fn decode_channels(
+pub(crate) fn decode_channels(
     sections: &Sections<'_>,
     capacity: usize,
 ) -> Result<Vec<Channel>, SnapshotError> {
@@ -464,7 +483,7 @@ fn encode_delta(
 }
 
 /// Applies one delta to the accumulated state; returns the delta's meta.
-fn apply_delta(
+pub(crate) fn apply_delta(
     delta: &[u8],
     state: &mut SceneState,
     channels: &mut [Channel],

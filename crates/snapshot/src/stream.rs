@@ -1,0 +1,336 @@
+//! Delta-stream framing for live checkpoint replication.
+//!
+//! A [`CheckpointLog`] is also a *stream*: the base once, then one delta
+//! per capture. This module defines the record framing a primary ships to
+//! a follower, and the follower-side [`ReplayState`] that applies those
+//! records incrementally so a warm standby is always one replay away from
+//! a promotable pipeline.
+//!
+//! Two record kinds exist ([`RecordKind`]):
+//!
+//! - **`Base`** — a full base snapshot. The first record of a stream, and
+//!   the *resync record*: whenever the delta chain breaks (loss, damage,
+//!   reordering beyond repair), the primary compacts its log and ships a
+//!   fresh base under a new epoch, and the follower restarts its replay
+//!   from it.
+//! - **`Delta`** — one dirty-shard delta, applied on top of the follower's
+//!   accumulated state.
+//!
+//! Each record carries an epoch (bumped per resync), a stream-wide
+//! sequence number, the latest frame it covers, how many replicated frames
+//! it newly covers (for exact frames-replicated accounting across
+//! resyncs), and the session's config fingerprint, so a follower can
+//! detect both chain breaks and operator error (replicating into a
+//! differently-configured standby) with typed results, never silent
+//! divergence. Records are encoded through the crate's checksummed section
+//! container, so every decode is CRC-verified before a byte of payload is
+//! interpreted.
+
+use crate::checkpoint::{
+    apply_delta, decode_channels, encode_base, Channel, CheckpointLog, META_TAG,
+};
+use crate::error::SnapshotError;
+use crate::format::{put_u32, put_u64, put_u8, Cursor, SectionBuilder, Sections};
+use crate::scene::decode_state;
+use rtgs_render::{SceneState, ShardedScene};
+
+/// Tag of a stream record's header section.
+const RECORD_HEADER_TAG: [u8; 4] = *b"RHDR";
+/// Tag of a stream record's payload section (an encoded base or delta).
+const RECORD_PAYLOAD_TAG: [u8; 4] = *b"RPAY";
+
+/// What a [`StreamRecord`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A full base snapshot: the stream's first record, or a resync point
+    /// starting a new epoch.
+    Base,
+    /// A dirty-shard delta on top of the follower's accumulated state.
+    Delta,
+}
+
+/// One replication stream record: a framed base or delta payload plus the
+/// ordering and identity headers a follower validates before applying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRecord {
+    /// Base (chain start / resync) or delta.
+    pub kind: RecordKind,
+    /// Resync epoch: bumped every time the primary re-bases the stream.
+    /// Records of a stale epoch are discarded by the follower.
+    pub epoch: u32,
+    /// Stream-wide monotone sequence number (never reused across epochs).
+    pub seq: u64,
+    /// Latest session frame this record covers.
+    pub frame: u64,
+    /// Replicated-class frames this record *newly* covers: 1 for a normal
+    /// per-frame delta, everything outstanding for a resync base. Summing
+    /// acked records' `frames_covered` gives exact frames-replicated
+    /// accounting.
+    pub frames_covered: u64,
+    /// Fingerprint of the session config the stream was captured under; a
+    /// follower standing by with a different config rejects loudly.
+    pub config_fingerprint: u64,
+    /// The encoded base or delta container.
+    pub payload: Vec<u8>,
+}
+
+impl StreamRecord {
+    /// Serializes the record as a checksummed container.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut builder = SectionBuilder::new();
+        let head = builder.section(RECORD_HEADER_TAG);
+        put_u8(
+            head,
+            match self.kind {
+                RecordKind::Base => 0,
+                RecordKind::Delta => 1,
+            },
+        );
+        put_u32(head, self.epoch);
+        put_u64(head, self.seq);
+        put_u64(head, self.frame);
+        put_u64(head, self.frames_covered);
+        put_u64(head, self.config_fingerprint);
+        builder
+            .section(RECORD_PAYLOAD_TAG)
+            .extend_from_slice(&self.payload);
+        builder.finish()
+    }
+
+    /// Parses a record produced by [`Self::encode`], verifying the
+    /// container checksums and that the payload is itself a parseable
+    /// section container.
+    ///
+    /// # Errors
+    ///
+    /// Any container error, or [`SnapshotError::Corrupt`] for an unknown
+    /// record kind.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let sections = Sections::parse(bytes)?;
+        let mut head = Cursor::new(sections.get(RECORD_HEADER_TAG)?, "stream record header");
+        let kind = match head.u8()? {
+            0 => RecordKind::Base,
+            1 => RecordKind::Delta,
+            other => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("unknown stream record kind {other}"),
+                })
+            }
+        };
+        let epoch = head.u32()?;
+        let seq = head.u64()?;
+        let frame = head.u64()?;
+        let frames_covered = head.u64()?;
+        let config_fingerprint = head.u64()?;
+        head.expect_end()?;
+        let payload = sections.get(RECORD_PAYLOAD_TAG)?.to_vec();
+        // Validate the payload's own framing eagerly, so a damaged record
+        // is rejected here rather than halfway through a replay.
+        Sections::parse(&payload)?;
+        Ok(Self {
+            kind,
+            epoch,
+            seq,
+            frame,
+            frames_covered,
+            config_fingerprint,
+            payload,
+        })
+    }
+}
+
+/// Follower-side incremental replay: the decoded state a stream of base +
+/// delta records accumulates into, kept warm so promotion is a single
+/// restore away instead of a full chain replay.
+///
+/// Every [`Self::apply_delta`] is validated like a restore would validate
+/// it; an error leaves the state **unchanged** conceptually — callers must
+/// treat any error as a broken chain and resync from a fresh base record
+/// (the state may have been partially advanced and must not be trusted).
+#[derive(Debug, Clone)]
+pub struct ReplayState {
+    state: SceneState,
+    channels: Vec<Channel>,
+    meta: Vec<u8>,
+    records_applied: u64,
+}
+
+impl ReplayState {
+    /// Starts a replay from an encoded base snapshot (the payload of a
+    /// [`RecordKind::Base`] record).
+    ///
+    /// # Errors
+    ///
+    /// Any container/section error of the base bytes.
+    pub fn from_base(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let sections = Sections::parse(bytes)?;
+        let state = decode_state(&sections)?;
+        let channels = decode_channels(&sections, state.gaussians.len())?;
+        let meta = sections.get(META_TAG)?.to_vec();
+        Ok(Self {
+            state,
+            channels,
+            meta,
+            records_applied: 1,
+        })
+    }
+
+    /// Applies one encoded delta (the payload of a [`RecordKind::Delta`]
+    /// record) on top of the accumulated state.
+    ///
+    /// # Errors
+    ///
+    /// Any container error or [`SnapshotError::Corrupt`] when the delta is
+    /// inconsistent with the accumulated state — the caller must then
+    /// discard this replay and resync from a fresh base.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.meta = apply_delta(bytes, &mut self.state, &mut self.channels)?;
+        self.records_applied += 1;
+        Ok(())
+    }
+
+    /// Records (base + deltas) applied so far.
+    pub fn records_applied(&self) -> u64 {
+        self.records_applied
+    }
+
+    /// The most recent record's opaque meta blob.
+    pub fn meta(&self) -> &[u8] {
+        &self.meta
+    }
+
+    /// Approximate resident bytes of the accumulated state (arena +
+    /// channels), for follower-lag byte gauges.
+    pub fn resident_bytes(&self) -> usize {
+        self.state.gaussians.len() * std::mem::size_of::<rtgs_render::Gaussian3d>()
+            + self
+                .channels
+                .iter()
+                .map(|c| c.data.len() * 4)
+                .sum::<usize>()
+    }
+
+    /// Materializes the accumulated state: the scene, side channels and
+    /// latest meta blob.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] when the accumulated state is not
+    /// importable (a chain that validated record-by-record but dangles as
+    /// a whole).
+    pub fn restore(&self) -> Result<(ShardedScene, Vec<Channel>, Vec<u8>), SnapshotError> {
+        let scene = ShardedScene::import_state(&self.state)
+            .map_err(|context| SnapshotError::Corrupt { context })?;
+        Ok((scene, self.channels.clone(), self.meta.clone()))
+    }
+
+    /// Re-encodes the accumulated state as a detached single-base
+    /// [`CheckpointLog`] — byte-identical to the primary compacting its
+    /// own log at the same point in the stream, which is what makes a
+    /// promoted follower's continuation bitwise-identical to the primary's.
+    #[must_use]
+    pub fn to_log(&self) -> CheckpointLog {
+        CheckpointLog::from_base_bytes(encode_base(&self.state, &self.channels, &self.meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtgs_math::{Quat, Vec3};
+    use rtgs_render::Gaussian3d;
+
+    fn g_at(p: Vec3) -> Gaussian3d {
+        Gaussian3d::from_activated(p, Vec3::splat(0.05), Quat::IDENTITY, 0.8, Vec3::X)
+    }
+
+    fn spread_map(n: usize) -> ShardedScene {
+        let mut map = ShardedScene::new(1.0);
+        for i in 0..n {
+            map.insert(g_at(Vec3::new(i as f32 * 1.5, 0.0, 2.0)));
+        }
+        map
+    }
+
+    #[test]
+    fn stream_record_roundtrips() {
+        let record = StreamRecord {
+            kind: RecordKind::Delta,
+            epoch: 3,
+            seq: 41,
+            frame: 17,
+            frames_covered: 2,
+            config_fingerprint: 0xfeed_beef,
+            payload: SectionBuilder::new().finish(),
+        };
+        let decoded = StreamRecord::decode(&record.encode()).unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn damaged_record_is_a_typed_error() {
+        let record = StreamRecord {
+            kind: RecordKind::Base,
+            epoch: 0,
+            seq: 1,
+            frame: 0,
+            frames_covered: 1,
+            config_fingerprint: 7,
+            payload: SectionBuilder::new().finish(),
+        };
+        let bytes = record.encode();
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(StreamRecord::decode(&bytes[..cut]).is_err());
+        }
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x20;
+        assert!(StreamRecord::decode(&bad).is_err());
+    }
+
+    /// Streaming a log's records through a ReplayState converges on the
+    /// same state as restoring the whole log, and `to_log` re-bases it
+    /// byte-identically to the primary compacting at the same point.
+    #[test]
+    fn replay_state_matches_log_restore_and_compaction() {
+        let mut map = spread_map(6);
+        let mut log = CheckpointLog::new();
+        let _ = log.capture(&map, &[], b"m0").unwrap();
+        let mut replay = ReplayState::from_base(log.base_bytes()).unwrap();
+
+        for round in 0..3 {
+            map.gaussian_mut(round as u32).position.y = 0.1 * (round + 1) as f32;
+            map.insert(g_at(Vec3::new(30.0 + round as f32, 0.0, 2.0)));
+            let _ = log
+                .capture(&map, &[], format!("m{}", round + 1).as_bytes())
+                .unwrap();
+            replay.apply_delta(log.delta_bytes(round).unwrap()).unwrap();
+        }
+        assert_eq!(replay.records_applied(), 4);
+        assert_eq!(replay.meta(), b"m3");
+
+        let (from_log, _, _) = log.restore().unwrap();
+        let (from_replay, _, _) = replay.restore().unwrap();
+        assert_eq!(from_replay.export_state(), from_log.export_state());
+
+        let mut compacted = log.clone();
+        compacted.compact().unwrap();
+        assert_eq!(replay.to_log().base_bytes(), compacted.base_bytes());
+    }
+
+    #[test]
+    fn corrupt_delta_surfaces_as_typed_error() {
+        let mut map = spread_map(4);
+        let mut log = CheckpointLog::new();
+        let _ = log.capture(&map, &[], b"").unwrap();
+        let mut replay = ReplayState::from_base(log.base_bytes()).unwrap();
+        map.gaussian_mut(1).position.y = 0.4;
+        let _ = log.capture(&map, &[], b"").unwrap();
+
+        let mut bad = log.delta_bytes(0).unwrap().to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x08;
+        assert!(replay.apply_delta(&bad).is_err());
+    }
+}

@@ -133,9 +133,32 @@ pub fn chrome_trace_json() -> String {
     out
 }
 
+/// Crash-safe write: stage in a `.tmp` sibling, fsync, rename into place,
+/// so a crash mid-dump never leaves a torn snapshot behind the valid one.
+/// (Duplicated from `rtgs-snapshot` deliberately — telemetry stays
+/// dependency-free.)
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
 /// Periodically writes registry snapshots to a file during a run, plus a
 /// final one-shot dump on shutdown (`write_now`). The format follows the
 /// file extension: `.json` gets [`render_json`], anything else plain text.
+/// Every dump is staged to a temp file and renamed into place, so readers
+/// never observe a half-written snapshot even if the process dies mid-write.
 pub struct SnapshotWriter {
     path: PathBuf,
     every: Duration,
@@ -171,7 +194,7 @@ impl SnapshotWriter {
     pub fn maybe_write(&mut self, registry: &Registry) -> io::Result<bool> {
         let due = self.last.map_or(true, |last| last.elapsed() >= self.every);
         if due {
-            std::fs::write(&self.path, self.render(registry))?;
+            write_atomic(&self.path, &self.render(registry))?;
             self.last = Some(Instant::now());
         }
         Ok(due)
@@ -179,7 +202,7 @@ impl SnapshotWriter {
 
     /// Unconditionally writes a snapshot (the shutdown dump).
     pub fn write_now(&mut self, registry: &Registry) -> io::Result<()> {
-        std::fs::write(&self.path, self.render(registry))?;
+        write_atomic(&self.path, &self.render(registry))?;
         self.last = Some(Instant::now());
         Ok(())
     }
@@ -258,6 +281,10 @@ mod tests {
         text_writer.write_now(&registry).unwrap();
         let contents = std::fs::read_to_string(&text_path).unwrap();
         assert!(contents.contains("histogram"), "text format");
+
+        // Writes commit via rename: no temp sibling survives a dump.
+        assert!(!dir.join("metrics.json.tmp").exists());
+        assert!(!dir.join("metrics.txt.tmp").exists());
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -32,6 +32,7 @@ pub use rtgs_core as core;
 pub use rtgs_math as math;
 pub use rtgs_metrics as metrics;
 pub use rtgs_render as render;
+pub use rtgs_replicate as replicate;
 pub use rtgs_runtime as runtime;
 pub use rtgs_scene as scene;
 pub use rtgs_slam as slam;
