@@ -996,6 +996,75 @@ fn bench_replication_stream(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flight-recorder overhead: the per-frame costs the tracing/journal layer
+/// adds to the instrumented hot path. `journal_append` and
+/// `trace_ctx_stamp` price the two primitive probes; the `frame_probes_*`
+/// pair measures the full per-frame probe sequence (mint a trace context,
+/// record one journal event, emit one flow span) with recording on vs off
+/// — the off cost is what every frame pays when the recorder is disabled,
+/// and must stay negligible. Informational: no gate keys on this group.
+fn bench_flight_recorder(c: &mut Criterion) {
+    use rtgs_telemetry::{self as telemetry, EventKind, TraceCtx};
+    use std::hint::black_box;
+
+    let mut group = c.benchmark_group("flight_recorder");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
+
+    telemetry::set_journal_enabled(true);
+    telemetry::warm_journal();
+    telemetry::set_tracing_enabled(true);
+    telemetry::warm_thread_ring();
+
+    let mut seq = 0u64;
+    group.bench_function("journal_append", |b| {
+        b.iter(|| {
+            seq += 1;
+            telemetry::journal_record(EventKind::ShedDegrade, 0, black_box(seq | 1), seq, 2);
+        })
+    });
+
+    group.bench_function("trace_ctx_stamp", |b| {
+        b.iter(|| black_box(TraceCtx::fresh()))
+    });
+
+    // The per-frame probe sequence of the traced ingest/track path.
+    let frame_probes = |frame: u64| {
+        let trace = TraceCtx::fresh();
+        telemetry::journal_record(EventKind::ShedDegrade, 0, trace.trace_id, frame, 2);
+        telemetry::emit_flow_span(
+            "bench.flight.frame",
+            "flight",
+            frame,
+            1_000,
+            frame,
+            trace.trace_id,
+            0,
+        );
+        black_box(trace.trace_id)
+    };
+    let mut frame = 0u64;
+    group.bench_function("frame_probes_recording_on", |b| {
+        b.iter(|| {
+            frame += 1;
+            frame_probes(frame)
+        })
+    });
+
+    telemetry::set_journal_enabled(false);
+    telemetry::set_tracing_enabled(false);
+    group.bench_function("frame_probes_recording_off", |b| {
+        b.iter(|| {
+            frame += 1;
+            frame_probes(frame)
+        })
+    });
+    telemetry::clear_journal();
+    telemetry::clear_spans();
+    group.finish();
+}
+
 /// A mid-size sharded map grown through insert/tombstone/recycle churn,
 /// with pipeline-shaped ID-keyed channels.
 fn churned_snapshot_map(n: usize) -> (rtgs_render::ShardedScene, Vec<Channel>) {
@@ -1054,5 +1123,6 @@ criterion_group!(
     bench_snapshot_full,
     bench_snapshot_delta,
     bench_replication_stream,
+    bench_flight_recorder,
 );
 criterion_main!(benches);

@@ -17,12 +17,18 @@
 //! the floor keeps it from flaking the gate.
 //!
 //! ```text
-//! compare <baseline.json> <current.json> [--max-regression <percent>] [--noise-floor <ns>]
+//! compare <baseline.json> <current.json> [--max-regression <percent>]
+//!         [--noise-floor <ns>] [--json <path>]
 //! ```
 //!
 //! Benchmarks present only in the current file (new benches) or only in the
 //! baseline (removed benches) are reported but never fail the gate; refresh
 //! the committed baseline to adopt them (see CONTRIBUTING.md).
+//!
+//! `--json <path>` additionally writes the per-group verdict table as
+//! machine-readable JSON (groups, deltas, statuses, thresholds, overall
+//! verdict); CI uploads it as an artifact alongside `BENCH_RESULTS.json` so
+//! perf history can be mined without re-parsing the human table.
 //!
 //! The parser is a minimal, std-only reader for the flat
 //! `[{"group": .., "bench": .., "median_ns": .., "min_ns": ..}, ..]` schema
@@ -62,14 +68,23 @@ impl Entry {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage =
-        "usage: compare <baseline.json> <current.json> [--max-regression <pct>] [--noise-floor <ns>]";
+    let usage = "usage: compare <baseline.json> <current.json> [--max-regression <pct>] \
+                 [--noise-floor <ns>] [--json <path>]";
     let mut paths = Vec::new();
     let mut max_regression = DEFAULT_MAX_REGRESSION;
     let mut noise_floor_ns = DEFAULT_NOISE_FLOOR_NS;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    eprintln!("--json requires an output path");
+                    return ExitCode::from(2);
+                };
+                json_path = Some(p.clone());
+            }
             "--max-regression" => {
                 i += 1;
                 let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
@@ -120,6 +135,14 @@ fn main() -> ExitCode {
 
     let report = compare(&baseline, &current, max_regression, noise_floor_ns);
     print!("{}", report.text);
+    if let Some(path) = json_path {
+        let body = report.render_json(max_regression, noise_floor_ns);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("\nJSON verdicts written to {path}");
+    }
     if report.failed {
         eprintln!(
             "\nperf gate FAILED: at least one group regressed more than {:.0}% and {:.0}ns",
@@ -137,10 +160,77 @@ fn main() -> ExitCode {
     }
 }
 
+/// One group's row of the verdict table, in machine-readable form.
+struct GroupVerdict {
+    group: String,
+    /// `None` for groups absent from the baseline (informational rows).
+    baseline_ns: Option<f64>,
+    current_ns: f64,
+    /// `None` when no baseline total exists to compare against.
+    delta_pct: Option<f64>,
+    status: String,
+}
+
 /// Result of one comparison run.
 struct Report {
     text: String,
     failed: bool,
+    groups: Vec<GroupVerdict>,
+    /// `group/bench` names present only in the current run.
+    new_benches: Vec<String>,
+    /// `group/bench` names present only in the baseline.
+    missing_benches: Vec<String>,
+}
+
+impl Report {
+    /// Renders the verdict table as JSON for the CI artifact. Emitted with
+    /// the same minimal vocabulary `parse_entries` reads (objects of
+    /// string/number values), plus `null` for absent baselines.
+    fn render_json(&self, max_regression: f64, noise_floor_ns: f64) -> String {
+        let num = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), num);
+        let str_list = |names: &[String]| {
+            let quoted: Vec<String> = names.iter().map(|n| format!("\"{}\"", escape(n))).collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        let mut groups = String::new();
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                groups.push_str(",\n");
+            }
+            groups.push_str(&format!(
+                "    {{\"group\": \"{}\", \"baseline_ns\": {}, \"current_ns\": {}, \
+                 \"delta_pct\": {}, \"status\": \"{}\"}}",
+                escape(&g.group),
+                opt(g.baseline_ns),
+                num(g.current_ns),
+                opt(g.delta_pct),
+                escape(&g.status),
+            ));
+        }
+        format!(
+            "{{\n  \"max_regression_pct\": {},\n  \"noise_floor_ns\": {},\n  \
+             \"failed\": {},\n  \"groups\": [\n{}\n  ],\n  \
+             \"new_benches\": {},\n  \"missing_benches\": {}\n}}\n",
+            num(max_regression * 100.0),
+            num(noise_floor_ns),
+            self.failed,
+            groups,
+            str_list(&self.new_benches),
+            str_list(&self.missing_benches),
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Compares current gate metrics (min-of-N, median fallback) against the
@@ -173,6 +263,7 @@ fn compare(
 
     let mut text = String::new();
     let mut failed = false;
+    let mut verdicts = Vec::new();
     text.push_str(&format!(
         "{:<28} {:>14} {:>14} {:>9}  {}\n",
         "group", "baseline (ns)", "current (ns)", "delta", "status"
@@ -197,6 +288,13 @@ fn compare(
             delta * 100.0,
             status
         ));
+        verdicts.push(GroupVerdict {
+            group: g.clone(),
+            baseline_ns: Some(*b_ns),
+            current_ns: *c_ns,
+            delta_pct: Some(delta * 100.0),
+            status: status.to_string(),
+        });
     }
 
     // Groups with no benchmark shared with the baseline fall into two
@@ -240,26 +338,47 @@ fn compare(
                     delta * 100.0,
                     status
                 ));
+                verdicts.push(GroupVerdict {
+                    group: g.clone(),
+                    baseline_ns: Some(b_ns),
+                    current_ns: *c_ns,
+                    delta_pct: Some(delta * 100.0),
+                    status: status.to_string(),
+                });
             }
             None => {
                 text.push_str(&format!(
                     "{:<28} {:>14} {:>14.0} {:>9}  {}\n",
                     g, "-", c_ns, "", "new (informational)"
                 ));
+                verdicts.push(GroupVerdict {
+                    group: g.clone(),
+                    baseline_ns: None,
+                    current_ns: *c_ns,
+                    delta_pct: None,
+                    status: "new (informational)".to_string(),
+                });
             }
         }
     }
 
     // Informational: benches not shared between the files.
-    let new: Vec<_> = cur.keys().filter(|k| !base.contains_key(*k)).collect();
-    let gone: Vec<_> = base.keys().filter(|k| !cur.contains_key(*k)).collect();
+    let new: Vec<String> = cur
+        .keys()
+        .filter(|k| !base.contains_key(*k))
+        .map(|(g, b)| format!("{g}/{b}"))
+        .collect();
+    let gone: Vec<String> = base
+        .keys()
+        .filter(|k| !cur.contains_key(*k))
+        .map(|(g, b)| format!("{g}/{b}"))
+        .collect();
     if !new.is_empty() {
         text.push_str(&format!(
             "\n{} new benchmark(s) not in baseline (not gated): ",
             new.len()
         ));
-        let names: Vec<String> = new.iter().map(|(g, b)| format!("{g}/{b}")).collect();
-        text.push_str(&names.join(", "));
+        text.push_str(&new.join(", "));
         text.push('\n');
     }
     if !gone.is_empty() {
@@ -267,12 +386,17 @@ fn compare(
             "\n{} baseline benchmark(s) missing from current run: ",
             gone.len()
         ));
-        let names: Vec<String> = gone.iter().map(|(g, b)| format!("{g}/{b}")).collect();
-        text.push_str(&names.join(", "));
+        text.push_str(&gone.join(", "));
         text.push('\n');
     }
 
-    Report { text, failed }
+    Report {
+        text,
+        failed,
+        groups: verdicts,
+        new_benches: new,
+        missing_benches: gone,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -686,6 +810,43 @@ mod tests {
         let r2 = compare(&base, &cur2, 0.25, 100_000.0);
         assert!(r2.failed, "{}", r2.text);
         assert!(r2.text.contains("REGRESSED"), "{}", r2.text);
+    }
+
+    /// `--json` emits the same verdict table machine-readably: one object
+    /// per group with baseline/current/delta/status, the not-gated bench
+    /// lists, the thresholds and the overall verdict — parseable by the
+    /// same minimal reader vocabulary the comparator consumes.
+    #[test]
+    fn json_report_carries_the_full_verdict_table() {
+        let base = vec![entry("g", "a", 100.0), entry("old", "gone", 50.0)];
+        let cur = vec![
+            entry("g", "a", 160.0),
+            entry("fresh_group", "b", 999.0),
+            entry("g", "new_bench", 1.0),
+        ];
+        let r = compare(&base, &cur, 0.25, 0.0);
+        assert!(r.failed, "{}", r.text);
+        let json = r.render_json(0.25, 0.0);
+        for needle in [
+            "\"max_regression_pct\": 25.0",
+            "\"noise_floor_ns\": 0.0",
+            "\"failed\": true",
+            "\"group\": \"g\"",
+            "\"status\": \"REGRESSED\"",
+            "\"group\": \"fresh_group\"",
+            "\"baseline_ns\": null",
+            "\"status\": \"new (informational)\"",
+            "\"new_benches\": [\"fresh_group/b\", \"g/new_bench\"]",
+            "\"missing_benches\": [\"old/gone\"]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Structurally balanced (no raw-string escapes to trip on here).
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'), "{json}");
     }
 
     /// The floor also applies to the renamed-benches whole-group path.

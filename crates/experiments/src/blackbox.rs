@@ -1,0 +1,305 @@
+//! Flight-recorder drill (not a paper artifact): kill the primary
+//! mid-trajectory under chaos faults with the black-box journal and frame
+//! tracing enabled, promote the standby, and verify that the triggered
+//! post-mortem bundle and the stitched cross-process Chrome trace
+//! reconstruct the failing frame's full lifecycle
+//! (ingest → shed/track → checkpoint → wire → replay).
+
+use crate::common::{slam_config, Scale, Table};
+use rtgs_replicate::{duplex_pair, FaultPlan, Follower, ReplicationPolicy, Replicator};
+use rtgs_runtime::{HealthVerdict, IngestConfig, IngestHub, Serve};
+use rtgs_scene::{DatasetProfile, SyntheticDataset};
+use rtgs_slam::{config_fingerprint, BaseAlgorithm, OpenLoopSession, SlamPipeline, SloPolicy};
+use rtgs_telemetry as telemetry;
+use rtgs_telemetry::flight::hops;
+use rtgs_telemetry::{EventKind, FlightRecorder, TriggerKind, TriggerSpec};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Black-box flight-recorder drill: a traced open-loop primary replicates
+/// under chaos faults and dies mid-trajectory; the standby promotes; the
+/// failover trigger dumps a post-mortem bundle whose journal tail and
+/// stitched two-process Chrome trace reconstruct the lost frames' full
+/// lifecycle. A second fleet run surfaces per-session health verdicts.
+pub fn blackbox(scale: Scale) -> String {
+    let ds =
+        SyntheticDataset::generate(scale.profile(DatasetProfile::tum_analog()), scale.frames());
+    let cfg = slam_config(BaseAlgorithm::GsSlam, scale, false);
+    let fingerprint = config_fingerprint(&cfg);
+    let frames = scale.frames();
+    let kill_at = (frames / 2).max(2) as u64;
+
+    // Arm the recorder stack: journal + span tracing on, clean slate.
+    let dir = std::env::temp_dir().join("rtgs-blackbox-bundles");
+    std::fs::create_dir_all(&dir).ok();
+    for entry in std::fs::read_dir(&dir).into_iter().flatten().flatten() {
+        std::fs::remove_file(entry.path()).ok();
+    }
+    telemetry::set_journal_enabled(true);
+    telemetry::warm_journal();
+    telemetry::clear_journal();
+    telemetry::set_tracing_enabled(true);
+    telemetry::clear_spans();
+
+    let mut recorder = FlightRecorder::new(&dir)
+        .with_trigger(TriggerSpec::on(TriggerKind::Failover, 2))
+        .with_trigger(TriggerSpec::drop_rate(0.2, 2))
+        .with_journal_tail(64);
+    recorder.set_context("config_fingerprint", fingerprint);
+    recorder.set_context("kill_frame", kill_at);
+
+    // -- Part 1: traced primary under chaos, killed mid-trajectory -------
+    // The primary serves open-loop (every frame minted a TraceCtx at the
+    // ingest front door) and replicates each step; the follower does NOT
+    // pump until after the crash, exactly like a standby on another
+    // machine whose link buffers the stream.
+    let hub = IngestHub::new(IngestConfig::new().with_inbox_capacity(frames.max(1)));
+    let (tx, rx) = hub.channel::<()>().unwrap();
+    for _ in 0..frames {
+        tx.push(());
+    }
+    tx.close();
+    let channel = rx.channel_id();
+
+    let (primary_link, follower_link) = duplex_pair();
+    let mut replicator = Replicator::new(
+        primary_link,
+        fingerprint,
+        ReplicationPolicy::new().with_retransmit_after(2),
+        FaultPlan::chaos(4242),
+    );
+    let mut doomed = SlamPipeline::new(cfg, &ds);
+    let slo = SloPolicy::new(Duration::from_secs(3600)).with_depth_high(1);
+    let mut shedding = false;
+    let mut processed = 0u64;
+    let mut last_trace_id = 0u64;
+    while let Some(frame) = rx.try_pop() {
+        // Shed decision, as OpenLoopSession makes it: backlog is future
+        // latency, so degrade while frames wait behind this one.
+        let degraded = rx.depth() >= slo.depth_high;
+        if degraded != shedding {
+            shedding = degraded;
+            let kind = if degraded {
+                EventKind::ShedDegrade
+            } else {
+                EventKind::ShedRestore
+            };
+            telemetry::journal_record(kind, channel, frame.trace.trace_id, frame.seq, 1);
+        }
+        doomed.set_frame_trace(frame.trace);
+        doomed.set_pressure_factor(if degraded { slo.degrade_factor } else { 1 });
+        let Some(index) = doomed.step() else { break };
+        last_trace_id = doomed.last_trace().trace_id;
+        replicator
+            .on_frame_traced(index as u64, doomed.last_trace(), |log| {
+                doomed.checkpoint_into(log)
+            })
+            .expect("replication capture");
+        replicator.pump().expect("primary pump");
+        rx.frame_done(frame, degraded);
+        processed += 1;
+        if processed >= kill_at {
+            break;
+        }
+    }
+    let stream = replicator.stats();
+    let faults = replicator.fault_stats();
+    // The crash: primary process state and its replicator vanish. Export
+    // the primary's ring as its own trace-part first — on a real
+    // deployment this is the black box recovered from the dead machine.
+    let primary_part = telemetry::chrome_trace_events(1);
+    let primary_spans: Vec<telemetry::SpanEvent> = telemetry::collect_spans()
+        .into_iter()
+        .flat_map(|(_, events)| events)
+        .collect();
+    telemetry::clear_spans();
+    drop(doomed);
+    drop(replicator);
+
+    // -- Follower side: drain what survived, promote, trigger the dump ---
+    let mut follower = Follower::new(follower_link, fingerprint).with_session_index(1);
+    follower.pump().expect("post-crash drain");
+    let applied = follower.records_applied();
+    let (mut promoted, takeover) = follower.promote(cfg, &ds).expect("promote the standby");
+    while promoted.step().is_some() {}
+    let promoted_report = promoted.report();
+    let follower_part = telemetry::chrome_trace_events(2);
+    let follower_spans: Vec<telemetry::SpanEvent> = telemetry::collect_spans()
+        .into_iter()
+        .flat_map(|(_, events)| events)
+        .collect();
+
+    let bundle_path = recorder
+        .notify(TriggerKind::Failover, 1, last_trace_id)
+        .expect("failover trigger dumps a bundle");
+    let bundle_text = std::fs::read_to_string(&bundle_path).unwrap_or_default();
+    let bundle_valid = telemetry::bundle_is_valid(&bundle_text);
+
+    // -- Stitch check: one trace id through all five hops, two processes -
+    let stitched = telemetry::wrap_trace_events(&[primary_part, follower_part]);
+    let hop_set = |spans: &[telemetry::SpanEvent], hop: u32| -> HashSet<u64> {
+        spans
+            .iter()
+            .filter(|s| s.flow != 0 && s.hop == hop)
+            .map(|s| s.flow)
+            .collect()
+    };
+    let ingest_ids = hop_set(&primary_spans, hops::INGEST);
+    let track_ids = hop_set(&primary_spans, hops::TRACK);
+    let checkpoint_ids = hop_set(&primary_spans, hops::CHECKPOINT);
+    let wire_ids = hop_set(&primary_spans, hops::WIRE);
+    let replay_ids = hop_set(&follower_spans, hops::REPLAY);
+    let full_lifecycle: HashSet<&u64> = ingest_ids
+        .iter()
+        .filter(|id| {
+            track_ids.contains(id)
+                && checkpoint_ids.contains(id)
+                && wire_ids.contains(id)
+                && replay_ids.contains(id)
+        })
+        .collect();
+    let trace_stitched = !full_lifecycle.is_empty()
+        && telemetry::json_balanced(&stitched)
+        && stitched.contains("\"ph\": \"s\"")
+        && stitched.contains("\"ph\": \"f\"");
+
+    // -- Overload vignette: admission rejects, frame drops, drop-rate ----
+    let tight = IngestHub::new(
+        IngestConfig::new()
+            .with_inbox_capacity(2)
+            .with_max_sessions(1),
+    );
+    let (otx, orx) = tight.channel::<u32>().unwrap();
+    let admission_rejected = tight.channel::<u32>().is_err();
+    for v in 0..8u32 {
+        otx.push(v);
+    }
+    while let Some(f) = orx.try_pop() {
+        orx.frame_done(f, false);
+    }
+    let overload = orx.stats();
+    let drop_bundle =
+        recorder.observe_drop_rate(orx.channel_id(), overload.dropped(), overload.offered);
+    let drop_bundle_valid = drop_bundle
+        .as_ref()
+        .map(|p| std::fs::read_to_string(p).unwrap_or_default())
+        .is_some_and(|text| telemetry::bundle_is_valid(&text));
+
+    let events = telemetry::journal_events();
+    let count = |kind: EventKind| events.iter().filter(|e| e.kind == kind).count();
+    let mut journal_table = Table::new(&["journal event", "count"]);
+    for kind in [
+        EventKind::AdmissionReject,
+        EventKind::FrameDrop,
+        EventKind::ShedDegrade,
+        EventKind::Resync,
+        EventKind::Retransmit,
+        EventKind::EpochBump,
+        EventKind::Promote,
+    ] {
+        journal_table.row(vec![kind.name().into(), count(kind).to_string()]);
+    }
+    let journal_covers = count(EventKind::ShedDegrade) > 0
+        && count(EventKind::Promote) > 0
+        && count(EventKind::FrameDrop) > 0
+        && count(EventKind::AdmissionReject) > 0
+        && admission_rejected;
+
+    let mut out = format!(
+        "Black-box drill on {} ({frames} frames, primary killed after {kill_at}, \
+         seeded chaos faults, journal + tracing enabled):\n{}\n\
+         records sent {} / applied at standby {}; retransmits {}; \
+         follower lag at crash {} frames; faults injected {}\n\
+         time to takeover: {:.2} ms; promoted trajectory frames: {}\n\
+         bundle: {}\n\
+         bundle valid: {bundle_valid}\n\
+         drop-rate bundle valid: {drop_bundle_valid}\n\
+         frames with full 5-hop lifecycle (ingest>track>checkpoint>wire>replay): {}\n\
+         trace stitched across processes: {trace_stitched}\n",
+        ds.profile.name,
+        journal_table.render(),
+        stream.records_sent,
+        applied,
+        stream.retransmits,
+        stream.frames_behind,
+        faults.dropped + faults.duplicated + faults.truncated + faults.corrupted + faults.delayed,
+        takeover.as_secs_f64() * 1e3,
+        promoted_report.trajectory.len(),
+        bundle_path.display(),
+        full_lifecycle.len(),
+    );
+    out.push_str(&format!(
+        "journal covers the fault chain: {journal_covers}\n"
+    ));
+
+    // -- Part 2: fleet health verdicts through Serve::builder ------------
+    let mk = |capacity: usize, tickets: usize| {
+        let hub = IngestHub::new(IngestConfig::new().with_inbox_capacity(capacity));
+        let (tx, rx) = hub.channel::<()>().unwrap();
+        for _ in 0..tickets {
+            tx.push(());
+        }
+        tx.close();
+        (hub, rx)
+    };
+    let health_frames = frames.min(6);
+    let (healthy_hub, healthy_rx) = mk(health_frames.max(1), health_frames);
+    let (_, swamped_rx) = mk(2, health_frames + 6);
+    let sessions = vec![
+        (
+            "steady".to_string(),
+            OpenLoopSession::new(SlamPipeline::new(cfg, &ds), healthy_rx),
+        ),
+        (
+            "swamped".to_string(),
+            OpenLoopSession::new(SlamPipeline::new(cfg, &ds), swamped_rx),
+        ),
+    ];
+    let outcomes = Serve::builder()
+        .threads(2)
+        .ingest(&healthy_hub)
+        .run(sessions);
+    let mut verdict_ok = true;
+    for outcome in &outcomes {
+        let health = &outcome.stats.health;
+        out.push_str(&health.render());
+        out.push('\n');
+        match health.session.as_str() {
+            "steady" => verdict_ok &= health.verdict() == HealthVerdict::Healthy,
+            "swamped" => verdict_ok &= health.verdict() != HealthVerdict::Healthy,
+            _ => {}
+        }
+    }
+    out.push_str(&format!(
+        "health verdicts match load (steady healthy, swamped not): {verdict_ok}\n"
+    ));
+
+    telemetry::set_tracing_enabled(false);
+    telemetry::set_journal_enabled(false);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackbox_bundle_and_stitched_trace_reconstruct_the_crash() {
+        let out = blackbox(Scale::Quick);
+        assert!(out.contains("bundle valid: true"), "{out}");
+        assert!(out.contains("drop-rate bundle valid: true"), "{out}");
+        assert!(
+            out.contains("trace stitched across processes: true"),
+            "{out}"
+        );
+        assert!(
+            out.contains("journal covers the fault chain: true"),
+            "{out}"
+        );
+        assert!(
+            out.contains("health verdicts match load (steady healthy, swamped not): true"),
+            "{out}"
+        );
+        assert!(!out.contains("false"), "{out}");
+    }
+}

@@ -15,6 +15,7 @@
 //! target. See EXPERIMENTS.md for paper-vs-measured records.
 
 mod algorithm;
+mod blackbox;
 mod common;
 mod failover;
 mod hardware;
@@ -25,6 +26,7 @@ mod runtime;
 mod telemetry;
 
 pub use algorithm::{fig13, fig14, table2, table6, table7};
+pub use blackbox::blackbox;
 pub use common::{
     dataset, default_backend, f, run_variant, set_default_backend, slam_config, to_workload, Scale,
     Table, Variant,
@@ -60,6 +62,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "persistence",
     "failover",
     "telemetry",
+    "blackbox",
 ];
 
 /// Runs one experiment by name.
@@ -89,6 +92,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Result<String, String> {
         "persistence" => persistence(scale),
         "failover" => failover(scale),
         "telemetry" => telemetry(scale),
+        "blackbox" => blackbox(scale),
         other => return Err(format!("unknown experiment: {other}")),
     })
 }

@@ -17,7 +17,11 @@
 //! The measured iterations run with **telemetry recording on**: span
 //! tracing enabled, the thread ring pre-warmed, a histogram recorded and a
 //! span emitted per iteration — exactly what the instrumented SLAM hot path
-//! does. Observability must not cost the allocation contract.
+//! does. The flight-recorder surfaces are held to the same bar: the
+//! black-box journal is enabled and pre-warmed, and every measured
+//! iteration mints a [`rtgs_telemetry::TraceCtx`], records a journal event
+//! and emits a flow span, as the traced ingest/track path does.
+//! Observability must not cost the allocation contract.
 
 use rtgs_math::{Quat, Se3, Vec3};
 use rtgs_render::{
@@ -96,6 +100,8 @@ fn steady_state_iteration_performs_zero_allocations() {
     // which recording must be allocation-free.
     rtgs_telemetry::set_tracing_enabled(true);
     rtgs_telemetry::warm_thread_ring();
+    rtgs_telemetry::set_journal_enabled(true);
+    rtgs_telemetry::warm_journal();
     let iter_hist = rtgs_telemetry::global().histogram("render.zero_alloc.iter_ns");
 
     let mut arena = FrameArena::new();
@@ -122,21 +128,53 @@ fn steady_state_iteration_performs_zero_allocations() {
     // pose the arena did not run last — with a span and a histogram sample
     // recorded per iteration, as the instrumented pipeline does.
     let before = alloc_counter::thread_allocations();
-    for w2c in [&pose_a, &pose_b, &pose_a, &pose_b, &pose_a, &pose_b] {
+    for (i, w2c) in [&pose_a, &pose_b, &pose_a, &pose_b, &pose_a, &pose_b]
+        .into_iter()
+        .enumerate()
+    {
         let t0 = std::time::Instant::now();
+        let trace = rtgs_telemetry::TraceCtx::fresh();
         let _span = rtgs_telemetry::SpanGuard::new("render.zero_alloc.iter", "stage", 0);
         let loss = iteration(&mut arena, &map, &mask, w2c, &camera, &gt, &cfg);
-        iter_hist.record(t0.elapsed().as_nanos() as u64);
+        let iter_ns = t0.elapsed().as_nanos() as u64;
+        iter_hist.record(iter_ns);
+        // The traced hot path's per-frame flight-recorder cost: one journal
+        // event and one flow span, stamped with the frame's trace context.
+        rtgs_telemetry::journal_record(
+            rtgs_telemetry::EventKind::ShedDegrade,
+            0,
+            trace.trace_id,
+            i as u64,
+            1,
+        );
+        rtgs_telemetry::emit_flow_span(
+            "render.zero_alloc.flow",
+            "flight",
+            rtgs_telemetry::ns_since_epoch(t0),
+            iter_ns,
+            i as u64,
+            trace.trace_id,
+            0,
+        );
         assert!(loss.is_finite());
     }
     let steady_allocs = alloc_counter::thread_allocations() - before;
     rtgs_telemetry::set_tracing_enabled(false);
+    rtgs_telemetry::set_journal_enabled(false);
     assert_eq!(
         steady_allocs, 0,
         "steady-state iterations must not allocate (counted {steady_allocs} allocations \
-         over 6 iterations after warm-up, telemetry recording enabled)"
+         over 6 iterations after warm-up, telemetry + journal + trace recording enabled)"
     );
     assert_eq!(iter_hist.count(), 6, "every iteration must be recorded");
+    let journaled = rtgs_telemetry::journal_events()
+        .iter()
+        .filter(|e| e.kind == rtgs_telemetry::EventKind::ShedDegrade && e.value == 1)
+        .count();
+    assert!(
+        journaled >= 6,
+        "every iteration's journal event must land in the black-box ring"
+    );
     let recorded: usize = rtgs_telemetry::collect_spans()
         .iter()
         .map(|(_, events)| {

@@ -22,6 +22,8 @@ use crate::ReplicationError;
 use rtgs_scene::SyntheticDataset;
 use rtgs_slam::{SlamConfig, SlamPipeline};
 use rtgs_snapshot::{RecordKind, ReplayState, StreamRecord};
+use rtgs_telemetry::flight::hops;
+use rtgs_telemetry::{emit_flow_span, journal_record, ns_since_epoch, EventKind};
 use std::time::{Duration, Instant};
 
 /// Follower-side metric handles (resolved once from the global registry).
@@ -61,6 +63,9 @@ pub struct Follower<L: ByteLink> {
     /// Epoch we already requested a resync for — one request per break,
     /// not one per out-of-order record.
     requested_resync_for: Option<u32>,
+    /// Session id stamped on black-box journal events (0 unless set via
+    /// [`with_session_index`](Self::with_session_index)).
+    session_index: u32,
     metrics: FollowerMetrics,
     records_applied: u64,
     records_ignored: u64,
@@ -81,11 +86,20 @@ impl<L: ByteLink> Follower<L> {
             last_seq: 0,
             replay: None,
             requested_resync_for: None,
+            session_index: 0,
             metrics: FollowerMetrics::from_global(),
             records_applied: 0,
             records_ignored: 0,
             resync_requests: 0,
         }
+    }
+
+    /// Sets the session id stamped on this follower's black-box journal
+    /// events (resync requests, promotion).
+    #[must_use]
+    pub fn with_session_index(mut self, session: u32) -> Self {
+        self.session_index = session;
+        self
     }
 
     /// Whether a base has been applied — i.e. promotion is possible.
@@ -160,11 +174,35 @@ impl<L: ByteLink> Follower<L> {
         self.requested_resync_for = Some(self.epoch);
         self.resync_requests += 1;
         self.metrics.resync_requests.incr();
+        journal_record(
+            EventKind::Resync,
+            self.session_index,
+            0,
+            self.last_seq,
+            u64::from(self.epoch),
+        );
         let epoch = self.epoch;
         self.send(&Message::ResyncRequest { epoch, reason })
     }
 
+    /// Emits the replay-side flow span for an applied record carrying a
+    /// trace tag — the cross-process end of the frame's flight trace.
+    fn emit_replay_span(&self, record: &StreamRecord, started: Instant) {
+        if let Some(tag) = &record.trace {
+            emit_flow_span(
+                "replicate.replay",
+                "replicate",
+                ns_since_epoch(started),
+                started.elapsed().as_nanos() as u64,
+                record.seq,
+                tag.trace_id,
+                hops::REPLAY,
+            );
+        }
+    }
+
     fn apply_base(&mut self, record: &StreamRecord) -> Result<(), ReplicationError> {
+        let started = Instant::now();
         match ReplayState::from_base(&record.payload) {
             Ok(state) => {
                 self.replay = Some(state);
@@ -174,6 +212,7 @@ impl<L: ByteLink> Follower<L> {
                 self.records_applied += 1;
                 self.metrics.records_applied.incr();
                 self.metrics.standby_bytes.set(self.standby_bytes() as i64);
+                self.emit_replay_span(record, started);
                 self.ack_current()
             }
             Err(_) => self.request_resync(ResyncReason::BadBase),
@@ -195,6 +234,7 @@ impl<L: ByteLink> Follower<L> {
                     .replay_ns
                     .record(started.elapsed().as_nanos() as u64);
                 self.metrics.standby_bytes.set(self.standby_bytes() as i64);
+                self.emit_replay_span(record, started);
                 self.ack_current()
             }
             // The payload passed the wire CRC but failed structural
@@ -301,6 +341,13 @@ impl<L: ByteLink> Follower<L> {
         let pipeline = SlamPipeline::restore_from_replay(config, dataset, &replay)?;
         let took = started.elapsed();
         self.metrics.failover_ns.record(took.as_nanos() as u64);
+        journal_record(
+            EventKind::Promote,
+            self.session_index,
+            0,
+            self.last_seq,
+            took.as_nanos() as u64,
+        );
         Ok((pipeline, took))
     }
 }
@@ -346,6 +393,7 @@ mod tests {
                 frames_covered: 1,
                 config_fingerprint: fp,
                 payload,
+                trace: None,
             })
             .encode(),
         )

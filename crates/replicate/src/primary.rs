@@ -23,9 +23,13 @@ use crate::ReplicationError;
 use rtgs_runtime::ReplicationStats;
 use rtgs_snapshot::{
     write_file_atomic, CaptureStats, CheckpointLog, RecordKind, SnapshotError, StreamRecord,
+    TraceTag,
 };
+use rtgs_telemetry::flight::hops;
+use rtgs_telemetry::{emit_flow_span, journal_record, ns_since_epoch, EventKind, TraceCtx};
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Tuning for the send/retransmit side of a replication stream.
 ///
@@ -107,6 +111,9 @@ struct Pending {
     attempts: u32,
     /// Current ack timeout (doubles per retransmission, capped).
     backoff: u64,
+    /// Flight trace of the covered frame (0 = untraced), so retransmit
+    /// journal events attribute to the frame's cross-process trace.
+    trace_id: u64,
 }
 
 /// Primary-side metric handles (resolved once from the global registry).
@@ -144,6 +151,9 @@ pub struct Replicator<L: ByteLink> {
     next_seq: u64,
     tick: u64,
     pending: VecDeque<Pending>,
+    /// Session id stamped on black-box journal events (0 unless set via
+    /// [`with_session_index`](Self::with_session_index)).
+    session_index: u32,
     /// Durable journal written (atomically) at drain time.
     journal: Option<PathBuf>,
     metrics: PrimaryMetrics,
@@ -171,6 +181,7 @@ impl<L: ByteLink> Replicator<L> {
             next_seq: 0,
             tick: 0,
             pending: VecDeque::new(),
+            session_index: 0,
             journal: None,
             metrics: PrimaryMetrics::from_global(),
             frames_replicated: 0,
@@ -188,6 +199,14 @@ impl<L: ByteLink> Replicator<L> {
     #[must_use]
     pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal = Some(path.into());
+        self
+    }
+
+    /// Sets the session id stamped on this stream's black-box journal
+    /// events (resyncs, retransmits, epoch bumps).
+    #[must_use]
+    pub fn with_session_index(mut self, session: u32) -> Self {
+        self.session_index = session;
         self
     }
 
@@ -234,28 +253,49 @@ impl<L: ByteLink> Replicator<L> {
         frame: u64,
         frames_covered: u64,
         payload: Vec<u8>,
+        trace: TraceCtx,
     ) -> Result<(), ReplicationError> {
+        let seq = self.next_seq;
         let record = StreamRecord {
             kind,
             epoch: self.epoch,
-            seq: self.next_seq,
+            seq,
             frame,
             frames_covered,
             config_fingerprint: self.fingerprint,
             payload,
+            // Version-gated optional section: the frame's flight trace rides
+            // the wire so the follower's replay span joins the same trace.
+            trace: trace.is_traced().then_some(TraceTag {
+                trace_id: trace.trace_id,
+                hop: hops::WIRE,
+            }),
         };
         self.next_seq += 1;
+        let t0 = Instant::now();
         let envelope = seal(&Message::Record(record).encode());
         self.link.send_envelope(&envelope)?;
+        if trace.is_traced() {
+            emit_flow_span(
+                "replicate.wire",
+                "replicate",
+                ns_since_epoch(t0),
+                t0.elapsed().as_nanos() as u64,
+                seq,
+                trace.trace_id,
+                hops::WIRE,
+            );
+        }
         self.records_sent += 1;
         self.metrics.records_sent.incr();
         self.pending.push_back(Pending {
-            seq: self.next_seq - 1,
+            seq,
             frames_covered,
             envelope,
             sent_tick: self.tick,
             attempts: 1,
             backoff: self.policy.retransmit_after,
+            trace_id: trace.trace_id,
         });
         self.export_lag();
         Ok(())
@@ -274,15 +314,47 @@ impl<L: ByteLink> Replicator<L> {
     where
         F: FnOnce(&mut CheckpointLog) -> Result<CaptureStats, SnapshotError>,
     {
+        self.on_frame_traced(frame, TraceCtx::NONE, checkpoint)
+    }
+
+    /// [`on_frame`](Self::on_frame) carrying the frame's flight-recorder
+    /// trace context: the checkpoint capture is spanned at the checkpoint
+    /// hop, and the record ships a [`TraceTag`] so the follower's replay
+    /// stitches into the same cross-process trace.
+    ///
+    /// # Errors
+    ///
+    /// Capture errors ([`SnapshotError`]) and transport write failures.
+    pub fn on_frame_traced<F>(
+        &mut self,
+        frame: u64,
+        trace: TraceCtx,
+        checkpoint: F,
+    ) -> Result<(), ReplicationError>
+    where
+        F: FnOnce(&mut CheckpointLog) -> Result<CaptureStats, SnapshotError>,
+    {
         if frame % self.policy.every.max(1) != 0 {
             self.frames_dropped_by_policy += 1;
             return Ok(());
         }
         let before = self.log.delta_count();
+        let t0 = Instant::now();
         let stats = checkpoint(&mut self.log)?;
+        if trace.is_traced() {
+            emit_flow_span(
+                "replicate.checkpoint",
+                "replicate",
+                ns_since_epoch(t0),
+                t0.elapsed().as_nanos() as u64,
+                frame,
+                trace.trace_id,
+                hops::CHECKPOINT,
+            );
+        }
         if stats.is_base {
             let payload = self.log.base_bytes().to_vec();
-            self.send_record(RecordKind::Base, frame, 1, payload)
+            self.send_record(RecordKind::Base, frame, 1, payload, trace)
         } else {
             debug_assert_eq!(self.log.delta_count(), before + 1);
             let payload = self
@@ -290,7 +362,7 @@ impl<L: ByteLink> Replicator<L> {
                 .delta_bytes(self.log.delta_count() - 1)
                 .expect("capture appended a delta")
                 .to_vec();
-            self.send_record(RecordKind::Delta, frame, 1, payload)
+            self.send_record(RecordKind::Delta, frame, 1, payload, trace)
         }
     }
 
@@ -326,9 +398,29 @@ impl<L: ByteLink> Replicator<L> {
         self.pending.clear();
         self.resyncs += 1;
         self.metrics.resyncs.incr();
+        journal_record(
+            EventKind::Resync,
+            self.session_index,
+            0,
+            self.next_seq,
+            outstanding,
+        );
+        journal_record(
+            EventKind::EpochBump,
+            self.session_index,
+            0,
+            self.next_seq,
+            u64::from(self.epoch),
+        );
         let frame = 0; // a base is positionless; coverage is in frames_covered
         let payload = self.log.base_bytes().to_vec();
-        self.send_record(RecordKind::Base, frame, outstanding, payload)
+        self.send_record(
+            RecordKind::Base,
+            frame,
+            outstanding,
+            payload,
+            TraceCtx::NONE,
+        )
     }
 
     fn handle_ack(&mut self, epoch: u32, seq: u64) {
@@ -400,13 +492,20 @@ impl<L: ByteLink> Replicator<L> {
                 pending.attempts += 1;
                 pending.sent_tick = self.tick;
                 pending.backoff = (pending.backoff * 2).min(self.policy.backoff_cap_ticks);
-                overdue.push(pending.envelope.clone());
+                overdue.push((pending.envelope.clone(), pending.seq, pending.trace_id));
             }
         }
-        for envelope in overdue {
+        for (envelope, seq, trace_id) in overdue {
             self.link.send_envelope(&envelope)?;
             self.retransmits += 1;
             self.metrics.retransmits.incr();
+            journal_record(
+                EventKind::Retransmit,
+                self.session_index,
+                trace_id,
+                seq,
+                self.tick,
+            );
         }
         Ok(())
     }

@@ -182,6 +182,10 @@ mod tests {
             frames_covered: 3,
             config_fingerprint: 42,
             payload: SectionBuilder::new().finish(),
+            trace: Some(rtgs_snapshot::TraceTag {
+                trace_id: 0xABCD,
+                hop: 3,
+            }),
         };
         match Message::decode(&Message::Record(record.clone()).encode()).unwrap() {
             Message::Record(decoded) => assert_eq!(decoded, record),

@@ -67,9 +67,12 @@ impl<'d, L: ByteLink> ReplicatedSession<'d, L> {
             return; // replication already failed; latch the first error
         }
         let pipeline = &self.pipeline;
+        // The stepped frame's trace context rides into the checkpoint
+        // capture and onto the wire, stitching primary and follower spans.
+        let trace = pipeline.last_trace();
         let result = self
             .replicator
-            .on_frame(frame, |log| pipeline.checkpoint_into(log))
+            .on_frame_traced(frame, trace, |log| pipeline.checkpoint_into(log))
             .and_then(|()| self.replicator.pump());
         if let Err(e) = result {
             self.error = Some(e);

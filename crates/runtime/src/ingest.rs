@@ -31,9 +31,13 @@
 //! recorded at `frame_done` is therefore the end-to-end figure an open-loop
 //! load generator needs for p50/p99/p999 at a given offered rate.
 
-use rtgs_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot};
+use rtgs_telemetry::flight::hops;
+use rtgs_telemetry::{
+    emit_flow_span, journal_record, ns_since_epoch, Counter, EventKind, Gauge, Histogram,
+    HistogramSnapshot, TraceCtx,
+};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -221,6 +225,10 @@ pub struct IngestFrame<T> {
     /// When the producer delivered the frame (sojourn time is measured from
     /// here).
     pub enqueued: Instant,
+    /// Flight-recorder trace context, minted at push. Carried through the
+    /// pipeline, checkpoint capture, and the replication wire so one frame's
+    /// lifecycle stitches into a single cross-process trace.
+    pub trace: TraceCtx,
     /// The frame payload.
     pub payload: T,
 }
@@ -312,6 +320,9 @@ struct Shared<T> {
     capacity: usize,
     policy: LatePolicy,
     counters: InboxCounters,
+    /// Hub-unique channel id, stamped into black-box journal events so
+    /// post-mortem bundles attribute drops/sheds to a session.
+    channel_id: u32,
     /// End-to-end per-frame latency (push → `frame_done`), nanoseconds.
     latency: Histogram,
     /// Live producer clones; the channel auto-closes when the last drops.
@@ -410,7 +421,15 @@ impl<T> FrameProducer<T> {
                     st = sh.space.wait(st).unwrap();
                 }
                 LatePolicy::DropOldest => {
-                    st.queue.pop_front();
+                    if let Some(old) = st.queue.pop_front() {
+                        journal_record(
+                            EventKind::FrameDrop,
+                            sh.channel_id,
+                            old.trace.trace_id,
+                            old.seq,
+                            st.queue.len() as u64,
+                        );
+                    }
                     sh.counters.dropped_oldest.fetch_add(1, Ordering::Relaxed);
                     sh.hub.metrics.dropped_oldest.incr();
                     break PushOutcome::AcceptedDroppedOldest;
@@ -420,6 +439,13 @@ impl<T> FrameProducer<T> {
                     sh.counters.dropped_newest.fetch_add(1, Ordering::Relaxed);
                     sh.hub.metrics.offered.incr();
                     sh.hub.metrics.dropped_newest.incr();
+                    journal_record(
+                        EventKind::FrameDrop,
+                        sh.channel_id,
+                        0,
+                        st.next_seq,
+                        st.queue.len() as u64,
+                    );
                     return PushOutcome::RejectedNewest;
                 }
             }
@@ -429,6 +455,7 @@ impl<T> FrameProducer<T> {
         st.queue.push_back(IngestFrame {
             seq,
             enqueued,
+            trace: TraceCtx::fresh(),
             payload,
         });
         let depth = st.queue.len();
@@ -488,6 +515,12 @@ impl<T> FrameInbox<T> {
         self.shared.state.lock().unwrap().queue.len()
     }
 
+    /// Hub-unique id of this channel, used to attribute black-box journal
+    /// events (drops, sheds) to a session in post-mortem bundles.
+    pub fn channel_id(&self) -> u32 {
+        self.shared.channel_id
+    }
+
     /// Whether at least one frame is queued.
     pub fn has_work(&self) -> bool {
         !self.shared.state.lock().unwrap().queue.is_empty()
@@ -519,6 +552,17 @@ impl<T> FrameInbox<T> {
         self.shared.latency.record(ns);
         self.shared.hub.metrics.processed.incr();
         self.shared.hub.metrics.frame_ns.record(ns);
+        // First hop of the frame's flight trace: the full ingest sojourn
+        // (queueing + service), with an outgoing flow edge into the tracker.
+        emit_flow_span(
+            "ingest.frame",
+            "ingest",
+            ns_since_epoch(frame.enqueued),
+            ns,
+            frame.seq,
+            frame.trace.trace_id,
+            hops::INGEST,
+        );
         ns
     }
 
@@ -611,6 +655,9 @@ struct HubInner {
     signal: WorkSignal,
     admitted: AtomicUsize,
     reserved_bytes: AtomicUsize,
+    /// Monotone channel-id source for journal attribution (never reused,
+    /// unlike the admitted count).
+    next_channel: AtomicU32,
     metrics: HubMetrics,
 }
 
@@ -633,6 +680,7 @@ impl IngestHub {
                 signal: WorkSignal::new(),
                 admitted: AtomicUsize::new(0),
                 reserved_bytes: AtomicUsize::new(0),
+                next_channel: AtomicU32::new(0),
                 metrics: HubMetrics::from_global(),
             }),
         }
@@ -678,12 +726,26 @@ impl IngestHub {
         let admitted = self.inner.admitted.load(Ordering::SeqCst);
         if let Some(limit) = cfg.max_sessions {
             if admitted >= limit {
+                journal_record(
+                    EventKind::AdmissionReject,
+                    self.inner.next_channel.load(Ordering::SeqCst),
+                    0,
+                    0,
+                    admitted as u64,
+                );
                 return Err(AdmissionError::SessionLimit { limit, admitted });
             }
         }
         let reserved = self.inner.reserved_bytes.load(Ordering::SeqCst);
         if let Some(limit) = cfg.max_inbox_bytes {
             if reserved.saturating_add(requested) > limit {
+                journal_record(
+                    EventKind::AdmissionReject,
+                    self.inner.next_channel.load(Ordering::SeqCst),
+                    0,
+                    0,
+                    reserved as u64,
+                );
                 return Err(AdmissionError::InboxMemory {
                     limit,
                     reserved,
@@ -705,6 +767,7 @@ impl IngestHub {
             capacity,
             policy: cfg.late_policy,
             counters: InboxCounters::new(),
+            channel_id: self.inner.next_channel.fetch_add(1, Ordering::SeqCst),
             latency: Histogram::new(),
             producers: AtomicUsize::new(1),
             hub: Arc::clone(&self.inner),

@@ -63,6 +63,7 @@ pub use ingest::{
     LatePolicy, PushOutcome, WorkSignal,
 };
 pub use pool::{PoolStats, Scope, ThreadPool};
+pub use rtgs_telemetry::{HealthReport, HealthVerdict};
 pub use scheduler::{
     fleet_latency, EvictionPolicy, ReplicationOptions, ReplicationStats, Session, SessionIoError,
     SessionOutcome, SessionScheduler, SessionStats, SessionStatus, ShutdownHandle,

@@ -41,7 +41,10 @@
 
 use crate::ingest::{AdmissionError, IngestHub, IngestStats};
 use crate::pool::ThreadPool;
-use rtgs_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, SnapshotWriter, SpanGuard};
+use rtgs_telemetry::{
+    journal_record, Counter, EventKind, Gauge, HealthReport, Histogram, HistogramSnapshot,
+    SnapshotWriter, SpanGuard,
+};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -345,6 +348,10 @@ pub struct SessionStats {
     /// Per-step latency distribution (nanoseconds), for p50/p99/p999
     /// extraction; merge across sessions with [`fleet_latency`].
     pub latency: HistogramSnapshot,
+    /// Aggregated health verdict for the session (ingest backlog, shed
+    /// state, replication lag, resident footprint vs. budget), for the
+    /// flight recorder and operator dashboards.
+    pub health: HealthReport,
 }
 
 /// Merges every outcome's per-session step-latency histogram into one
@@ -408,6 +415,9 @@ struct Entry<S> {
     rehydrations: usize,
     hibernate_wall: Duration,
     rehydrate_wall: Duration,
+    /// Whether the shutdown replication drain failed for this session
+    /// (surfaces as a Critical health verdict).
+    drain_failed: bool,
     /// Per-step latency in nanoseconds (pre-sized buckets; recording from a
     /// pool worker is wait-free and allocation-free).
     latency: Histogram,
@@ -543,6 +553,7 @@ impl<S: Session> SessionScheduler<S> {
             rehydrations: 0,
             hibernate_wall: Duration::ZERO,
             rehydrate_wall: Duration::ZERO,
+            drain_failed: false,
             latency: Histogram::new(),
         });
         self.sessions.len() - 1
@@ -569,6 +580,13 @@ impl<S: Session> SessionScheduler<S> {
         {
             let admitted = self.sessions.iter().filter(|e| !e.done).count();
             if admitted >= limit {
+                journal_record(
+                    EventKind::AdmissionReject,
+                    self.sessions.len() as u32,
+                    0,
+                    0,
+                    admitted as u64,
+                );
                 return Err((AdmissionError::SessionLimit { limit, admitted }, session));
             }
         }
@@ -588,6 +606,13 @@ impl<S: Session> SessionScheduler<S> {
             // one that does not fit beside the current residents would
             // immediately blow the budget the eviction policy enforces.
             if requested > limit || resident.saturating_add(requested) > limit {
+                journal_record(
+                    EventKind::AdmissionReject,
+                    self.sessions.len() as u32,
+                    0,
+                    0,
+                    resident as u64,
+                );
                 return Err((
                     AdmissionError::ResidentBytes {
                         limit,
@@ -676,6 +701,16 @@ impl<S: Session> SessionScheduler<S> {
                     entry.hibernate_wall += elapsed;
                     self.metrics.hibernations.incr();
                     self.metrics.hibernate_ns.add(elapsed.as_nanos() as u64);
+                    // Budget-forced eviction and its successful spill: two
+                    // journal entries so the bundle shows cause and effect.
+                    journal_record(EventKind::Evict, coldest as u32, 0, 0, bytes as u64);
+                    journal_record(
+                        EventKind::Hibernate,
+                        coldest as u32,
+                        0,
+                        0,
+                        bytes_before as u64,
+                    );
                 }
                 Err(_) => {
                     // Unsupported (or failed) — permanently exempt so the
@@ -710,6 +745,13 @@ impl<S: Session> SessionScheduler<S> {
         entry.rehydrate_wall += elapsed;
         self.metrics.rehydrations.incr();
         self.metrics.rehydrate_ns.add(elapsed.as_nanos() as u64);
+        journal_record(
+            EventKind::Rehydrate,
+            idx as u32,
+            0,
+            0,
+            elapsed.as_nanos() as u64,
+        );
     }
 
     /// Runs all sessions to completion (or until shutdown), returning one
@@ -889,6 +931,7 @@ impl<S: Session> SessionScheduler<S> {
             for entry in &mut self.sessions {
                 if entry.session.drain_replication().is_err() {
                     drain_failures.incr();
+                    entry.drain_failed = true;
                 }
             }
         }
@@ -900,12 +943,32 @@ impl<S: Session> SessionScheduler<S> {
             writer.write_now(rtgs_telemetry::global()).ok();
         }
 
+        let budget_bytes = self
+            .policy
+            .as_ref()
+            .and_then(|p| p.max_resident_bytes)
+            .map(|b| b as u64);
         self.sessions
             .into_iter()
             .enumerate()
             .map(|(session, entry)| {
                 let ingest = entry.session.ingest_stats();
                 let replication = entry.session.replication_stats();
+                let mut health = HealthReport::new(entry.label.clone());
+                if let Some(ing) = &ingest {
+                    health.ingest_backlog = ing
+                        .offered
+                        .saturating_sub(ing.processed)
+                        .saturating_sub(ing.dropped());
+                    health.degraded_frames = ing.degraded;
+                    health.dropped_frames = ing.dropped();
+                }
+                if let Some(rep) = &replication {
+                    health.replication_lag_frames = rep.frames_behind;
+                }
+                health.replication_failed = entry.drain_failed;
+                health.resident_bytes = entry.session.resident_bytes() as u64;
+                health.budget_bytes = budget_bytes;
                 SessionOutcome {
                     stats: SessionStats {
                         session,
@@ -921,6 +984,7 @@ impl<S: Session> SessionScheduler<S> {
                         ingest,
                         replication,
                         latency: entry.latency.snapshot(),
+                        health,
                     },
                     report: entry.session.finish(),
                 }

@@ -25,7 +25,7 @@
 
 use crate::pipeline::{SlamPipeline, SlamReport};
 use rtgs_runtime::{FrameInbox, IngestStats, Session, SessionIoError, SessionStatus};
-use rtgs_telemetry::RecentWindow;
+use rtgs_telemetry::{journal_record, EventKind, RecentWindow};
 use std::path::Path;
 use std::time::Duration;
 
@@ -90,6 +90,9 @@ pub struct OpenLoopSession<'d> {
     inbox: FrameInbox<()>,
     slo: Option<SloPolicy>,
     recent: RecentWindow,
+    /// Whether the previous frame ran on the shed path; transitions are
+    /// journaled into the black-box flight recorder.
+    shedding: bool,
 }
 
 impl<'d> OpenLoopSession<'d> {
@@ -101,6 +104,7 @@ impl<'d> OpenLoopSession<'d> {
             inbox,
             slo: None,
             recent: RecentWindow::new(32),
+            shedding: false,
         }
     }
 
@@ -150,6 +154,21 @@ impl Session for OpenLoopSession<'_> {
                 factor = slo.degrade_factor;
             }
         }
+        if degraded != self.shedding {
+            self.shedding = degraded;
+            journal_record(
+                if degraded {
+                    EventKind::ShedDegrade
+                } else {
+                    EventKind::ShedRestore
+                },
+                self.inbox.channel_id(),
+                frame.trace.trace_id,
+                frame.seq,
+                factor as u64,
+            );
+        }
+        self.pipeline.set_frame_trace(frame.trace);
         self.pipeline.set_pressure_factor(factor);
         let stepped = SlamPipeline::step(&mut self.pipeline).is_some();
         let sojourn_ns = self.inbox.frame_done(frame, degraded);

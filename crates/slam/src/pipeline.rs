@@ -12,7 +12,10 @@ use rtgs_metrics::{absolute_trajectory_error, psnr, AteResult};
 use rtgs_render::{render_frame_with, FrameArena, Image, ShardedScene, WorkloadTrace};
 use rtgs_runtime::{Backend, BackendChoice};
 use rtgs_scene::{RgbdFrame, SyntheticDataset};
-use rtgs_telemetry::{emit_span, ns_since_epoch, Counter, Gauge, Histogram, StageId, StageNanos};
+use rtgs_telemetry::flight::hops;
+use rtgs_telemetry::{
+    emit_flow_span, ns_since_epoch, Counter, Gauge, Histogram, StageId, StageNanos, TraceCtx,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -416,6 +419,12 @@ pub struct SlamPipeline<'d> {
     /// backlog drains. Combined with the extension's own downsampling ramp
     /// via `max`; predicted keyframes still track at full resolution.
     pub(crate) pressure_factor: usize,
+    /// Trace context staged for the next [`SlamPipeline::step`] (set by the
+    /// open-loop ingest path from the popped frame); consumed on step.
+    pub(crate) pending_trace: TraceCtx,
+    /// Trace context of the most recently stepped frame, carried onward to
+    /// checkpoint capture and the replication wire.
+    pub(crate) last_trace: TraceCtx,
 }
 
 impl<'d> SlamPipeline<'d> {
@@ -455,7 +464,22 @@ impl<'d> SlamPipeline<'d> {
             pending_mapping_traces: Vec::new(),
             hibernated: false,
             pressure_factor: 1,
+            pending_trace: TraceCtx::NONE,
+            last_trace: TraceCtx::NONE,
         }
+    }
+
+    /// Stages the flight-recorder trace context for the next stepped frame
+    /// (the open-loop ingest path forwards the popped frame's context so the
+    /// tracking span joins the frame's cross-process trace).
+    pub fn set_frame_trace(&mut self, trace: TraceCtx) {
+        self.pending_trace = trace;
+    }
+
+    /// Trace context of the most recently stepped frame ([`TraceCtx::NONE`]
+    /// before the first step). Replication forwards this onto the wire.
+    pub fn last_trace(&self) -> TraceCtx {
+        self.last_trace
     }
 
     /// Sets the load-shed resolution factor (clamped to at least 1; 1
@@ -511,6 +535,13 @@ impl<'d> SlamPipeline<'d> {
         }
         let index = self.next_frame;
         self.next_frame += 1;
+        // Adopt the staged ingest trace, or mint one so closed-loop frames
+        // (no ingest front-end) still stitch through checkpoint and wire.
+        self.last_trace = if self.pending_trace.is_traced() {
+            std::mem::replace(&mut self.pending_trace, TraceCtx::NONE)
+        } else {
+            TraceCtx::fresh()
+        };
         let frame = &self.dataset.frames[index];
 
         if index == 0 {
@@ -676,12 +707,14 @@ impl<'d> SlamPipeline<'d> {
         self.metrics
             .arena_high_water
             .set_max(self.arena.high_water_bytes() as i64);
-        emit_span(
+        emit_flow_span(
             "slam.frame",
             "frame",
             ns_since_epoch(start),
             wall_ns,
             index as u64,
+            self.last_trace.trace_id,
+            hops::TRACK,
         );
     }
 

@@ -74,4 +74,4 @@ pub use checkpoint::{CaptureStats, Channel, CheckpointLog};
 pub use error::SnapshotError;
 pub use format::{crc32, Cursor, SectionBuilder, Sections, FORMAT_VERSION, MAGIC};
 pub use scene::{decode_scene, decode_scene_sections, encode_scene, encode_scene_into};
-pub use stream::{RecordKind, ReplayState, StreamRecord};
+pub use stream::{RecordKind, ReplayState, StreamRecord, TraceTag};

@@ -38,6 +38,22 @@ use rtgs_render::{SceneState, ShardedScene};
 const RECORD_HEADER_TAG: [u8; 4] = *b"RHDR";
 /// Tag of a stream record's payload section (an encoded base or delta).
 const RECORD_PAYLOAD_TAG: [u8; 4] = *b"RPAY";
+/// Tag of a stream record's optional flight-recorder trace section.
+const RECORD_TRACE_TAG: [u8; 4] = *b"RTRC";
+
+/// Flight-recorder trace context riding a stream record: the frame's trace
+/// id plus the hop number of the stage that captured the record. Carried
+/// as an *optional* section, which is the version gate — records written
+/// before tracing existed (or with tracing off) simply lack the section
+/// and decode with `trace: None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceTag {
+    /// Flow id of the frame this record was captured for (never 0 when
+    /// the tag is present).
+    pub trace_id: u64,
+    /// Monotone hop sequence at capture time.
+    pub hop: u32,
+}
 
 /// What a [`StreamRecord`] carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +86,10 @@ pub struct StreamRecord {
     /// Fingerprint of the session config the stream was captured under; a
     /// follower standing by with a different config rejects loudly.
     pub config_fingerprint: u64,
+    /// Optional flight-recorder trace context (see [`TraceTag`]); `None`
+    /// on records from primaries with tracing off and on pre-tracing
+    /// streams.
+    pub trace: Option<TraceTag>,
     /// The encoded base or delta container.
     pub payload: Vec<u8>,
 }
@@ -92,6 +112,11 @@ impl StreamRecord {
         put_u64(head, self.frame);
         put_u64(head, self.frames_covered);
         put_u64(head, self.config_fingerprint);
+        if let Some(trace) = &self.trace {
+            let sec = builder.section(RECORD_TRACE_TAG);
+            put_u64(sec, trace.trace_id);
+            put_u32(sec, trace.hop);
+        }
         builder
             .section(RECORD_PAYLOAD_TAG)
             .extend_from_slice(&self.payload);
@@ -124,6 +149,16 @@ impl StreamRecord {
         let frames_covered = head.u64()?;
         let config_fingerprint = head.u64()?;
         head.expect_end()?;
+        let trace = match sections.get_optional(RECORD_TRACE_TAG) {
+            Some(bytes) => {
+                let mut cur = Cursor::new(bytes, "stream record trace");
+                let trace_id = cur.u64()?;
+                let hop = cur.u32()?;
+                cur.expect_end()?;
+                Some(TraceTag { trace_id, hop })
+            }
+            None => None,
+        };
         let payload = sections.get(RECORD_PAYLOAD_TAG)?.to_vec();
         // Validate the payload's own framing eagerly, so a damaged record
         // is rejected here rather than halfway through a replay.
@@ -135,6 +170,7 @@ impl StreamRecord {
             frame,
             frames_covered,
             config_fingerprint,
+            trace,
             payload,
         })
     }
@@ -262,10 +298,51 @@ mod tests {
             frame: 17,
             frames_covered: 2,
             config_fingerprint: 0xfeed_beef,
+            trace: Some(TraceTag {
+                trace_id: 0x1234_5678_9abc_def1,
+                hop: 3,
+            }),
             payload: SectionBuilder::new().finish(),
         };
         let decoded = StreamRecord::decode(&record.encode()).unwrap();
         assert_eq!(decoded, record);
+    }
+
+    /// The trace section is the version gate: a record written without one
+    /// (tracing off, or a pre-tracing primary) decodes cleanly with
+    /// `trace: None`, and adding the section never perturbs the other
+    /// header fields.
+    #[test]
+    fn traceless_record_decodes_with_none() {
+        let record = StreamRecord {
+            kind: RecordKind::Base,
+            epoch: 1,
+            seq: 2,
+            frame: 3,
+            frames_covered: 4,
+            config_fingerprint: 5,
+            trace: None,
+            payload: SectionBuilder::new().finish(),
+        };
+        let decoded = StreamRecord::decode(&record.encode()).unwrap();
+        assert_eq!(decoded.trace, None);
+        assert_eq!(decoded, record);
+
+        let mut traced = record.clone();
+        traced.trace = Some(TraceTag {
+            trace_id: 9,
+            hop: 2,
+        });
+        let decoded = StreamRecord::decode(&traced.encode()).unwrap();
+        assert_eq!(
+            decoded.trace,
+            Some(TraceTag {
+                trace_id: 9,
+                hop: 2
+            })
+        );
+        assert_eq!(decoded.seq, record.seq);
+        assert_eq!(decoded.config_fingerprint, record.config_fingerprint);
     }
 
     #[test]
@@ -277,6 +354,7 @@ mod tests {
             frame: 0,
             frames_covered: 1,
             config_fingerprint: 7,
+            trace: None,
             payload: SectionBuilder::new().finish(),
         };
         let bytes = record.encode();

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use crate::registry::{MetricValue, Registry, RegistrySnapshot};
 use crate::spans::collect_spans;
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -107,27 +107,85 @@ pub fn render_json(snapshot: &RegistrySnapshot) -> String {
 /// `chrome://tracing` or <https://ui.perfetto.dev> for a flame chart of a
 /// multi-session run. Rings are left intact (export is a copy).
 pub fn chrome_trace_json() -> String {
-    let mut out = String::from("{\"traceEvents\": [");
+    wrap_trace_events(&[chrome_trace_events(0)])
+}
+
+/// Like [`chrome_trace_json`] but returns the bare event list (no
+/// `traceEvents` wrapper) with every event stamped with `pid`. One call per
+/// logical process, merged with [`wrap_trace_events`], yields a single
+/// cross-process trace: spans recorded with a flow id (see
+/// [`crate::emit_flow_span`]) additionally emit Chrome *flow events* —
+/// `"ph": "f"` binding the incoming arrow at the span's start (hops > 0)
+/// and `"ph": "s"` starting the outgoing arrow at its end — all under the
+/// shared `("flight", "frame")` category/name pair and `"id"` = trace id,
+/// which is what makes Perfetto draw one arrowed chain per frame across
+/// the processes' ring exports.
+pub fn chrome_trace_events(pid: u32) -> String {
+    let mut out = String::new();
     let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  ");
+    };
     for (tid, events) in collect_spans() {
         for event in events {
-            if !first {
-                out.push(',');
+            if event.flow != 0 && event.hop > 0 {
+                push_sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"frame\", \"cat\": \"flight\", \"ph\": \"f\", \"bp\": \"e\", \
+                     \"id\": {}, \"ts\": {:.3}, \"pid\": {pid}, \"tid\": {tid}}}",
+                    event.flow,
+                    event.start_ns as f64 / 1_000.0,
+                );
             }
-            first = false;
-            out.push_str("\n  {\"name\": \"");
+            push_sep(&mut out);
+            out.push_str("{\"name\": \"");
             escape_json(event.name, &mut out);
             out.push_str("\", \"cat\": \"");
             escape_json(event.cat, &mut out);
             let _ = write!(
                 out,
-                "\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, \"args\": {{\"arg\": {}}}}}",
+                "\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {pid}, \"tid\": {tid}, \
+                 \"args\": {{\"arg\": {}, \"trace_id\": {}, \"hop\": {}}}}}",
                 event.start_ns as f64 / 1_000.0,
                 event.dur_ns as f64 / 1_000.0,
-                tid,
                 event.arg,
+                event.flow,
+                event.hop,
             );
+            if event.flow != 0 {
+                push_sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"frame\", \"cat\": \"flight\", \"ph\": \"s\", \
+                     \"id\": {}, \"ts\": {:.3}, \"pid\": {pid}, \"tid\": {tid}}}",
+                    event.flow,
+                    (event.start_ns + event.dur_ns) as f64 / 1_000.0,
+                );
+            }
         }
+    }
+    out
+}
+
+/// Joins per-process event lists from [`chrome_trace_events`] into one
+/// Chrome `trace_event` document. Empty parts are skipped.
+pub fn wrap_trace_events(parts: &[String]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    let mut first = true;
+    for part in parts {
+        if part.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(part);
     }
     out.push_str("\n]}\n");
     out
@@ -137,7 +195,7 @@ pub fn chrome_trace_json() -> String {
 /// so a crash mid-dump never leaves a torn snapshot behind the valid one.
 /// (Duplicated from `rtgs-snapshot` deliberately — telemetry stays
 /// dependency-free.)
-fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     use std::io::Write as _;
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");

@@ -32,6 +32,12 @@ pub struct SpanEvent {
     pub dur_ns: u64,
     /// One free-form integer argument (frame index, byte count, …).
     pub arg: u64,
+    /// Flow id binding this span into a cross-process frame trace
+    /// (a [`crate::flight::TraceCtx`] trace id); `0` = not part of a flow.
+    pub flow: u64,
+    /// Hop sequence within the flow (ingest=0, track, checkpoint, wire,
+    /// replay…). Meaningless when `flow == 0`.
+    pub hop: u32,
 }
 
 impl SpanEvent {
@@ -41,6 +47,8 @@ impl SpanEvent {
         start_ns: 0,
         dur_ns: 0,
         arg: 0,
+        flow: 0,
+        hop: 0,
     };
 }
 
@@ -170,6 +178,23 @@ pub fn warm_thread_ring() {
 /// reported by a kernel) — `span!`/[`SpanGuard`] cover the common RAII case.
 #[inline]
 pub fn emit_span(name: &'static str, cat: &'static str, start_ns: u64, dur_ns: u64, arg: u64) {
+    emit_flow_span(name, cat, start_ns, dur_ns, arg, 0, 0);
+}
+
+/// Records a completed span that is one hop of a cross-process frame flow:
+/// `flow` is the frame's trace id, `hop` its monotone hop sequence. The
+/// Chrome exporter stitches same-`flow` spans into one arrowed flow even
+/// across per-process ring exports. Allocation-free like [`emit_span`].
+#[inline]
+pub fn emit_flow_span(
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+    arg: u64,
+    flow: u64,
+    hop: u32,
+) {
     if !tracing_enabled() {
         return;
     }
@@ -180,6 +205,8 @@ pub fn emit_span(name: &'static str, cat: &'static str, start_ns: u64, dur_ns: u
             start_ns,
             dur_ns,
             arg,
+            flow,
+            hop,
         })
     });
 }
@@ -402,6 +429,8 @@ mod tests {
                 start_ns: k,
                 dur_ns: 1,
                 arg: k,
+                flow: 0,
+                hop: 0,
             });
         }
         assert_eq!(ring.dropped(), 6);
@@ -431,6 +460,8 @@ mod tests {
                 start_ns: 1_000,
                 dur_ns: 250,
                 arg: 7,
+                flow: 0,
+                hop: 0,
             }
         );
     }

@@ -1,0 +1,97 @@
+//! Stable-metric-names regression test.
+//!
+//! Scans every production crate's `src/` tree for registry registrations
+//! (`.counter("…")`, `.gauge("…")`, `.histogram("…")`) and asserts the
+//! extracted `kind name` set matches the checked-in table in
+//! `tests/metric_names.txt` exactly. A metric rename therefore fails CI
+//! loudly instead of silently orphaning dashboards and snapshot greps —
+//! the CONTRIBUTING instrumentation policy requires the table (and any
+//! consumers) to move in the same commit.
+//!
+//! The telemetry crate itself is excluded: its only string literals are
+//! doc examples and unit-test fixtures, not production registrations. The
+//! scan is textual on purpose — it sees metrics in code paths a unit test
+//! would never execute (e.g. the replication drain-failure counter).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// `kind name` pairs registered in one source file.
+fn extract(source: &str, into: &mut BTreeSet<String>) {
+    for kind in ["counter", "gauge", "histogram"] {
+        let needle = format!(".{kind}(\"");
+        let mut rest = source;
+        while let Some(at) = rest.find(&needle) {
+            rest = &rest[at + needle.len()..];
+            if let Some(end) = rest.find('"') {
+                let name = &rest[..end];
+                // Metric names are dotted lower-case paths; skip doc-test
+                // and fixture names that carry no dot (e.g. `"frames"`).
+                if name.contains('.') {
+                    into.insert(format!("{kind} {name}"));
+                }
+                rest = &rest[end..];
+            }
+        }
+    }
+}
+
+fn scan_dir(dir: &Path, into: &mut BTreeSet<String>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            scan_dir(&path, into);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(source) = fs::read_to_string(&path) {
+                extract(&source, into);
+            }
+        }
+    }
+}
+
+#[test]
+fn registered_metric_names_match_the_checked_in_table() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let crates = manifest.parent().expect("telemetry crate lives in crates/");
+
+    let mut registered = BTreeSet::new();
+    for entry in fs::read_dir(crates).expect("crates/ readable").flatten() {
+        let path = entry.path();
+        // Skip ourselves (doc/fixture literals) and the bench/criterion
+        // shims (no registry use; keeps the scan honest either way).
+        if path.file_name().is_some_and(|n| n == "telemetry") {
+            continue;
+        }
+        scan_dir(&path.join("src"), &mut registered);
+    }
+    assert!(
+        registered.len() >= 30,
+        "sanity: the scan must see the production registrations (found {})",
+        registered.len()
+    );
+
+    let table_path = manifest.join("tests/metric_names.txt");
+    let table_text = fs::read_to_string(&table_path).expect("metric_names.txt readable");
+    let table: BTreeSet<String> = table_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+
+    let missing: Vec<&String> = registered.difference(&table).collect();
+    let stale: Vec<&String> = table.difference(&registered).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "metric-name drift against tests/metric_names.txt\n\
+         registered but not in the table (add them): {missing:?}\n\
+         in the table but no longer registered (renamed or removed): {stale:?}\n\
+         Renames must update the table and every snapshot consumer in the \
+         same commit (CONTRIBUTING.md \"Instrumentation policy\")."
+    );
+}
